@@ -1,0 +1,45 @@
+//! Ablation bench: modeled (not wall-clock) cycle costs across the spatial
+//! array's design space — the Fig. 3 "design points in between" — measured
+//! as simulator evaluations of the timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemmini_core::config::GemminiConfig;
+use gemmini_core::mesh::MeshTiming;
+use gemmini_synth::timing::fmax_ghz;
+use std::hint::black_box;
+
+fn config_with_tile(tile: usize) -> GemminiConfig {
+    GemminiConfig {
+        mesh_rows: 16 / tile,
+        mesh_cols: 16 / tile,
+        tile_rows: tile,
+        tile_cols: tile,
+        ..GemminiConfig::edge()
+    }
+}
+
+/// Modeled wall-clock (ns) for a 16-row compute at each hierarchy's own
+/// fmax — printed once, benched as a timing-model evaluation.
+fn bench_hierarchy_eval(c: &mut Criterion) {
+    println!("modeled 16-row compute time at own fmax:");
+    for tile in [1usize, 2, 4, 8, 16] {
+        let cfg = config_with_tile(tile);
+        let t = MeshTiming::from_config(&cfg);
+        let ns = t.compute_cycles(16) as f64 / fmax_ghz(&cfg);
+        println!("  {tile:>2}x{tile:<2} tiles: {:.1} ns", ns);
+    }
+    let mut group = c.benchmark_group("mesh_timing_eval");
+    for tile in [1usize, 16] {
+        let cfg = config_with_tile(tile);
+        group.bench_with_input(BenchmarkId::new("tile", tile), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                let t = MeshTiming::from_config(black_box(cfg));
+                black_box(t.compute_cycles(black_box(16)) + t.preload_cycles(16))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_eval);
+criterion_main!(benches);

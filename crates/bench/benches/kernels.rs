@@ -1,0 +1,105 @@
+//! Microbenchmarks of the kernel library: wall-clock simulation throughput
+//! of the tiled-matmul kernel in timing-only mode (what figure sweeps pay),
+//! plus the tiling planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemmini_core::config::GemminiConfig;
+use gemmini_core::{Accelerator, MemCtx};
+use gemmini_cpu::{CpuKind, CpuModel};
+use gemmini_dnn::graph::Activation;
+use gemmini_mem::addr::PAGE_SIZE;
+use gemmini_mem::MemorySystem;
+use gemmini_soc::kernel::{
+    ASource, Kernel, KernelEnv, MatmulParams, StepOutcome, TiledMatmulKernel,
+};
+use gemmini_soc::tiling::plan_matmul;
+use gemmini_vm::page::FrameAllocator;
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+use std::hint::black_box;
+
+fn simulate_matmul(mkn: (usize, usize, usize)) -> u64 {
+    let (m, k, n) = mkn;
+    let cfg = GemminiConfig::edge();
+    let mut frames = FrameAllocator::new();
+    let mut space = AddressSpace::new(&mut frames);
+    let a = space.alloc(
+        &mut frames,
+        ((m * k) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE + PAGE_SIZE,
+    );
+    let b = space.alloc(
+        &mut frames,
+        ((k * (n + 16)) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE + PAGE_SIZE,
+    );
+    let c = space.alloc(
+        &mut frames,
+        ((m * n) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE + PAGE_SIZE,
+    );
+    let mut mem = MemorySystem::default();
+    let mut translation = TranslationSystem::new(TranslationConfig::default());
+    let mut accel = Accelerator::new(cfg.clone());
+    let cpu = CpuModel::new(CpuKind::Rocket);
+    let mut kernel = TiledMatmulKernel::new(
+        &cfg,
+        MatmulParams {
+            a,
+            b,
+            c,
+            m,
+            k,
+            n,
+            c_stride: n,
+            activation: Activation::None,
+            acc_scale: 1.0,
+        },
+        ASource::Memory,
+    );
+    loop {
+        let mut env = KernelEnv {
+            accel: &mut accel,
+            cpu: &cpu,
+            ctx: MemCtx {
+                space: &space,
+                translation: &mut translation,
+                mem: &mut mem,
+                data: None,
+                port: 0,
+            },
+        };
+        if matches!(kernel.step(&mut env).expect("no faults"), StepOutcome::Done) {
+            break;
+        }
+    }
+    accel.stats().finish
+}
+
+fn bench_tiled_matmul_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_matmul_timing_sim");
+    group.sample_size(20);
+    for (m, k, n) in [(256usize, 256usize, 256usize), (1024, 256, 64)] {
+        group.throughput(Throughput::Elements((m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, &mkn| bench.iter(|| black_box(simulate_matmul(mkn))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let cfg = GemminiConfig::edge();
+    c.bench_function("tile_planner_resnet_conv", |bench| {
+        bench.iter(|| {
+            black_box(plan_matmul(
+                &cfg,
+                black_box(3136),
+                black_box(576),
+                black_box(64),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tiled_matmul_sim, bench_planner);
+criterion_main!(benches);

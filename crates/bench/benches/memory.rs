@@ -1,0 +1,74 @@
+//! Microbenchmarks of the memory/VM substrates: L2 tag lookups, TLB
+//! lookups, and full translations (simulation throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gemmini_mem::addr::{PhysAddr, PAGE_SIZE};
+use gemmini_mem::cache::{AccessKind, Cache, CacheConfig};
+use gemmini_mem::MemorySystem;
+use gemmini_vm::page::{Frame, FrameAllocator, Vpn};
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::tlb::{Tlb, TlbConfig};
+use gemmini_vm::translator::{Access, TranslationConfig, TranslationSystem};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_access");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("streaming_1mb", |bench| {
+        let mut l2 = Cache::new(CacheConfig::l2_mb(1));
+        let mut line = 0u64;
+        bench.iter(|| {
+            for _ in 0..1024 {
+                line = line.wrapping_add(64);
+                black_box(l2.access(PhysAddr::new(line % (8 << 20)), AccessKind::Read));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_lookup");
+    for entries in [4u32, 32, 512] {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries,
+            hit_latency: 2,
+        });
+        for p in 0..entries as u64 {
+            tlb.insert(Vpn::new(p), Frame::new(p));
+        }
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("entries_{entries}"), |bench| {
+            let mut p = 0u64;
+            bench.iter(|| {
+                p = (p + 1) % entries as u64;
+                black_box(tlb.lookup(Vpn::new(p)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut frames = FrameAllocator::new();
+    let mut space = AddressSpace::new(&mut frames);
+    let base = space.alloc(&mut frames, 64 * PAGE_SIZE);
+    let mut mem = MemorySystem::default();
+    let mut tsys = TranslationSystem::new(TranslationConfig {
+        filter_registers: true,
+        ..TranslationConfig::default()
+    });
+    c.bench_function("translate_warm_filter_hit", |bench| {
+        let mut now = 0;
+        bench.iter(|| {
+            let out = tsys
+                .translate(&space, &mut mem, now, base.add(64), Access::Read)
+                .expect("mapped");
+            now += 1;
+            black_box(out)
+        });
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_tlb, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the spatial array's functional model: how fast the
+//! simulator itself executes tile matmuls (simulation throughput, not
+//! modeled hardware throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemmini_core::mesh::MatrixUnit;
+use gemmini_dnn::tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_tile_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_unit_compute");
+    for dim in [4usize, 16, 32] {
+        let a = Tensor::<i8>::random(&[dim, dim], 1);
+        let b = Tensor::<i8>::random(&[dim, dim], 2);
+        let a_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let b_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let mut mu = MatrixUnit::new(dim);
+        mu.preload(&b_rows);
+        group.throughput(Throughput::Elements((dim * dim * dim) as u64));
+        group.bench_with_input(BenchmarkId::new("dim", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(mu.compute(black_box(&a_rows), None)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_preload(c: &mut Criterion) {
+    let dim = 16;
+    let b = Tensor::<i8>::random(&[dim, dim], 3);
+    let b_rows: Vec<&[i8]> = (0..dim)
+        .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+        .collect();
+    let mut mu = MatrixUnit::new(dim);
+    c.bench_function("matrix_unit_preload_16", |bench| {
+        bench.iter(|| mu.preload(black_box(&b_rows)));
+    });
+}
+
+criterion_group!(benches, bench_tile_compute, bench_preload);
+criterion_main!(benches);

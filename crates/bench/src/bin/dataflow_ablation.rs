@@ -1,0 +1,167 @@
+//! Dataflow ablation (a design choice the paper's template makes
+//! runtime-selectable): weight-stationary vs output-stationary cycle counts
+//! on single-tile-column GEMMs, programmed directly at the instruction
+//! level.
+//!
+//! The trade: WS reuses the stationary B across tall A stripes but pays an
+//! accumulator read-modify-write (and its pipeline drain) per K-slice; OS
+//! keeps the output resident in the PEs across the whole K reduction but
+//! must stream B every compute.
+
+use gemmini_bench::section;
+use gemmini_core::config::{Dataflow, GemminiConfig};
+use gemmini_core::isa::{Instruction, LocalAddr};
+use gemmini_core::{Accelerator, MemCtx};
+use gemmini_dnn::graph::Activation;
+use gemmini_mem::addr::PAGE_SIZE;
+use gemmini_mem::MemorySystem;
+use gemmini_vm::page::FrameAllocator;
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+
+/// Runs a (dim·mb) × (dim·kb) × dim GEMM column with the given dataflow,
+/// timing-only; returns total cycles.
+fn run(dataflow: Dataflow, mb: usize, kb: usize) -> u64 {
+    let cfg = GemminiConfig::edge();
+    let dim = cfg.dim() as u16;
+    let mut frames = FrameAllocator::new();
+    let mut space = AddressSpace::new(&mut frames);
+    let base = space.alloc(&mut frames, 4096 * PAGE_SIZE);
+    let mut mem = MemorySystem::default();
+    let mut translation = TranslationSystem::new(TranslationConfig::default());
+    let mut accel = Accelerator::new(cfg);
+    let mut ctx = MemCtx {
+        space: &space,
+        translation: &mut translation,
+        mem: &mut mem,
+        data: None,
+        port: 0,
+    };
+
+    let sp = |row: u32| LocalAddr::Sp { row };
+    accel
+        .issue(
+            &mut ctx,
+            Instruction::ConfigEx {
+                dataflow,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+        )
+        .expect("config");
+
+    // Load A stripes (mb blocks) and B column (kb blocks).
+    let a_base = 0u32;
+    let b_base = (mb * kb) as u32 * dim as u32;
+    for blk in 0..(mb * kb + kb) as u32 {
+        accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base.add(blk as u64 * dim as u64 * dim as u64),
+                    local: sp(blk * dim as u32),
+                    rows: dim,
+                    cols: dim,
+                },
+            )
+            .expect("mvin");
+    }
+
+    match dataflow {
+        Dataflow::OutputStationary => {
+            // One armed output block per A stripe; stream all K slices.
+            for ib in 0..mb as u32 {
+                accel
+                    .issue(
+                        &mut ctx,
+                        Instruction::Preload {
+                            b: LocalAddr::None,
+                            c: LocalAddr::Acc {
+                                row: ib * dim as u32,
+                                accumulate: false,
+                            },
+                            b_rows: 0,
+                            b_cols: dim,
+                        },
+                    )
+                    .expect("arm");
+                for kbi in 0..kb as u32 {
+                    accel
+                        .issue(
+                            &mut ctx,
+                            Instruction::ComputePreloaded {
+                                a: sp(a_base + (ib * kb as u32 + kbi) * dim as u32),
+                                d: sp(b_base + kbi * dim as u32),
+                                a_rows: dim,
+                                a_cols: dim,
+                            },
+                        )
+                        .expect("compute");
+                }
+            }
+            accel.issue(&mut ctx, Instruction::Flush).expect("flush");
+        }
+        _ => {
+            // Weight-stationary: per K slice, preload B once and stream all
+            // A stripes against it, accumulating in the accumulator.
+            for kbi in 0..kb as u32 {
+                for ib in 0..mb as u32 {
+                    let b_operand = if ib == 0 {
+                        sp(b_base + kbi * dim as u32)
+                    } else {
+                        LocalAddr::None
+                    };
+                    accel
+                        .issue(
+                            &mut ctx,
+                            Instruction::Preload {
+                                b: b_operand,
+                                c: LocalAddr::Acc {
+                                    row: ib * dim as u32,
+                                    accumulate: kbi > 0,
+                                },
+                                b_rows: if ib == 0 { dim } else { 0 },
+                                b_cols: dim,
+                            },
+                        )
+                        .expect("preload");
+                    accel
+                        .issue(
+                            &mut ctx,
+                            Instruction::ComputePreloaded {
+                                a: sp(a_base + (ib * kb as u32 + kbi) * dim as u32),
+                                d: LocalAddr::None,
+                                a_rows: dim,
+                                a_cols: dim,
+                            },
+                        )
+                        .expect("compute");
+                }
+            }
+        }
+    }
+    accel.stats().finish
+}
+
+fn main() {
+    section("Dataflow ablation: WS vs OS, 16-wide GEMM columns (cycles)");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>10}",
+        "m blks", "k blks", "WS cycles", "OS cycles", "OS/WS"
+    );
+    for (mb, kb) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1), (16, 16)] {
+        let ws = run(Dataflow::WeightStationary, mb, kb);
+        let os = run(Dataflow::OutputStationary, mb, kb);
+        println!(
+            "{:>6} {:>6} {:>12} {:>12} {:>10.3}",
+            mb,
+            kb,
+            ws,
+            os,
+            os as f64 / ws as f64
+        );
+    }
+    println!();
+    println!("Deep-K shapes favor OS (one accumulator trip per output block);");
+    println!("tall-M shapes favor WS (the stationary operand amortizes).");
+}

@@ -1,0 +1,92 @@
+//! Energy ablation (extension beyond the paper's figures): per-inference
+//! energy and TOPS/W for each evaluated network and for the Fig. 3 spatial
+//! array extremes, combining the simulator's activity counters with the
+//! synthesis model's energy constants.
+
+use gemmini_bench::{quick_mode, quick_resnet, section};
+use gemmini_dnn::zoo;
+use gemmini_soc::run::{run_networks, RunOptions};
+use gemmini_soc::soc::SocConfig;
+use gemmini_synth::energy::{inference_energy, RunActivity};
+use gemmini_synth::timing::fmax_ghz;
+
+fn main() {
+    let nets = if quick_mode() {
+        vec![quick_resnet()]
+    } else {
+        zoo::all()
+    };
+
+    section("Per-inference energy on the edge configuration (1 GHz)");
+    println!(
+        "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "network", "cycles", "mac uJ", "sram uJ", "dram uJ", "leak uJ", "total mJ", "TOPS/W"
+    );
+    for net in &nets {
+        eprintln!("running {} ...", net.name());
+        let cfg = SocConfig::edge_single_core();
+        let report =
+            run_networks(&cfg, std::slice::from_ref(net), &RunOptions::timing()).expect("runs");
+        let core = &report.cores[0];
+        let accel = &cfg.cores[0].accel;
+        let activity = RunActivity {
+            macs: core.macs,
+            local_bytes: core.dma.bytes_in + core.dma.bytes_out,
+            dram_bytes: report.dram_bytes,
+            cycles: core.total_cycles,
+        };
+        let e = inference_energy(accel, activity, accel.clock_ghz);
+        println!(
+            "{:<18} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.3} {:>8.2}",
+            net.name(),
+            core.total_cycles,
+            e.mac_uj,
+            e.sram_uj,
+            e.dram_uj,
+            e.leakage_uj,
+            e.total_uj() / 1000.0,
+            e.tops_per_watt(core.macs, core.total_cycles, accel.clock_ghz),
+        );
+    }
+
+    section("Fig. 3 extremes at their own fmax: energy per ResNet-style inference");
+    let net = if quick_mode() {
+        quick_resnet()
+    } else {
+        zoo::resnet50()
+    };
+    for (name, accel) in [
+        (
+            "TPU-like (pipelined)",
+            gemmini_core::config::GemminiConfig::tpu_like_256(),
+        ),
+        (
+            "NVDLA-like (combinational)",
+            gemmini_core::config::GemminiConfig::nvdla_like_256(),
+        ),
+    ] {
+        let clock = fmax_ghz(&accel);
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].accel = accel.clone();
+        let report =
+            run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).expect("runs");
+        let core = &report.cores[0];
+        let activity = RunActivity {
+            macs: core.macs,
+            local_bytes: core.dma.bytes_in + core.dma.bytes_out,
+            dram_bytes: report.dram_bytes,
+            cycles: core.total_cycles,
+        };
+        let e = inference_energy(&accel, activity, clock);
+        println!(
+            "{name}: {:.2} GHz, {:.1} ms/inf, {:.2} mJ/inf, {:.2} TOPS/W",
+            clock,
+            core.total_cycles as f64 / (clock * 1e9) * 1e3,
+            e.total_uj() / 1000.0,
+            e.tops_per_watt(core.macs, core.total_cycles, clock)
+        );
+    }
+    println!("\nThe vector design trades latency (lower clock) for energy (no");
+    println!("pipeline registers); the energy gap is smaller than the power gap");
+    println!("because the run also takes longer, accruing leakage.");
+}

@@ -1,0 +1,78 @@
+//! Regenerates Fig. 3 / Section III-A: the systolic-vs-vector spatial-array
+//! comparison at 256 PEs, plus the intermediate design points the paper
+//! alludes to ("any other design points in between these two extremes").
+//!
+//! Paper claims to hold: the fully-pipelined (TPU-like) design achieves
+//! ≈2.7× the fmax of the fully-combinational (NVDLA-like) design, at ≈1.8×
+//! the area and ≈3.0× the power.
+
+use gemmini_bench::section;
+use gemmini_core::config::GemminiConfig;
+use gemmini_synth::area::spatial_array_area_um2;
+use gemmini_synth::power::spatial_array_power;
+use gemmini_synth::timing::SpatialArrayTiming;
+
+fn config_with_tile(tile: usize) -> GemminiConfig {
+    GemminiConfig {
+        mesh_rows: 16 / tile,
+        mesh_cols: 16 / tile,
+        tile_rows: tile,
+        tile_cols: tile,
+        ..GemminiConfig::edge()
+    }
+}
+
+fn main() {
+    section("Fig. 3: 256-PE spatial-array design space (16x16 total PEs)");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "Design point", "fmax(GHz)", "area(kum2)", "power(mW)@1G", "chain depth"
+    );
+    let mut rows = Vec::new();
+    for tile in [1usize, 2, 4, 8, 16] {
+        let cfg = config_with_tile(tile);
+        let t = SpatialArrayTiming::from_config(&cfg);
+        let area = spatial_array_area_um2(&cfg) / 1000.0;
+        let p = spatial_array_power(&cfg, 1.0, 1.0);
+        let name = match tile {
+            1 => "TPU-like (fully pipelined)".to_string(),
+            16 => "NVDLA-like (combinational)".to_string(),
+            _ => format!("hybrid ({tile}x{tile} tiles)"),
+        };
+        println!(
+            "{:<28} {:>10.2} {:>10.1} {:>12.2} {:>12}",
+            name,
+            t.fmax_ghz,
+            area,
+            p.total_mw(),
+            t.chain_depth
+        );
+        rows.push((tile, t.fmax_ghz, area, p.total_mw()));
+    }
+
+    let pipe = rows.first().expect("tile=1 present");
+    let comb = rows.last().expect("tile=16 present");
+    section("Headline ratios (paper: 2.7x fmax, 1.8x area, 3.0x power)");
+    println!(
+        "fmax ratio  (pipelined / combinational): {:.2}x",
+        pipe.1 / comb.1
+    );
+    println!(
+        "area ratio  (pipelined / combinational): {:.2}x",
+        pipe.2 / comb.2
+    );
+    println!(
+        "power ratio (pipelined / combinational): {:.2}x",
+        pipe.3 / comb.3
+    );
+
+    section("Throughput-per-area at each design's own fmax");
+    for (tile, fmax, area, _) in &rows {
+        let peak_gmacs = 256.0 * fmax; // GMAC/s at fmax
+        println!(
+            "tile {tile:>2}: {:.0} GMAC/s peak, {:.2} GMAC/s per kum2",
+            peak_gmacs,
+            peak_gmacs / area
+        );
+    }
+}

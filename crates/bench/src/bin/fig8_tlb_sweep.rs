@@ -1,0 +1,130 @@
+//! Regenerates Fig. 8: ResNet50 performance across private / shared-L2 TLB
+//! sizes, (a) without and (b) with the filter registers, plus the Section
+//! V-A headline statistics.
+//!
+//! Paper shapes to hold:
+//! * private TLB size dominates: 4→16 entries buys up to ~11%, while even
+//!   512 shared-L2-TLB entries never buy more than ~8%;
+//! * with filter registers, a 4-entry private TLB and **no** L2 TLB lands
+//!   within ~2% of the best configuration observed;
+//! * effective hit rate (incl. filters) ≈90%; consecutive same-page rates
+//!   ≈87% (reads) / ≈83% (writes).
+
+use gemmini_bench::{quick_mode, quick_resnet, section};
+use gemmini_dnn::graph::Network;
+use gemmini_dnn::zoo;
+use gemmini_soc::run::{run_networks, RunOptions};
+use gemmini_soc::soc::SocConfig;
+use gemmini_vm::tlb::TlbConfig;
+
+struct Point {
+    private: u32,
+    shared: u32,
+    filters: bool,
+    cycles: u64,
+    eff_hit: f64,
+    rd_same: f64,
+    wr_same: f64,
+}
+
+fn run_point(net: &Network, private: u32, shared: u32, filters: bool) -> Point {
+    let mut cfg = SocConfig::edge_single_core();
+    cfg.cores[0].translation.private = TlbConfig::private(private);
+    cfg.cores[0].translation.shared = TlbConfig::shared(shared);
+    cfg.cores[0].translation.filter_registers = filters;
+    let report =
+        run_networks(&cfg, std::slice::from_ref(net), &RunOptions::timing()).expect("run succeeds");
+    let c = &report.cores[0];
+    Point {
+        private,
+        shared,
+        filters,
+        cycles: c.total_cycles,
+        eff_hit: c.translation.effective_hit_rate,
+        rd_same: c.translation.consecutive_read_same_page,
+        wr_same: c.translation.consecutive_write_same_page,
+    }
+}
+
+fn main() {
+    let net = if quick_mode() {
+        quick_resnet()
+    } else {
+        zoo::resnet50()
+    };
+    let privates = [4u32, 8, 16, 32];
+    let shareds = [0u32, 128, 256, 512];
+
+    let mut points = Vec::new();
+    for &filters in &[false, true] {
+        for &p in &privates {
+            for &s in &shareds {
+                eprintln!("running private={p} shared={s} filters={filters} ...");
+                points.push(run_point(&net, p, s, filters));
+            }
+        }
+    }
+    let best = points.iter().map(|p| p.cycles).min().expect("points exist") as f64;
+
+    for &filters in &[false, true] {
+        section(&format!(
+            "Fig. 8{}: normalized performance ({} filter registers)",
+            if filters { "b" } else { "a" },
+            if filters { "with" } else { "without" }
+        ));
+        print!("{:>14}", "private\\shared");
+        for s in shareds {
+            print!(" {s:>8}");
+        }
+        println!();
+        for p in privates {
+            print!("{p:>14}");
+            for s in shareds {
+                let pt = points
+                    .iter()
+                    .find(|x| x.private == p && x.shared == s && x.filters == filters)
+                    .expect("swept");
+                print!(" {:>8.3}", best / pt.cycles as f64);
+            }
+            println!();
+        }
+    }
+
+    section("Section V-A headline checks");
+    let tiny_no_l2 = points
+        .iter()
+        .find(|x| x.private == 4 && x.shared == 0 && x.filters)
+        .expect("swept");
+    println!(
+        "4-entry private + filter registers + NO L2 TLB: {:.1}% of best (paper: within ~2%)",
+        100.0 * best / tiny_no_l2.cycles as f64
+    );
+    println!(
+        "effective hit rate incl. filters: {:.1}% (paper: ~90%)",
+        tiny_no_l2.eff_hit * 100.0
+    );
+    println!(
+        "consecutive same-page: reads {:.1}% / writes {:.1}% (paper: 87% / 83%)",
+        tiny_no_l2.rd_same * 100.0,
+        tiny_no_l2.wr_same * 100.0
+    );
+
+    // Private vs shared sensitivity (no filters).
+    let base = points
+        .iter()
+        .find(|x| x.private == 4 && x.shared == 0 && !x.filters)
+        .expect("swept");
+    let grow_private = points
+        .iter()
+        .find(|x| x.private == 16 && x.shared == 0 && !x.filters)
+        .expect("swept");
+    let grow_shared = points
+        .iter()
+        .find(|x| x.private == 4 && x.shared == 512 && !x.filters)
+        .expect("swept");
+    println!(
+        "growing private 4->16: +{:.1}% (paper: up to ~11%); adding 512-entry L2 TLB: +{:.1}% (paper: <8%)",
+        100.0 * (base.cycles as f64 / grow_private.cycles as f64 - 1.0),
+        100.0 * (base.cycles as f64 / grow_shared.cycles as f64 - 1.0),
+    );
+}

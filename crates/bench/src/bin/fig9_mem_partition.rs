@@ -1,0 +1,111 @@
+//! Regenerates Fig. 9: the system-level memory-partitioning case study.
+//! Three SoC configurations (Base / BigSP / BigL2, Fig. 9a) × single- and
+//! dual-core, running ResNet50 per core; performance reported per layer
+//! class and overall, normalized to Base.
+//!
+//! Paper shapes to hold:
+//! * single-core: BigSP wins overall (conv ≈+10%, matmul ≈+1%, residual
+//!   adds flat-to-slightly-worse);
+//! * dual-core: BigL2 wins overall (≈+8.0% vs BigSP's ≈+4.2%) because each
+//!   core's residual additions evict the other's data from the shared L2
+//!   (resadd ≈+22% on BigL2; L2 miss rate drops ≈7 points).
+
+use gemmini_bench::{quick_mode, quick_resnet, section};
+use gemmini_dnn::graph::{LayerClass, Network};
+use gemmini_dnn::zoo;
+use gemmini_soc::run::{run_networks, RunOptions, SocReport};
+use gemmini_soc::soc::SocConfig;
+
+struct Outcome {
+    name: &'static str,
+    report: SocReport,
+}
+
+fn run_cfg(name: &'static str, cfg: SocConfig, net: &Network, cores: usize) -> Outcome {
+    eprintln!("running {name} x{cores} ...");
+    let nets = vec![net.clone(); cores];
+    let report = run_networks(&cfg, &nets, &RunOptions::timing()).expect("run succeeds");
+    Outcome { name, report }
+}
+
+fn class_cycles(o: &Outcome, class: LayerClass) -> f64 {
+    o.report
+        .cores
+        .iter()
+        .map(|c| c.class_cycles(class) as f64)
+        .sum()
+}
+
+fn total_cycles(o: &Outcome) -> f64 {
+    o.report
+        .cores
+        .iter()
+        .map(|c| c.total_cycles as f64)
+        .max_by(f64::total_cmp)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let net = if quick_mode() {
+        quick_resnet()
+    } else {
+        zoo::resnet50()
+    };
+
+    section("Fig. 9a: resource-contention SoC configurations");
+    println!("Base : 256 KB scratchpad + 256 KB accumulator per core, 1 MB L2");
+    println!("BigSP: 512 KB scratchpad + 512 KB accumulator per core, 1 MB L2");
+    println!("BigL2: 256 KB scratchpad + 256 KB accumulator per core, 2 MB L2");
+
+    for cores in [1usize, 2] {
+        let outcomes = vec![
+            run_cfg("Base", SocConfig::partition_base(cores), &net, cores),
+            run_cfg("BigSP", SocConfig::partition_big_sp(cores), &net, cores),
+            run_cfg("BigL2", SocConfig::partition_big_l2(cores), &net, cores),
+        ];
+        let base = &outcomes[0];
+
+        section(&format!(
+            "Fig. 9{}: {}-core performance normalized to Base",
+            if cores == 1 { 'b' } else { 'c' },
+            cores
+        ));
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8}   {:>10} {:>10}",
+            "config", "conv", "matmul", "resadd", "overall", "L2 miss%", "DRAM MB"
+        );
+        for o in &outcomes {
+            let speedup = |class| {
+                let b = class_cycles(base, class);
+                let v = class_cycles(o, class);
+                if v == 0.0 {
+                    1.0
+                } else {
+                    b / v
+                }
+            };
+            println!(
+                "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}   {:>9.1}% {:>10.1}",
+                o.name,
+                speedup(LayerClass::Conv),
+                speedup(LayerClass::Matmul),
+                speedup(LayerClass::ResAdd),
+                total_cycles(base) / total_cycles(o),
+                o.report.l2.miss_rate * 100.0,
+                o.report.dram_bytes as f64 / 1e6,
+            );
+        }
+        if cores == 2 {
+            let big_l2 = &outcomes[2];
+            println!(
+                "\nL2 miss-rate change Base -> BigL2: {:.1} -> {:.1} points (paper: -7.1 points)",
+                base.report.l2.miss_rate * 100.0,
+                big_l2.report.l2.miss_rate * 100.0
+            );
+        }
+    }
+
+    section("Paper anchors");
+    println!("single-core: BigSP best (conv +10%, matmul +1%, resadd 0/-1-4%)");
+    println!("dual-core: BigL2 best overall (+8.0% vs BigSP +4.2%; resadd +22%)");
+}

@@ -1,0 +1,171 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md`'s per-experiment index). This library holds
+//! the bits they share: simple table/series printing and the common
+//! command-line conventions (`--quick` runs a scaled-down workload so the
+//! binary finishes in seconds; the default reproduces the full experiment).
+
+use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
+
+/// Prints a named section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a two-column table of (label, value) rows.
+pub fn table2(header: (&str, &str), rows: &[(String, String)]) {
+    let w = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([header.0.len()])
+        .max()
+        .unwrap_or(10)
+        + 2;
+    println!("{:<w$} {}", header.0, header.1);
+    println!("{}", "-".repeat(w + header.1.len() + 8));
+    for (a, b) in rows {
+        println!("{a:<w$} {b}");
+    }
+}
+
+/// Renders a horizontal ASCII bar of `value` relative to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().max(0.0) as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Whether `--quick` was passed (scaled-down workloads for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Returns the argument following `flag`, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A reduced-resolution ResNet-style network for `--quick` runs: the same
+/// layer mix (conv / matmul / residual-add / pool) at 32×32 so a full
+/// simulated inference takes seconds instead of minutes.
+pub fn quick_resnet() -> Network {
+    let mut net = Network::new("resnet_quick");
+    net.push(
+        "conv1",
+        Layer::Conv {
+            in_channels: 3,
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (32, 32),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "pool1",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 2,
+            stride: 2,
+            padding: 0,
+            channels: 32,
+            in_hw: (32, 32),
+        },
+    );
+    let mut hw = 16;
+    let mut ch = 32;
+    for stage in 0..3 {
+        let out = ch * 2;
+        for b in 0..2 {
+            let stride = if b == 0 && stage > 0 { 2 } else { 1 };
+            let out_hw = hw / stride;
+            net.push(
+                format!("s{stage}b{b}_a"),
+                Layer::Conv {
+                    in_channels: ch,
+                    out_channels: out,
+                    kernel: 3,
+                    stride,
+                    padding: 1,
+                    in_hw: (hw, hw),
+                    activation: Activation::Relu,
+                },
+            );
+            net.push(
+                format!("s{stage}b{b}_b"),
+                Layer::Conv {
+                    in_channels: out,
+                    out_channels: out,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    in_hw: (out_hw, out_hw),
+                    activation: Activation::None,
+                },
+            );
+            if b == 0 {
+                net.push(
+                    format!("s{stage}b{b}_proj"),
+                    Layer::Conv {
+                        in_channels: ch,
+                        out_channels: out,
+                        kernel: 1,
+                        stride,
+                        padding: 0,
+                        in_hw: (hw, hw),
+                        activation: Activation::None,
+                    },
+                );
+            }
+            net.push(
+                format!("s{stage}b{b}_add"),
+                Layer::ResAdd {
+                    elements: out * out_hw * out_hw,
+                },
+            );
+            hw = out_hw;
+            ch = out;
+        }
+    }
+    net.push(
+        "fc",
+        Layer::Matmul {
+            m: 1,
+            k: ch * hw * hw,
+            n: 10,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_dnn::graph::LayerClass;
+
+    #[test]
+    fn quick_resnet_has_all_classes() {
+        let net = quick_resnet();
+        assert!(net.count_of_class(LayerClass::Conv) > 5);
+        assert!(net.count_of_class(LayerClass::ResAdd) >= 6);
+        assert_eq!(net.count_of_class(LayerClass::Matmul), 1);
+        assert!(net.total_macs() < 200_000_000);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,390 @@
+//! The stream DMA engine.
+//!
+//! Every mvin/mvout row is translated through the accelerator's TLB
+//! hierarchy and then moved through the shared memory system, so the DMA is
+//! where the virtual-memory case study (Section V-A) and the cache
+//! case study (Section V-B) meet: TLB misses stall the stream (the filter
+//! registers exist to remove exactly those stalls), and every byte shows up
+//! as L2/DRAM traffic.
+
+use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
+use gemmini_mem::dram::MainMemory;
+use gemmini_mem::hierarchy::PortId;
+use gemmini_mem::{Cycle, MemorySystem};
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::translator::{Access, TranslateError, TranslationSystem};
+
+/// Everything the accelerator needs from the surrounding SoC to move data:
+/// its process's address space, its translation hardware, the shared memory
+/// system, and (in functional mode) the physical byte store.
+///
+/// `data: None` selects *timing-only* mode: the address streams (and hence
+/// all TLB/cache statistics and cycle counts) are identical, but no bytes
+/// are copied — this is what makes full-network figure sweeps tractable.
+#[derive(Debug)]
+pub struct MemCtx<'a> {
+    /// The running process's page table.
+    pub space: &'a AddressSpace,
+    /// The accelerator's translation hardware (filters + TLBs + PTW).
+    pub translation: &'a mut TranslationSystem,
+    /// The SoC's shared bus → L2 → DRAM path.
+    pub mem: &'a mut MemorySystem,
+    /// Physical bytes, when running functionally.
+    pub data: Option<&'a mut MainMemory>,
+    /// Memory-system port accesses are attributed to.
+    pub port: PortId,
+}
+
+/// Outcome of one DMA transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmaTransfer {
+    /// Cycle at which the last byte arrived.
+    pub done: Cycle,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Row contents, one buffer per row, when running functionally.
+    pub rows: Option<Vec<Vec<u8>>>,
+}
+
+/// Running totals for one DMA engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Bytes moved in (mvin).
+    pub bytes_in: u64,
+    /// Bytes moved out (mvout).
+    pub bytes_out: u64,
+    /// Translation requests issued.
+    pub translations: u64,
+    /// Cycles the stream spent stalled waiting for translations.
+    pub translation_stall_cycles: u64,
+}
+
+/// The accelerator's read/write stream DMA.
+#[derive(Debug, Clone, Default)]
+pub struct StreamDma {
+    stats: DmaStats,
+}
+
+impl StreamDma {
+    /// Creates an idle DMA engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics since construction.
+    pub fn stats(&self) -> &DmaStats {
+        &self.stats
+    }
+
+    /// Reads `rows` rows of `row_bytes` bytes from virtual memory,
+    /// `stride` bytes apart, starting at `vaddr` and time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateError`] (page fault / permission denied) from
+    /// the translation system; rows before the fault have already been
+    /// moved, matching hardware where the DMA raises an interrupt
+    /// mid-stream.
+    pub fn mvin(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        now: Cycle,
+        vaddr: VirtAddr,
+        rows: usize,
+        row_bytes: u64,
+        stride: u64,
+    ) -> Result<DmaTransfer, TranslateError> {
+        self.transfer(ctx, now, vaddr, rows, row_bytes, stride, Access::Read, None)
+    }
+
+    /// Writes `rows` rows to virtual memory. In functional mode
+    /// `row_data` supplies the bytes (one buffer per row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateError`] from the translation system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_data` is provided with a length other than `rows`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mvout(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        now: Cycle,
+        vaddr: VirtAddr,
+        rows: usize,
+        row_bytes: u64,
+        stride: u64,
+        row_data: Option<&[Vec<u8>]>,
+    ) -> Result<DmaTransfer, TranslateError> {
+        if let Some(d) = row_data {
+            assert_eq!(d.len(), rows, "row_data length must equal rows");
+        }
+        self.transfer(
+            ctx,
+            now,
+            vaddr,
+            rows,
+            row_bytes,
+            stride,
+            Access::Write,
+            row_data,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        now: Cycle,
+        vaddr: VirtAddr,
+        rows: usize,
+        row_bytes: u64,
+        stride: u64,
+        access: Access,
+        row_data: Option<&[Vec<u8>]>,
+    ) -> Result<DmaTransfer, TranslateError> {
+        let mut issue = now;
+        let mut done = now;
+        let mut out_rows: Option<Vec<Vec<u8>>> = if ctx.data.is_some() && access == Access::Read {
+            Some(Vec::with_capacity(rows))
+        } else {
+            None
+        };
+
+        for r in 0..rows {
+            let row_va = vaddr.add(r as u64 * stride);
+            let mut moved = 0u64;
+            let mut row_buf: Option<Vec<u8>> = out_rows
+                .as_ref()
+                .map(|_| Vec::with_capacity(row_bytes as usize));
+            // Split the row at page boundaries; translate each segment once.
+            while moved < row_bytes {
+                let seg_va = row_va.add(moved);
+                let in_page = PAGE_SIZE - seg_va.offset_in_page();
+                let seg = in_page.min(row_bytes - moved);
+
+                self.stats.translations += 1;
+                let tr = ctx
+                    .translation
+                    .translate(ctx.space, ctx.mem, issue, seg_va, access)?;
+                self.stats.translation_stall_cycles += tr.latency;
+                // The stream cannot issue the next request until this
+                // translation resolves (single translation port).
+                issue += tr.latency;
+
+                let seg_done = match access {
+                    Access::Read => ctx.mem.read(ctx.port, issue, tr.paddr, seg),
+                    Access::Write => ctx.mem.write(ctx.port, issue, tr.paddr, seg),
+                };
+                done = done.max(seg_done);
+
+                if let Some(data) = ctx.data.as_deref_mut() {
+                    match access {
+                        Access::Read => {
+                            let buf = row_buf.as_mut().expect("functional read buffers rows");
+                            let start = buf.len();
+                            buf.resize(start + seg as usize, 0);
+                            data.read(tr.paddr, &mut buf[start..]);
+                        }
+                        Access::Write => {
+                            if let Some(rows_data) = row_data {
+                                let row = &rows_data[r];
+                                let lo = moved as usize;
+                                let hi = ((moved + seg) as usize).min(row.len());
+                                if lo < hi {
+                                    data.write(tr.paddr, &row[lo..hi]);
+                                }
+                            }
+                        }
+                    }
+                }
+                moved += seg;
+            }
+            if let (Some(rows_vec), Some(buf)) = (out_rows.as_mut(), row_buf) {
+                rows_vec.push(buf);
+            }
+        }
+
+        let bytes = rows as u64 * row_bytes;
+        match access {
+            Access::Read => self.stats.bytes_in += bytes,
+            Access::Write => self.stats.bytes_out += bytes,
+        }
+        Ok(DmaTransfer {
+            done: done.max(issue),
+            bytes,
+            rows: out_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_mem::addr::PhysAddr;
+    use gemmini_vm::page::FrameAllocator;
+    use gemmini_vm::translator::TranslationConfig;
+
+    struct Rig {
+        space: AddressSpace,
+        translation: TranslationSystem,
+        mem: MemorySystem,
+        data: MainMemory,
+        base: VirtAddr,
+    }
+
+    fn rig() -> Rig {
+        let mut frames = FrameAllocator::new();
+        let mut space = AddressSpace::new(&mut frames);
+        let base = space.alloc(&mut frames, 64 * PAGE_SIZE);
+        Rig {
+            space,
+            translation: TranslationSystem::new(TranslationConfig::default()),
+            mem: MemorySystem::default(),
+            data: MainMemory::new(),
+            base,
+        }
+    }
+
+    impl Rig {
+        fn ctx(&mut self) -> MemCtx<'_> {
+            MemCtx {
+                space: &self.space,
+                translation: &mut self.translation,
+                mem: &mut self.mem,
+                data: Some(&mut self.data),
+                port: 0,
+            }
+        }
+
+        fn write_virt(&mut self, va: VirtAddr, bytes: &[u8]) {
+            // Write through translation page by page (test helper).
+            for (i, b) in bytes.iter().enumerate() {
+                let pa: PhysAddr = self.space.translate(va.add(i as u64)).unwrap();
+                self.data.write_u8(pa, *b);
+            }
+        }
+    }
+
+    #[test]
+    fn mvin_moves_functional_bytes() {
+        let mut rig = rig();
+        let va = rig.base;
+        rig.write_virt(va, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        let t = dma.mvin(&mut ctx, 0, va, 2, 4, 4).unwrap();
+        let rows = t.rows.unwrap();
+        assert_eq!(rows[0], vec![1, 2, 3, 4]);
+        assert_eq!(rows[1], vec![5, 6, 7, 8]);
+        assert_eq!(t.bytes, 8);
+        assert!(t.done > 0);
+    }
+
+    #[test]
+    fn strided_mvin_skips_between_rows() {
+        let mut rig = rig();
+        let va = rig.base;
+        rig.write_virt(va, &[1, 2, 9, 9, 3, 4, 9, 9]);
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        let t = dma.mvin(&mut ctx, 0, va, 2, 2, 4).unwrap();
+        let rows = t.rows.unwrap();
+        assert_eq!(rows[0], vec![1, 2]);
+        assert_eq!(rows[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn mvout_then_mvin_roundtrips() {
+        let mut rig = rig();
+        let va = rig.base.add(PAGE_SIZE);
+        let mut dma = StreamDma::new();
+        let payload = vec![vec![10u8, 20, 30], vec![40, 50, 60]];
+        {
+            let mut ctx = rig.ctx();
+            dma.mvout(&mut ctx, 0, va, 2, 3, 3, Some(&payload)).unwrap();
+        }
+        let mut ctx = rig.ctx();
+        let t = dma.mvin(&mut ctx, 100, va, 2, 3, 3).unwrap();
+        assert_eq!(t.rows.unwrap(), payload);
+        assert_eq!(dma.stats().bytes_out, 6);
+        assert_eq!(dma.stats().bytes_in, 6);
+    }
+
+    #[test]
+    fn page_crossing_row_translates_twice() {
+        let mut rig = rig();
+        // Row starts 2 bytes before a page boundary.
+        let va = rig.base.add(PAGE_SIZE - 2);
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        dma.mvin(&mut ctx, 0, va, 1, 4, 4).unwrap();
+        assert_eq!(dma.stats().translations, 2);
+    }
+
+    #[test]
+    fn rows_in_same_page_translate_per_row() {
+        let mut rig = rig();
+        let va = rig.base;
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        dma.mvin(&mut ctx, 0, va, 16, 16, 16).unwrap();
+        assert_eq!(dma.stats().translations, 16);
+        // All rows after the first hit the (4-entry) private TLB.
+        assert_eq!(ctx.translation.private_tlb().stats().hits(), 15);
+    }
+
+    #[test]
+    fn timing_only_mode_produces_no_rows_but_same_stats() {
+        let mut rig1 = rig();
+        let va = rig1.base;
+        let mut dma_f = StreamDma::new();
+        let t_f = {
+            let mut ctx = rig1.ctx();
+            dma_f.mvin(&mut ctx, 0, va, 8, 16, 16).unwrap()
+        };
+
+        // Fresh rig for identical cold state, but timing-only.
+        let mut rig2 = rig();
+        let va2 = rig2.base;
+        let mut dma_t = StreamDma::new();
+        let t_t = {
+            let mut ctx = MemCtx {
+                space: &rig2.space,
+                translation: &mut rig2.translation,
+                mem: &mut rig2.mem,
+                data: None,
+                port: 0,
+            };
+            dma_t.mvin(&mut ctx, 0, va2, 8, 16, 16).unwrap()
+        };
+        assert!(t_t.rows.is_none());
+        assert!(t_f.rows.is_some());
+        assert_eq!(t_f.done, t_t.done, "timing must not depend on mode");
+        assert_eq!(dma_f.stats(), dma_t.stats());
+    }
+
+    #[test]
+    fn unmapped_page_faults() {
+        let mut rig = rig();
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        let err = dma
+            .mvin(&mut ctx, 0, VirtAddr::new(0xdddd_0000), 1, 16, 16)
+            .unwrap_err();
+        assert!(matches!(err, TranslateError::PageFault { .. }));
+    }
+
+    #[test]
+    fn translation_stalls_are_accounted() {
+        let mut rig = rig();
+        let va = rig.base;
+        let mut dma = StreamDma::new();
+        let mut ctx = rig.ctx();
+        dma.mvin(&mut ctx, 0, va, 1, 16, 16).unwrap();
+        // Cold access: one walk, so stall cycles are substantial.
+        assert!(dma.stats().translation_stall_cycles > 0);
+    }
+}

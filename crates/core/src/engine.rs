@@ -1,0 +1,1634 @@
+//! The accelerator execution engine: a decoupled load / execute / store
+//! scoreboard.
+//!
+//! Real Gemmini queues RoCC commands into a reorder buffer feeding three
+//! independent units — load (mvin), execute (preload/compute), store
+//! (mvout) — so DMA overlaps compute (double buffering falls out of the
+//! software issuing mvins for the next tile while the current one
+//! computes). [`Accelerator`] reproduces that: instructions are *issued* in
+//! program order, but each lands on its unit as soon as the unit is free
+//! and its scratchpad/accumulator row dependencies (RAW, WAR, WAW) have
+//! resolved.
+//!
+//! Functional and timing state advance together: in functional mode
+//! (a [`MemCtx`] with `data`), every instruction moves real bytes and the
+//! matrix unit performs real arithmetic, validated against `gemmini-dnn`'s
+//! reference operators; in timing-only mode the same cycle accounting runs
+//! with no data movement.
+
+use crate::config::{Dataflow, GemminiConfig};
+use crate::dma::{MemCtx as DmaMemCtx, StreamDma};
+use crate::isa::{Instruction, LocalAddr};
+use crate::mesh::{MatrixUnit, MeshTiming};
+use crate::peripherals::readout_row;
+use crate::scratchpad::{Accumulator, Scratchpad};
+use gemmini_dnn::graph::Activation;
+use gemmini_mem::Cycle;
+use gemmini_vm::translator::TranslateError;
+use std::error::Error;
+use std::fmt;
+
+pub use crate::dma::MemCtx;
+
+/// An error raised while executing an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// The DMA's translation failed (page fault / permission).
+    Translate(TranslateError),
+    /// A local address is malformed or out of range for this configuration.
+    BadLocalAddress {
+        /// The offending address.
+        addr: LocalAddr,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A compute was issued with no preceding preload.
+    NoPreload,
+    /// The instruction is not supported by this configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Translate(e) => write!(f, "dma translation failed: {e}"),
+            Self::BadLocalAddress { addr, detail } => {
+                write!(f, "bad local address {addr}: {detail}")
+            }
+            Self::NoPreload => write!(f, "compute issued before any preload"),
+            Self::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Translate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TranslateError> for AccelError {
+    fn from(e: TranslateError) -> Self {
+        Self::Translate(e)
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Cycle at which the last instruction completed.
+    pub finish: Cycle,
+    /// Cycles the load unit was busy.
+    pub load_busy: u64,
+    /// Cycles the execute unit was busy.
+    pub ex_busy: u64,
+    /// Cycles the store unit was busy.
+    pub store_busy: u64,
+    /// MACs performed (counted in both functional and timing-only modes).
+    pub macs: u64,
+    /// mvin instructions executed.
+    pub loads: u64,
+    /// preload instructions executed.
+    pub preloads: u64,
+    /// compute instructions executed.
+    pub computes: u64,
+    /// mvout instructions executed.
+    pub stores: u64,
+}
+
+impl ExecStats {
+    /// Achieved fraction of peak MAC throughput up to `finish`.
+    pub fn utilization(&self, peak_macs_per_cycle: u64) -> f64 {
+        if self.finish == 0 {
+            0.0
+        } else {
+            self.macs as f64 / (self.finish as f64 * peak_macs_per_cycle as f64)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CfgState {
+    dataflow: Dataflow,
+    activation: Activation,
+    acc_scale: f32,
+    ld_stride: u64,
+    ld_shrink: bool,
+    st_stride: u64,
+}
+
+impl Default for CfgState {
+    fn default() -> Self {
+        Self {
+            dataflow: Dataflow::WeightStationary,
+            activation: Activation::None,
+            acc_scale: 1.0,
+            ld_stride: 0,
+            ld_shrink: false,
+            st_stride: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingC {
+    row: u32,
+    accumulate: bool,
+    b_cols: u16,
+}
+
+/// One generated accelerator instance: spatial array + local memories +
+/// DMA + the ROB-style scoreboard.
+///
+/// # Example
+///
+/// See the crate-level integration tests and `gemmini-soc`'s kernels; a
+/// minimal flow is mvin → preload → compute → mvout:
+///
+/// ```no_run
+/// use gemmini_core::{Accelerator, Instruction, config::GemminiConfig};
+/// let mut accel = Accelerator::new(GemminiConfig::edge());
+/// // ... build a MemCtx and issue instructions ...
+/// ```
+#[derive(Debug)]
+pub struct Accelerator {
+    config: GemminiConfig,
+    timing: MeshTiming,
+    matrix_unit: MatrixUnit,
+    sp: Scratchpad,
+    acc: Accumulator,
+    dma: StreamDma,
+    state: CfgState,
+    load_free: Cycle,
+    ex_free: Cycle,
+    store_free: Cycle,
+    sp_wr: Vec<Cycle>,
+    sp_rd: Vec<Cycle>,
+    acc_wr: Vec<Cycle>,
+    acc_rd: Vec<Cycle>,
+    pending_c: Option<PendingC>,
+    b_ready: Cycle,
+    /// Output-stationary mode: partial sums resident in the PEs, flushed to
+    /// the accumulator by the next arming preload (or a Flush).
+    os_c: Option<Vec<Vec<i32>>>,
+    trace: Option<Vec<String>>,
+    stats: ExecStats,
+}
+
+impl Accelerator {
+    /// Elaborates one accelerator instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GemminiConfig::validate`].
+    pub fn new(config: GemminiConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid Gemmini configuration: {e}");
+        }
+        let dim = config.dim();
+        let sp_rows = config.sp_rows();
+        let acc_rows = config.acc_rows();
+        Self {
+            timing: MeshTiming::from_config(&config),
+            matrix_unit: MatrixUnit::new(dim),
+            sp: Scratchpad::new(dim, sp_rows, config.sp_banks as u32),
+            acc: Accumulator::new(dim, acc_rows),
+            dma: StreamDma::new(),
+            state: CfgState::default(),
+            load_free: 0,
+            ex_free: 0,
+            store_free: 0,
+            sp_wr: vec![0; sp_rows],
+            sp_rd: vec![0; sp_rows],
+            acc_wr: vec![0; acc_rows],
+            acc_rd: vec![0; acc_rows],
+            pending_c: None,
+            b_ready: 0,
+            os_c: None,
+            trace: None,
+            config,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The configuration this instance was elaborated from.
+    pub fn config(&self) -> &GemminiConfig {
+        &self.config
+    }
+
+    /// Current time: when every unit has drained.
+    pub fn now(&self) -> Cycle {
+        self.load_free.max(self.ex_free).max(self.store_free)
+    }
+
+    /// Prevents any unit from starting work before `cycle` — used when the
+    /// host CPU must finish something (e.g. software im2col) first.
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        self.load_free = self.load_free.max(cycle);
+        self.ex_free = self.ex_free.max(cycle);
+        self.store_free = self.store_free.max(cycle);
+    }
+
+    /// Charges `cycles` of peripheral work (pooling, transposition) on the
+    /// execute unit.
+    pub fn charge_execute(&mut self, cycles: u64) {
+        self.ex_free += cycles;
+        self.stats.ex_busy += cycles;
+        self.stats.finish = self.stats.finish.max(self.ex_free);
+    }
+
+    /// Charges peripheral work that cannot start before `not_before`
+    /// (e.g. pooling that consumes a finished DMA stream). Returns the
+    /// completion cycle.
+    pub fn charge_execute_after(&mut self, not_before: Cycle, cycles: u64) -> Cycle {
+        self.ex_free = self.ex_free.max(not_before) + cycles;
+        self.stats.ex_busy += cycles;
+        self.stats.finish = self.stats.finish.max(self.ex_free);
+        self.ex_free
+    }
+
+    /// Streams `rows` rows from memory directly into a peripheral unit
+    /// (no local-memory deposit) — the input side of the pooling block.
+    /// Returns the completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DMA translation failures.
+    pub fn mvin_raw(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        dram_addr: gemmini_mem::addr::VirtAddr,
+        rows: usize,
+        row_bytes: u64,
+        stride: u64,
+    ) -> Result<Cycle, AccelError> {
+        let start = self.load_free;
+        let xfer = self
+            .dma
+            .mvin(ctx, start, dram_addr, rows, row_bytes, stride)?;
+        self.stats.load_busy += xfer.done - start;
+        self.stats.loads += 1;
+        self.stats.finish = self.stats.finish.max(xfer.done);
+        self.load_free = xfer.done;
+        Ok(xfer.done)
+    }
+
+    /// The on-the-fly im2col block's engine hook: streams *raw image-format
+    /// bytes* from memory (`raw_rows` rows of `raw_row_bytes`, `raw_stride`
+    /// apart, starting at `dram_addr`) while depositing the *expanded patch
+    /// rows* into scratchpad rows `sp_row..sp_row + patch_rows`.
+    ///
+    /// Timing and memory traffic follow the raw stream (that is the whole
+    /// point of the block: k²-fold less DRAM traffic than a materialized
+    /// patch matrix); functional contents come from `patch_data` when
+    /// running functionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DMA translation failures and rejects out-of-range
+    /// scratchpad rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch_data` is provided with a length other than
+    /// `patch_rows`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mvin_im2col(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        dram_addr: gemmini_mem::addr::VirtAddr,
+        raw_rows: usize,
+        raw_row_bytes: u64,
+        raw_stride: u64,
+        sp_row: u32,
+        patch_rows: u16,
+        patch_data: Option<&[Vec<i8>]>,
+    ) -> Result<Cycle, AccelError> {
+        if let Some(d) = patch_data {
+            assert_eq!(d.len(), patch_rows as usize, "patch_data length mismatch");
+        }
+        let local = LocalAddr::Sp { row: sp_row };
+        self.check_sp_range(local, sp_row, patch_rows)?;
+        let dep = Self::range_max(&self.sp_wr, sp_row, patch_rows).max(Self::range_max(
+            &self.sp_rd,
+            sp_row,
+            patch_rows,
+        ));
+        let start = self.load_free.max(dep);
+        let xfer = self
+            .dma
+            .mvin(ctx, start, dram_addr, raw_rows, raw_row_bytes, raw_stride)?;
+        // Patch generation streams at one row per cycle behind the DMA.
+        let done = xfer.done + patch_rows as u64;
+        if ctx.data.is_some() {
+            if let Some(rows) = patch_data {
+                for (i, vals) in rows.iter().enumerate() {
+                    self.sp.write_row(sp_row as usize + i, vals);
+                }
+            }
+        }
+        Self::mark(&mut self.sp_wr, sp_row, patch_rows, done);
+        self.stats.load_busy += done - start;
+        self.stats.loads += 1;
+        self.stats.finish = self.stats.finish.max(done);
+        self.load_free = done;
+        Ok(done)
+    }
+
+    /// Streams `rows` rows of `row_bytes` bytes to memory directly from a
+    /// peripheral unit (e.g. the pooling block's output), bypassing the
+    /// local memories. `data` supplies the bytes when running functionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DMA translation failures.
+    pub fn mvout_raw(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        dram_addr: gemmini_mem::addr::VirtAddr,
+        rows: usize,
+        row_bytes: u64,
+        stride: u64,
+        data: Option<&[Vec<u8>]>,
+    ) -> Result<Cycle, AccelError> {
+        let start = self.store_free.max(self.ex_free);
+        let xfer = self
+            .dma
+            .mvout(ctx, start, dram_addr, rows, row_bytes, stride, data)?;
+        self.stats.store_busy += xfer.done - start;
+        self.stats.stores += 1;
+        self.stats.finish = self.stats.finish.max(xfer.done);
+        self.store_free = xfer.done;
+        Ok(xfer.done)
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The DMA engine's statistics.
+    pub fn dma_stats(&self) -> &crate::dma::DmaStats {
+        self.dma.stats()
+    }
+
+    /// Direct read access to the scratchpad (tests / debugging).
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.sp
+    }
+
+    /// Direct read access to the accumulator (tests / debugging).
+    pub fn accumulator(&self) -> &Accumulator {
+        &self.acc
+    }
+
+    fn check_sp_range(&self, addr: LocalAddr, row: u32, rows: u16) -> Result<(), AccelError> {
+        if (row as usize + rows as usize) > self.sp.rows() {
+            return Err(AccelError::BadLocalAddress {
+                addr,
+                detail: format!(
+                    "rows {row}..{} exceed scratchpad ({} rows)",
+                    row as usize + rows as usize,
+                    self.sp.rows()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_acc_range(&self, addr: LocalAddr, row: u32, rows: u16) -> Result<(), AccelError> {
+        if (row as usize + rows as usize) > self.acc.rows() {
+            return Err(AccelError::BadLocalAddress {
+                addr,
+                detail: format!(
+                    "rows {row}..{} exceed accumulator ({} rows)",
+                    row as usize + rows as usize,
+                    self.acc.rows()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rejects block dimensions larger than the spatial array.
+    fn check_dims(&self, what: &str, rows: u16, cols: u16) -> Result<(), AccelError> {
+        let dim = self.config.dim() as u16;
+        if rows > dim || cols > dim {
+            return Err(AccelError::Unsupported(format!(
+                "{what} block {rows}x{cols} exceeds the {dim}x{dim} array"
+            )));
+        }
+        Ok(())
+    }
+
+    fn range_max(v: &[Cycle], lo: u32, n: u16) -> Cycle {
+        v[lo as usize..lo as usize + n as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn mark(v: &mut [Cycle], lo: u32, n: u16, t: Cycle) {
+        for x in &mut v[lo as usize..lo as usize + n as usize] {
+            *x = (*x).max(t);
+        }
+    }
+
+    /// Starts recording an instruction trace (one line per issued
+    /// instruction, annotated with its completion cycle). Replaces any
+    /// previous trace.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[String]> {
+        self.trace.as_deref()
+    }
+
+    /// Issues one instruction; returns the cycle at which it completes.
+    ///
+    /// # Errors
+    ///
+    /// See [`AccelError`]. On error, timing state may include partially
+    /// executed work (as on hardware, where a faulting DMA has already
+    /// moved earlier rows).
+    pub fn issue(&mut self, ctx: &mut MemCtx<'_>, instr: Instruction) -> Result<Cycle, AccelError> {
+        let result = self.issue_inner(ctx, instr);
+        if let Some(trace) = self.trace.as_mut() {
+            match &result {
+                Ok(done) => trace.push(format!("[{done:>10}] {instr}")),
+                Err(e) => trace.push(format!("[     error] {instr}: {e}")),
+            }
+        }
+        result
+    }
+
+    fn issue_inner(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        instr: Instruction,
+    ) -> Result<Cycle, AccelError> {
+        match instr {
+            Instruction::ConfigEx {
+                dataflow,
+                activation,
+                acc_scale,
+            } => {
+                self.state.dataflow = dataflow;
+                self.state.activation = activation;
+                self.state.acc_scale = acc_scale;
+                self.ex_free += 1;
+                Ok(self.ex_free)
+            }
+            Instruction::ConfigLd { stride, shrink } => {
+                self.state.ld_stride = stride;
+                self.state.ld_shrink = shrink;
+                self.load_free += 1;
+                Ok(self.load_free)
+            }
+            Instruction::ConfigSt { stride } => {
+                self.state.st_stride = stride;
+                self.store_free += 1;
+                Ok(self.store_free)
+            }
+            Instruction::Mvin {
+                dram_addr,
+                local,
+                rows,
+                cols,
+            } => self.do_mvin(ctx, dram_addr, local, rows, cols),
+            Instruction::Mvout {
+                dram_addr,
+                local,
+                rows,
+                cols,
+            } => self.do_mvout(ctx, dram_addr, local, rows, cols),
+            Instruction::Preload {
+                b,
+                c,
+                b_rows,
+                b_cols,
+            } => self.do_preload(ctx.data.is_some(), b, c, b_rows, b_cols),
+            Instruction::ComputePreloaded {
+                a,
+                d,
+                a_rows,
+                a_cols,
+            }
+            | Instruction::ComputeAccumulated {
+                a,
+                d,
+                a_rows,
+                a_cols,
+            } => self.do_compute(ctx, a, d, a_rows, a_cols),
+            Instruction::Flush => {
+                self.flush_os_partials(ctx.data.is_some())?;
+                let t = self.now();
+                self.advance_to(t);
+                Ok(t)
+            }
+        }
+    }
+
+    fn do_mvin(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        dram_addr: gemmini_mem::addr::VirtAddr,
+        local: LocalAddr,
+        rows: u16,
+        cols: u16,
+    ) -> Result<Cycle, AccelError> {
+        // mvin moves up to `dim` elements per local row; row counts are
+        // only bounded by the local memory itself.
+        self.check_dims("mvin", 0, cols)?;
+        let (elem_bytes, dep_start) = match local {
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(local, row, rows)?;
+                let dep = Self::range_max(&self.sp_wr, row, rows).max(Self::range_max(
+                    &self.sp_rd,
+                    row,
+                    rows,
+                ));
+                (1u64, dep)
+            }
+            LocalAddr::Acc { row, .. } => {
+                self.check_acc_range(local, row, rows)?;
+                let dep = Self::range_max(&self.acc_wr, row, rows).max(Self::range_max(
+                    &self.acc_rd,
+                    row,
+                    rows,
+                ));
+                (if self.state.ld_shrink { 1u64 } else { 4u64 }, dep)
+            }
+            LocalAddr::None => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: local,
+                    detail: "mvin needs a destination".to_string(),
+                })
+            }
+        };
+        let row_bytes = cols as u64 * elem_bytes;
+        let stride = if self.state.ld_stride == 0 {
+            row_bytes
+        } else {
+            self.state.ld_stride
+        };
+        let start = self.load_free.max(dep_start);
+        let xfer = self
+            .dma
+            .mvin(ctx, start, dram_addr, rows as usize, row_bytes, stride)?;
+
+        // Functional: deposit rows.
+        if let Some(data_rows) = xfer.rows {
+            match local {
+                LocalAddr::Sp { row } => {
+                    for (i, bytes) in data_rows.iter().enumerate() {
+                        let vals: Vec<i8> = bytes.iter().map(|&b| b as i8).collect();
+                        self.sp.write_row(row as usize + i, &vals);
+                    }
+                }
+                LocalAddr::Acc { row, accumulate } => {
+                    for (i, bytes) in data_rows.iter().enumerate() {
+                        let vals: Vec<i32> = if self.state.ld_shrink {
+                            // Widen int8 payload to int32 on the way in.
+                            bytes.iter().map(|&b| b as i8 as i32).collect()
+                        } else {
+                            bytes
+                                .chunks_exact(4)
+                                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                                .collect()
+                        };
+                        if accumulate {
+                            self.acc.accumulate_row(row as usize + i, &vals);
+                        } else {
+                            self.acc.write_row(row as usize + i, &vals);
+                        }
+                    }
+                }
+                LocalAddr::None => unreachable!(),
+            }
+        }
+
+        match local {
+            LocalAddr::Sp { row } => Self::mark(&mut self.sp_wr, row, rows, xfer.done),
+            LocalAddr::Acc { row, .. } => Self::mark(&mut self.acc_wr, row, rows, xfer.done),
+            LocalAddr::None => unreachable!(),
+        }
+        self.stats.load_busy += xfer.done - start;
+        self.stats.loads += 1;
+        self.stats.finish = self.stats.finish.max(xfer.done);
+        self.load_free = xfer.done;
+        Ok(xfer.done)
+    }
+
+    /// Writes PE-resident output-stationary partial sums to the armed
+    /// accumulator destination and disarms. No-op when nothing is pending.
+    fn flush_os_partials(&mut self, functional: bool) -> Result<(), AccelError> {
+        let (Some(cvals), Some(dest)) = (self.os_c.take(), self.pending_c) else {
+            self.os_c = None;
+            return Ok(());
+        };
+        let rows = cvals.len() as u16;
+        if rows == 0 {
+            return Ok(());
+        }
+        self.check_acc_range(
+            LocalAddr::Acc {
+                row: dest.row,
+                accumulate: dest.accumulate,
+            },
+            dest.row,
+            rows,
+        )?;
+        let start = self
+            .ex_free
+            .max(Self::range_max(&self.acc_wr, dest.row, rows))
+            .max(Self::range_max(&self.acc_rd, dest.row, rows));
+        // Results stream out one row per cycle and drain the pipeline once.
+        let done = start + rows as u64 + self.timing.drain_cycles();
+        if functional {
+            for (i, row_vals) in cvals.iter().enumerate() {
+                if dest.accumulate {
+                    self.acc.accumulate_row(dest.row as usize + i, row_vals);
+                } else {
+                    self.acc.write_row(dest.row as usize + i, row_vals);
+                }
+            }
+        }
+        Self::mark(&mut self.acc_wr, dest.row, rows, done);
+        self.stats.ex_busy += done - start;
+        self.stats.finish = self.stats.finish.max(done);
+        self.ex_free = done;
+        Ok(())
+    }
+
+    fn do_preload(
+        &mut self,
+        functional: bool,
+        b: LocalAddr,
+        c: LocalAddr,
+        b_rows: u16,
+        b_cols: u16,
+    ) -> Result<Cycle, AccelError> {
+        self.check_dims("preload", b_rows, b_cols)?;
+        // Output-stationary: an arming preload first drains the previous
+        // block's PE-resident partials to their accumulator destination.
+        if matches!(self.state.dataflow, Dataflow::OutputStationary) {
+            self.flush_os_partials(functional)?;
+        }
+        let c_dest = match c {
+            LocalAddr::Acc { row, accumulate } => {
+                self.check_acc_range(c, row, b_cols.max(1))?;
+                PendingC {
+                    row,
+                    accumulate,
+                    b_cols,
+                }
+            }
+            other => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: other,
+                    detail: "preload destination must be an accumulator address".to_string(),
+                })
+            }
+        };
+
+        let mut start = self.ex_free;
+        match b {
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(b, row, b_rows)?;
+                start = start.max(Self::range_max(&self.sp_wr, row, b_rows));
+                // Functional: load B into the array.
+                let rows: Vec<&[i8]> = (0..b_rows as usize)
+                    .map(|i| &self.sp.row(row as usize + i)[..b_cols as usize])
+                    .collect();
+                self.matrix_unit.preload(&rows);
+                let done = start + self.timing.preload_cycles(b_rows as usize);
+                Self::mark(&mut self.sp_rd, row, b_rows, done);
+            }
+            LocalAddr::None => {
+                // Keep the currently loaded operand.
+            }
+            other => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: other,
+                    detail: "preload operand must be a scratchpad address".to_string(),
+                })
+            }
+        }
+        let done = start + self.timing.preload_cycles(b_rows as usize);
+        self.b_ready = done;
+        self.pending_c = Some(c_dest);
+        if matches!(self.state.dataflow, Dataflow::OutputStationary) {
+            // Arm a fresh PE-resident output block.
+            self.os_c = Some(Vec::new());
+        }
+        self.stats.ex_busy += done - start;
+        self.stats.preloads += 1;
+        self.stats.finish = self.stats.finish.max(done);
+        self.ex_free = done;
+        Ok(done)
+    }
+
+    /// Output-stationary compute: A streams through the rows while B (the
+    /// `d` operand) streams through the columns; products accumulate in the
+    /// PE-resident output block armed by the last preload.
+    fn do_compute_os(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        a: LocalAddr,
+        d: LocalAddr,
+        a_rows: u16,
+        a_cols: u16,
+    ) -> Result<Cycle, AccelError> {
+        self.check_dims("compute", a_rows, a_cols)?;
+        let c = self.pending_c.ok_or(AccelError::NoPreload)?;
+        if self.os_c.is_none() {
+            return Err(AccelError::NoPreload);
+        }
+        let a_row = match a {
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(a, row, a_rows)?;
+                row
+            }
+            other => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: other,
+                    detail: "compute operand A must be a scratchpad address".to_string(),
+                })
+            }
+        };
+        let b_row = match d {
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(d, row, a_cols.max(1))?;
+                row
+            }
+            other => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: other,
+                    detail: "output-stationary compute streams B through the d operand".to_string(),
+                })
+            }
+        };
+
+        let start = self
+            .ex_free
+            .max(self.b_ready)
+            .max(Self::range_max(&self.sp_wr, a_row, a_rows))
+            .max(Self::range_max(&self.sp_wr, b_row, a_cols.max(1)));
+        // Both operands stream simultaneously; no accumulator round trip.
+        let done = start + a_rows.max(a_cols).max(1) as u64 + 1;
+
+        if ctx.data.is_some() {
+            let dim = self.config.dim();
+            let os = self.os_c.as_mut().expect("armed above");
+            if os.len() < a_rows as usize {
+                os.resize(a_rows as usize, vec![0i32; dim]);
+            }
+            for (i, out_row) in os.iter_mut().enumerate().take(a_rows as usize) {
+                let a_vals = self.sp.row(a_row as usize + i);
+                for (j, out) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0i32;
+                    for (kk, &a_val) in a_vals.iter().enumerate().take(a_cols as usize) {
+                        let b_vals = self.sp.row(b_row as usize + kk);
+                        acc = acc.wrapping_add(a_val as i32 * b_vals[j] as i32);
+                    }
+                    *out = out.wrapping_add(acc);
+                }
+            }
+        } else if let Some(os) = self.os_c.as_mut() {
+            // Track the block height for the flush's timing in
+            // timing-only mode.
+            if os.len() < a_rows as usize {
+                os.resize(a_rows as usize, Vec::new());
+            }
+        }
+
+        self.stats.macs += a_rows as u64 * a_cols as u64 * c.b_cols.max(1) as u64;
+        Self::mark(&mut self.sp_rd, a_row, a_rows, done);
+        Self::mark(&mut self.sp_rd, b_row, a_cols.max(1), done);
+        self.stats.ex_busy += done - start;
+        self.stats.computes += 1;
+        self.stats.finish = self.stats.finish.max(done);
+        self.ex_free = done;
+        Ok(done)
+    }
+
+    fn do_compute(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        a: LocalAddr,
+        d: LocalAddr,
+        a_rows: u16,
+        a_cols: u16,
+    ) -> Result<Cycle, AccelError> {
+        if matches!(self.state.dataflow, Dataflow::OutputStationary) {
+            return self.do_compute_os(ctx, a, d, a_rows, a_cols);
+        }
+        self.check_dims("compute", a_rows, a_cols)?;
+        let c = self.pending_c.ok_or(AccelError::NoPreload)?;
+        let a_row = match a {
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(a, row, a_rows)?;
+                row
+            }
+            other => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: other,
+                    detail: "compute operand A must be a scratchpad address".to_string(),
+                })
+            }
+        };
+        self.check_acc_range(
+            LocalAddr::Acc {
+                row: c.row,
+                accumulate: c.accumulate,
+            },
+            c.row,
+            a_rows,
+        )?;
+
+        let mut start = self
+            .ex_free
+            .max(self.b_ready)
+            .max(Self::range_max(&self.sp_wr, a_row, a_rows))
+            .max(Self::range_max(&self.acc_wr, c.row, a_rows))
+            .max(Self::range_max(&self.acc_rd, c.row, a_rows));
+
+        // Optional bias operand.
+        let d_rows: Option<Vec<Vec<i32>>> = match d {
+            LocalAddr::None => None,
+            LocalAddr::Acc { row, .. } => {
+                self.check_acc_range(d, row, a_rows)?;
+                start = start.max(Self::range_max(&self.acc_wr, row, a_rows));
+                let rows = (0..a_rows as usize)
+                    .map(|i| self.acc.row(row as usize + i).to_vec())
+                    .collect();
+                Some(rows)
+            }
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(d, row, a_rows)?;
+                start = start.max(Self::range_max(&self.sp_wr, row, a_rows));
+                let rows = (0..a_rows as usize)
+                    .map(|i| {
+                        self.sp
+                            .row(row as usize + i)
+                            .iter()
+                            .map(|&x| x as i32)
+                            .collect()
+                    })
+                    .collect();
+                Some(rows)
+            }
+        };
+
+        let done = start + self.timing.compute_cycles(a_rows as usize);
+
+        // Functional compute.
+        if ctx.data.is_some() {
+            let a_slices: Vec<&[i8]> = (0..a_rows as usize)
+                .map(|i| &self.sp.row(a_row as usize + i)[..a_cols as usize])
+                .collect();
+            let d_slices: Option<Vec<&[i32]>> = d_rows
+                .as_ref()
+                .map(|r| r.iter().map(|v| v.as_slice()).collect());
+            let result = self.matrix_unit.compute(&a_slices, d_slices.as_deref());
+            for (i, row_vals) in result.iter().enumerate() {
+                if c.accumulate {
+                    self.acc.accumulate_row(c.row as usize + i, row_vals);
+                } else {
+                    self.acc.write_row(c.row as usize + i, row_vals);
+                }
+            }
+        }
+
+        self.stats.macs += a_rows as u64 * a_cols as u64 * c.b_cols.max(1) as u64;
+        Self::mark(&mut self.sp_rd, a_row, a_rows, done);
+        Self::mark(&mut self.acc_wr, c.row, a_rows, done);
+        self.stats.ex_busy += done - start;
+        self.stats.computes += 1;
+        self.stats.finish = self.stats.finish.max(done);
+        self.ex_free = done;
+        Ok(done)
+    }
+
+    fn do_mvout(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        dram_addr: gemmini_mem::addr::VirtAddr,
+        local: LocalAddr,
+        rows: u16,
+        cols: u16,
+    ) -> Result<Cycle, AccelError> {
+        self.check_dims("mvout", 0, cols)?;
+        let (dep, row_data): (Cycle, Option<Vec<Vec<u8>>>) = match local {
+            LocalAddr::Acc { row, .. } => {
+                self.check_acc_range(local, row, rows)?;
+                let dep = Self::range_max(&self.acc_wr, row, rows);
+                let data = ctx.data.is_some().then(|| {
+                    (0..rows as usize)
+                        .map(|i| {
+                            readout_row(
+                                &self.acc.row(row as usize + i)[..cols as usize],
+                                self.state.activation,
+                                self.state.acc_scale,
+                            )
+                            .iter()
+                            .map(|&v| v as u8)
+                            .collect()
+                        })
+                        .collect()
+                });
+                (dep, data)
+            }
+            LocalAddr::Sp { row } => {
+                self.check_sp_range(local, row, rows)?;
+                let dep = Self::range_max(&self.sp_wr, row, rows);
+                let data = ctx.data.is_some().then(|| {
+                    (0..rows as usize)
+                        .map(|i| {
+                            self.sp.row(row as usize + i)[..cols as usize]
+                                .iter()
+                                .map(|&v| v as u8)
+                                .collect()
+                        })
+                        .collect()
+                });
+                (dep, data)
+            }
+            LocalAddr::None => {
+                return Err(AccelError::BadLocalAddress {
+                    addr: local,
+                    detail: "mvout needs a source".to_string(),
+                })
+            }
+        };
+
+        let row_bytes = cols as u64; // outputs are int8
+        let stride = if self.state.st_stride == 0 {
+            row_bytes
+        } else {
+            self.state.st_stride
+        };
+        let start = self.store_free.max(dep);
+        let xfer = self.dma.mvout(
+            ctx,
+            start,
+            dram_addr,
+            rows as usize,
+            row_bytes,
+            stride,
+            row_data.as_deref(),
+        )?;
+
+        match local {
+            LocalAddr::Acc { row, .. } => Self::mark(&mut self.acc_rd, row, rows, xfer.done),
+            LocalAddr::Sp { row } => Self::mark(&mut self.sp_rd, row, rows, xfer.done),
+            LocalAddr::None => unreachable!(),
+        }
+        self.stats.store_busy += xfer.done - start;
+        self.stats.stores += 1;
+        self.stats.finish = self.stats.finish.max(xfer.done);
+        self.store_free = xfer.done;
+        Ok(xfer.done)
+    }
+}
+
+// Convert DmaMemCtx so the pub use above stays coherent if the alias moves.
+#[allow(dead_code)]
+type EngineCtxCheck<'a> = DmaMemCtx<'a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_dnn::ops::matmul;
+    use gemmini_dnn::quant::{requantize_tensor, QuantParams};
+    use gemmini_dnn::tensor::Tensor;
+    use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
+    use gemmini_mem::dram::MainMemory;
+    use gemmini_mem::MemorySystem;
+    use gemmini_vm::page::FrameAllocator;
+    use gemmini_vm::page_table::AddressSpace;
+    use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+
+    struct Rig {
+        space: AddressSpace,
+        translation: TranslationSystem,
+        mem: MemorySystem,
+        data: MainMemory,
+        base: VirtAddr,
+    }
+
+    fn rig() -> Rig {
+        let mut frames = FrameAllocator::new();
+        let mut space = AddressSpace::new(&mut frames);
+        let base = space.alloc(&mut frames, 256 * PAGE_SIZE);
+        Rig {
+            space,
+            translation: TranslationSystem::new(TranslationConfig::default()),
+            mem: MemorySystem::default(),
+            data: MainMemory::new(),
+            base,
+        }
+    }
+
+    impl Rig {
+        fn ctx(&mut self) -> MemCtx<'_> {
+            MemCtx {
+                space: &self.space,
+                translation: &mut self.translation,
+                mem: &mut self.mem,
+                data: Some(&mut self.data),
+                port: 0,
+            }
+        }
+
+        fn timing_ctx(&mut self) -> MemCtx<'_> {
+            MemCtx {
+                space: &self.space,
+                translation: &mut self.translation,
+                mem: &mut self.mem,
+                data: None,
+                port: 0,
+            }
+        }
+
+        /// Writes an i8 matrix to virtual memory, densely packed.
+        fn store_matrix(&mut self, va: VirtAddr, t: &Tensor<i8>) {
+            let bytes: Vec<u8> = t.as_slice().iter().map(|&x| x as u8).collect();
+            let pa = self.space.translate(va).unwrap();
+            // All tests allocate page-aligned regions larger than a page;
+            // write page-by-page to respect the mapping.
+            let mut off = 0usize;
+            while off < bytes.len() {
+                let va_cur = va.add(off as u64);
+                let pa_cur = self.space.translate(va_cur).unwrap();
+                let in_page = (PAGE_SIZE - va_cur.offset_in_page()) as usize;
+                let n = in_page.min(bytes.len() - off);
+                self.data.write(pa_cur, &bytes[off..off + n]);
+                off += n;
+            }
+            let _ = pa;
+        }
+
+        /// Reads an i8 matrix back from virtual memory.
+        fn load_matrix(&self, va: VirtAddr, rows: usize, cols: usize) -> Tensor<i8> {
+            let mut out = vec![0u8; rows * cols];
+            let mut off = 0usize;
+            while off < out.len() {
+                let va_cur = va.add(off as u64);
+                let pa_cur = self.space.translate(va_cur).unwrap();
+                let in_page = (PAGE_SIZE - va_cur.offset_in_page()) as usize;
+                let n = in_page.min(out.len() - off);
+                let mut buf = vec![0u8; n];
+                self.data.read(pa_cur, &mut buf);
+                out[off..off + n].copy_from_slice(&buf);
+                off += n;
+            }
+            Tensor::from_vec(&[rows, cols], out.iter().map(|&b| b as i8).collect())
+        }
+    }
+
+    fn sp(row: u32) -> LocalAddr {
+        LocalAddr::Sp { row }
+    }
+    fn acc(row: u32, accumulate: bool) -> LocalAddr {
+        LocalAddr::Acc { row, accumulate }
+    }
+
+    /// Runs a full 16x16 matmul through the instruction stream and checks
+    /// the result against the reference golden model.
+    #[test]
+    fn end_to_end_tile_matmul_matches_reference() {
+        let mut r = rig();
+        let dim = 16;
+        let a = Tensor::<i8>::random(&[dim, dim], 100);
+        let b = Tensor::<i8>::random(&[dim, dim], 200);
+        let va_a = r.base;
+        let va_b = r.base.add(4096);
+        let va_c = r.base.add(8192);
+        r.store_matrix(va_a, &a);
+        r.store_matrix(va_b, &b);
+
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let mut ctx = r.ctx();
+        let prog = [
+            Instruction::ConfigEx {
+                dataflow: crate::config::Dataflow::WeightStationary,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+            Instruction::Mvin {
+                dram_addr: va_a,
+                local: sp(0),
+                rows: 16,
+                cols: 16,
+            },
+            Instruction::Mvin {
+                dram_addr: va_b,
+                local: sp(16),
+                rows: 16,
+                cols: 16,
+            },
+            Instruction::Preload {
+                b: sp(16),
+                c: acc(0, false),
+                b_rows: 16,
+                b_cols: 16,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 16,
+                a_cols: 16,
+            },
+            Instruction::Mvout {
+                dram_addr: va_c,
+                local: acc(0, false),
+                rows: 16,
+                cols: 16,
+            },
+            Instruction::Flush,
+        ];
+        for i in prog {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+
+        let got = r.load_matrix(va_c, dim, dim);
+        let want = requantize_tensor(&matmul(&a, &b), QuantParams::new(1.0));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn accumulation_across_k_tiles() {
+        // C = A1*B1 + A2*B2 via two preload/compute pairs with the
+        // accumulate bit on the second.
+        let mut r = rig();
+        let dim = 16;
+        let a1 = Tensor::<i8>::random(&[dim, dim], 1);
+        let b1 = Tensor::<i8>::random(&[dim, dim], 2);
+        let a2 = Tensor::<i8>::random(&[dim, dim], 3);
+        let b2 = Tensor::<i8>::random(&[dim, dim], 4);
+        let (va_a1, va_b1) = (r.base, r.base.add(4096));
+        let (va_a2, va_b2) = (r.base.add(8192), r.base.add(12288));
+        let va_c = r.base.add(16384);
+        r.store_matrix(va_a1, &a1);
+        r.store_matrix(va_b1, &b1);
+        r.store_matrix(va_a2, &a2);
+        r.store_matrix(va_b2, &b2);
+
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let mut ctx = r.ctx();
+        let mv = |va, row| Instruction::Mvin {
+            dram_addr: va,
+            local: sp(row),
+            rows: 16,
+            cols: 16,
+        };
+        for i in [
+            mv(va_a1, 0),
+            mv(va_b1, 16),
+            mv(va_a2, 32),
+            mv(va_b2, 48),
+            Instruction::Preload {
+                b: sp(16),
+                c: acc(0, false),
+                b_rows: 16,
+                b_cols: 16,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 16,
+                a_cols: 16,
+            },
+            Instruction::Preload {
+                b: sp(48),
+                c: acc(0, true),
+                b_rows: 16,
+                b_cols: 16,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(32),
+                d: LocalAddr::None,
+                a_rows: 16,
+                a_cols: 16,
+            },
+            Instruction::Mvout {
+                dram_addr: va_c,
+                local: acc(0, false),
+                rows: 16,
+                cols: 16,
+            },
+        ] {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+
+        let got = r.load_matrix(va_c, dim, dim);
+        let mut want = matmul(&a1, &b1);
+        let second = matmul(&a2, &b2);
+        for (w, s) in want.as_mut_slice().iter_mut().zip(second.as_slice()) {
+            *w = w.wrapping_add(*s);
+        }
+        let want = requantize_tensor(&want, QuantParams::new(1.0));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn relu_and_scale_apply_on_mvout() {
+        let mut r = rig();
+        let a = Tensor::from_vec(&[1, 1], vec![10i8]);
+        let b = Tensor::from_vec(&[1, 1], vec![-10i8]);
+        r.store_matrix(r.base, &a);
+        r.store_matrix(r.base.add(4096), &b);
+        let va_c = r.base.add(8192);
+
+        // 4x4 array is enough.
+        let cfg = GemminiConfig {
+            mesh_rows: 4,
+            mesh_cols: 4,
+            tile_rows: 1,
+            tile_cols: 1,
+            sp_capacity_kb: 4,
+            sp_banks: 1,
+            acc_capacity_kb: 1,
+            ..GemminiConfig::edge()
+        };
+        let mut accel = Accelerator::new(cfg);
+        let base = r.base;
+        let mut ctx = r.ctx();
+        for i in [
+            Instruction::ConfigEx {
+                dataflow: crate::config::Dataflow::WeightStationary,
+                activation: Activation::Relu,
+                acc_scale: 0.5,
+            },
+            Instruction::Mvin {
+                dram_addr: base,
+                local: sp(0),
+                rows: 1,
+                cols: 1,
+            },
+            Instruction::Mvin {
+                dram_addr: base.add(4096),
+                local: sp(1),
+                rows: 1,
+                cols: 1,
+            },
+            Instruction::Preload {
+                b: sp(1),
+                c: acc(0, false),
+                b_rows: 1,
+                b_cols: 1,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 1,
+                a_cols: 1,
+            },
+            Instruction::Mvout {
+                dram_addr: va_c,
+                local: acc(0, false),
+                rows: 1,
+                cols: 1,
+            },
+        ] {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+        // 10 * -10 = -100 -> relu -> 0.
+        assert_eq!(r.load_matrix(va_c, 1, 1).as_slice(), &[0]);
+    }
+
+    #[test]
+    fn bias_via_accumulator_mvin() {
+        let mut r = rig();
+        // D (bias) as int32 little-endian.
+        let bias: Vec<u8> = 5i32.to_le_bytes().to_vec();
+        let pa = r.space.translate(r.base.add(2 * 4096)).unwrap();
+        r.data.write(pa, &bias);
+
+        let a = Tensor::from_vec(&[1, 1], vec![3i8]);
+        let b = Tensor::from_vec(&[1, 1], vec![4i8]);
+        r.store_matrix(r.base, &a);
+        r.store_matrix(r.base.add(4096), &b);
+        let va_c = r.base.add(3 * 4096);
+
+        let cfg = GemminiConfig {
+            mesh_rows: 4,
+            mesh_cols: 4,
+            tile_rows: 1,
+            tile_cols: 1,
+            sp_capacity_kb: 4,
+            sp_banks: 1,
+            acc_capacity_kb: 1,
+            ..GemminiConfig::edge()
+        };
+        let mut accel = Accelerator::new(cfg);
+        let base = r.base;
+        let mut ctx = r.ctx();
+        for i in [
+            Instruction::Mvin {
+                dram_addr: base,
+                local: sp(0),
+                rows: 1,
+                cols: 1,
+            },
+            Instruction::Mvin {
+                dram_addr: base.add(4096),
+                local: sp(1),
+                rows: 1,
+                cols: 1,
+            },
+            // Load bias directly into the accumulator...
+            Instruction::Mvin {
+                dram_addr: base.add(2 * 4096),
+                local: acc(0, false),
+                rows: 1,
+                cols: 1,
+            },
+            // ...then accumulate the product onto it.
+            Instruction::Preload {
+                b: sp(1),
+                c: acc(0, true),
+                b_rows: 1,
+                b_cols: 1,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 1,
+                a_cols: 1,
+            },
+            Instruction::Mvout {
+                dram_addr: va_c,
+                local: acc(0, false),
+                rows: 1,
+                cols: 1,
+            },
+        ] {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+        // 3*4 + 5 = 17.
+        assert_eq!(r.load_matrix(va_c, 1, 1).as_slice(), &[17]);
+    }
+
+    #[test]
+    fn load_overlaps_compute() {
+        let mut r = rig();
+        let a = Tensor::<i8>::random(&[16, 16], 1);
+        r.store_matrix(r.base, &a);
+        r.store_matrix(r.base.add(4096), &a);
+        r.store_matrix(r.base.add(8192), &a);
+
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let base = r.base;
+        let mut ctx = r.ctx();
+        accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base,
+                    local: sp(0),
+                    rows: 16,
+                    cols: 16,
+                },
+            )
+            .unwrap();
+        accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base.add(4096),
+                    local: sp(16),
+                    rows: 16,
+                    cols: 16,
+                },
+            )
+            .unwrap();
+        accel
+            .issue(
+                &mut ctx,
+                Instruction::Preload {
+                    b: sp(16),
+                    c: acc(0, false),
+                    b_rows: 16,
+                    b_cols: 16,
+                },
+            )
+            .unwrap();
+        let compute_done = accel
+            .issue(
+                &mut ctx,
+                Instruction::ComputePreloaded {
+                    a: sp(0),
+                    d: LocalAddr::None,
+                    a_rows: 16,
+                    a_cols: 16,
+                },
+            )
+            .unwrap();
+        // A third mvin to an unrelated region starts before compute ends.
+        let load_done = accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base.add(8192),
+                    local: sp(32),
+                    rows: 16,
+                    cols: 16,
+                },
+            )
+            .unwrap();
+        // The load unit was free the whole time, so the third load's start
+        // (done - duration) precedes the compute's completion.
+        assert!(load_done > 0 && compute_done > 0);
+        assert!(accel.stats().load_busy > 0);
+        // Loads and computes overlapped: total wall clock is less than the
+        // sum of unit busy times.
+        let s = accel.stats();
+        assert!(s.finish < s.load_busy + s.ex_busy + s.store_busy);
+    }
+
+    #[test]
+    fn raw_hazard_is_respected() {
+        // A compute reading sp rows must wait for the mvin writing them.
+        let mut r = rig();
+        let a = Tensor::<i8>::random(&[16, 16], 1);
+        r.store_matrix(r.base, &a);
+        r.store_matrix(r.base.add(4096), &a);
+
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let base = r.base;
+        let mut ctx = r.ctx();
+        let b_done = accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base.add(4096),
+                    local: sp(16),
+                    rows: 16,
+                    cols: 16,
+                },
+            )
+            .unwrap();
+        let preload_done = accel
+            .issue(
+                &mut ctx,
+                Instruction::Preload {
+                    b: sp(16),
+                    c: acc(0, false),
+                    b_rows: 16,
+                    b_cols: 16,
+                },
+            )
+            .unwrap();
+        assert!(
+            preload_done > b_done,
+            "preload reads B after its mvin completes"
+        );
+    }
+
+    #[test]
+    fn compute_without_preload_errors() {
+        let mut r = rig();
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let mut ctx = r.ctx();
+        let e = accel
+            .issue(
+                &mut ctx,
+                Instruction::ComputePreloaded {
+                    a: sp(0),
+                    d: LocalAddr::None,
+                    a_rows: 1,
+                    a_cols: 1,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(e, AccelError::NoPreload);
+    }
+
+    #[test]
+    fn out_of_range_rows_error() {
+        let mut r = rig();
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let rows = accel.config().sp_rows() as u32;
+        let base = r.base;
+        let mut ctx = r.ctx();
+        let e = accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: base,
+                    local: sp(rows - 1),
+                    rows: 2,
+                    cols: 16,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(e, AccelError::BadLocalAddress { .. }));
+        assert!(e.to_string().contains("exceed scratchpad"));
+    }
+
+    #[test]
+    fn page_fault_surfaces_as_translate_error() {
+        let mut r = rig();
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let mut ctx = r.ctx();
+        let e = accel
+            .issue(
+                &mut ctx,
+                Instruction::Mvin {
+                    dram_addr: VirtAddr::new(0xbad0_0000),
+                    local: sp(0),
+                    rows: 1,
+                    cols: 16,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(e, AccelError::Translate(_)));
+    }
+
+    #[test]
+    fn timing_only_matches_functional_cycles() {
+        let program = |accel: &mut Accelerator, ctx: &mut MemCtx<'_>, base: VirtAddr| {
+            for i in [
+                Instruction::Mvin {
+                    dram_addr: base,
+                    local: sp(0),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Mvin {
+                    dram_addr: base.add(4096),
+                    local: sp(16),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Preload {
+                    b: sp(16),
+                    c: acc(0, false),
+                    b_rows: 16,
+                    b_cols: 16,
+                },
+                Instruction::ComputePreloaded {
+                    a: sp(0),
+                    d: LocalAddr::None,
+                    a_rows: 16,
+                    a_cols: 16,
+                },
+                Instruction::Mvout {
+                    dram_addr: base.add(8192),
+                    local: acc(0, false),
+                    rows: 16,
+                    cols: 16,
+                },
+            ] {
+                accel.issue(ctx, i).unwrap();
+            }
+        };
+
+        let mut r1 = rig();
+        let t = Tensor::<i8>::random(&[16, 16], 9);
+        r1.store_matrix(r1.base, &t);
+        r1.store_matrix(r1.base.add(4096), &t);
+        let mut a1 = Accelerator::new(GemminiConfig::edge());
+        let base1 = r1.base;
+        {
+            let mut ctx = r1.ctx();
+            program(&mut a1, &mut ctx, base1);
+        }
+
+        let mut r2 = rig();
+        let mut a2 = Accelerator::new(GemminiConfig::edge());
+        let base2 = r2.base;
+        {
+            let mut ctx = r2.timing_ctx();
+            program(&mut a2, &mut ctx, base2);
+        }
+
+        assert_eq!(a1.stats().finish, a2.stats().finish);
+        assert_eq!(a1.stats().macs, a2.stats().macs);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.utilization(256), 0.0);
+        s.finish = 100;
+        s.macs = 25600;
+        assert!((s.utilization(256) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_raises_all_units() {
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        accel.advance_to(1000);
+        assert_eq!(accel.now(), 1000);
+    }
+}

@@ -1,0 +1,321 @@
+//! The two-level spatial array: functional matrix unit + pipeline timing.
+//!
+//! Functionally, one Gemmini compute step multiplies a `rows × dim` moving
+//! operand A against the `dim × dim` stationary operand B and adds an
+//! optional bias D: `C = A·B + D`. Both the weight-stationary and the
+//! output-stationary dataflows compute exactly this; they differ in *which*
+//! operand stays resident and therefore in timing and energy, not in the
+//! produced values. The simulator exploits that: [`MatrixUnit`] is one
+//! functional model, and [`MeshTiming`] charges cycles according to the
+//! tile/PE hierarchy (Fig. 2) — tiles are pipeline-registered, PEs within a
+//! tile are combinational, so the pipeline depth seen by a wavefront is the
+//! number of tile boundaries, while the *clock period* consequences of long
+//! combinational chains are the synthesis model's domain (`gemmini-synth`).
+
+use crate::config::GemminiConfig;
+use gemmini_dnn::ops::MacElement;
+
+/// Functional model of the spatial array, generic over the element type the
+/// generator elaborates (`i8` with `i32` accumulation for inference, `f32`
+/// for training-style instances): holds the stationary operand and performs
+/// `C = A·B + D`.
+///
+/// [`MatrixUnit`] is the int8 instance the execution engine uses.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_core::mesh::MatrixUnit;
+/// let mut mu = MatrixUnit::new(2);
+/// mu.preload(&[&[1, 0], &[0, 1]]); // identity
+/// let c = mu.compute(&[&[3, 4]], None);
+/// assert_eq!(c, vec![vec![3, 4]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixUnitOf<T: MacElement> {
+    dim: usize,
+    b: Vec<T>,
+    macs: u64,
+}
+
+/// The int8 / int32-accumulate matrix unit (the paper's evaluated datapath).
+pub type MatrixUnit = MatrixUnitOf<i8>;
+
+/// The fp32 matrix unit (the generator's floating-point option).
+pub type MatrixUnitF32 = MatrixUnitOf<f32>;
+
+impl<T: MacElement> MatrixUnitOf<T> {
+    /// Creates a unit of width `dim` with a zero stationary operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "matrix unit dimension must be non-zero");
+        Self {
+            dim,
+            b: vec![T::default(); dim * dim],
+            macs: 0,
+        }
+    }
+
+    /// Array width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Loads the stationary operand. Rows shorter than `dim` are
+    /// zero-padded; missing rows are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `dim` rows are supplied or any row is too long.
+    pub fn preload(&mut self, b_rows: &[&[T]]) {
+        assert!(b_rows.len() <= self.dim, "too many stationary rows");
+        self.b.fill(T::default());
+        for (r, row) in b_rows.iter().enumerate() {
+            assert!(row.len() <= self.dim, "stationary row too long");
+            self.b[r * self.dim..r * self.dim + row.len()].copy_from_slice(row);
+        }
+    }
+
+    /// Streams `a_rows` through the array, returning `C = A·B (+ D)`.
+    /// Each output row has `dim` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any A row is longer than `dim`, or D is present with a
+    /// different number of rows than A.
+    pub fn compute(&mut self, a_rows: &[&[T]], d_rows: Option<&[&[T::Acc]]>) -> Vec<Vec<T::Acc>> {
+        if let Some(d) = d_rows {
+            assert_eq!(d.len(), a_rows.len(), "bias row count must match A");
+        }
+        let mut out = Vec::with_capacity(a_rows.len());
+        for (i, a) in a_rows.iter().enumerate() {
+            assert!(a.len() <= self.dim, "moving row too long");
+            let mut row = vec![T::Acc::default(); self.dim];
+            for (j, r) in row.iter_mut().enumerate() {
+                let mut acc = T::Acc::default();
+                for (k, &av) in a.iter().enumerate() {
+                    acc = T::mac(acc, av, self.b[k * self.dim + j]);
+                }
+                if let Some(d) = d_rows {
+                    let drow = d[i];
+                    if j < drow.len() {
+                        acc = T::acc_add(acc, drow[j]);
+                    }
+                }
+                *r = acc;
+            }
+            self.macs += (a.len() * self.dim) as u64;
+            out.push(row);
+        }
+        out
+    }
+
+    /// Total MACs performed since construction.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+}
+
+/// Cycle costs of the spatial array derived from the tile/PE hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshTiming {
+    /// Array width (`dim × dim` PEs).
+    pub dim: usize,
+    /// Pipeline stages a wavefront crosses: one per tile row (tiles are
+    /// registered; PEs within a tile are combinational).
+    pub pipeline_depth: usize,
+}
+
+impl MeshTiming {
+    /// Derives timing from a generator configuration.
+    pub fn from_config(config: &GemminiConfig) -> Self {
+        Self {
+            dim: config.dim(),
+            pipeline_depth: config.mesh_rows,
+        }
+    }
+
+    /// Cycles a preload occupies the execute unit. The stationary operand
+    /// streams into a *shadow* register plane while the previous compute
+    /// drains, so back-to-back preload/compute pairs cost only the
+    /// handshake here; the data cycles were already paid by the mvin.
+    pub fn preload_cycles(&self, b_rows: usize) -> u64 {
+        if b_rows == 0 {
+            1 // keep-current-operand preload: address update only
+        } else {
+            2
+        }
+    }
+
+    /// Cycles one compute step occupies the execute unit: one row enters
+    /// per cycle, and the final wavefront drains through the tile pipeline
+    /// before the accumulator's read-modify-write of this block completes
+    /// and the next block may target the same bank. (The drain is the
+    /// pipeline depth — one register stage per tile row — so deeper
+    /// hierarchies pay more per block but reach a higher clock, see
+    /// `gemmini-synth`.)
+    pub fn compute_cycles(&self, a_rows: usize) -> u64 {
+        a_rows.max(1) as u64 + self.pipeline_depth as u64
+    }
+
+    /// Cycles for the last wavefront to drain through the tile pipeline —
+    /// the latency penalty a dependent reader of the final rows observes.
+    pub fn drain_cycles(&self) -> u64 {
+        self.pipeline_depth as u64
+    }
+
+    /// Peak MACs per cycle (every PE active).
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.dim * self.dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_dnn::ops::matmul;
+    use gemmini_dnn::tensor::Tensor;
+
+    #[test]
+    fn identity_preload_passes_a_through() {
+        let mut mu = MatrixUnit::new(4);
+        let eye: Vec<Vec<i8>> = (0..4)
+            .map(|i| (0..4).map(|j| (i == j) as i8).collect())
+            .collect();
+        mu.preload(&eye.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        let c = mu.compute(&[&[1, 2, 3, 4], &[5, 6, 7, 8]], None);
+        assert_eq!(c[0], vec![1, 2, 3, 4]);
+        assert_eq!(c[1], vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn matches_reference_matmul() {
+        let dim = 8;
+        let a = Tensor::<i8>::random(&[dim, dim], 1);
+        let b = Tensor::<i8>::random(&[dim, dim], 2);
+        let reference = matmul(&a, &b);
+
+        let mut mu = MatrixUnit::new(dim);
+        let b_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        mu.preload(&b_rows);
+        let a_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let c = mu.compute(&a_rows, None);
+        for i in 0..dim {
+            for j in 0..dim {
+                assert_eq!(c[i][j], reference[(i, j)], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut mu = MatrixUnit::new(2);
+        mu.preload(&[&[1, 0], &[0, 1]]);
+        let d = [vec![10i32, 20]];
+        let drefs: Vec<&[i32]> = d.iter().map(|r| r.as_slice()).collect();
+        let c = mu.compute(&[&[1, 2]], Some(&drefs));
+        assert_eq!(c[0], vec![11, 22]);
+    }
+
+    #[test]
+    fn short_rows_are_zero_padded() {
+        let mut mu = MatrixUnit::new(4);
+        mu.preload(&[&[1, 1, 1, 1]]); // only first B row set; rest zero
+        let c = mu.compute(&[&[2]], None); // A = [2, 0, 0, 0]
+        assert_eq!(c[0], vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn preload_replaces_previous_operand() {
+        let mut mu = MatrixUnit::new(2);
+        mu.preload(&[&[1, 1], &[1, 1]]);
+        mu.preload(&[&[2, 0], &[0, 2]]);
+        let c = mu.compute(&[&[1, 1]], None);
+        assert_eq!(c[0], vec![2, 2]);
+    }
+
+    #[test]
+    fn mac_counter_accumulates() {
+        let mut mu = MatrixUnit::new(4);
+        mu.preload(&[&[1, 0, 0, 0]]);
+        mu.compute(&[&[1, 2, 3, 4]], None);
+        assert_eq!(mu.macs(), 16);
+    }
+
+    #[test]
+    fn timing_reflects_hierarchy() {
+        let pipelined = MeshTiming::from_config(&GemminiConfig::tpu_like_256());
+        let vector = MeshTiming::from_config(&GemminiConfig::nvdla_like_256());
+        assert_eq!(pipelined.pipeline_depth, 16);
+        assert_eq!(vector.pipeline_depth, 1);
+        // Same peak throughput in MACs/cycle...
+        assert_eq!(
+            pipelined.peak_macs_per_cycle(),
+            vector.peak_macs_per_cycle()
+        );
+        // ...but the pipelined design pays a deeper per-block drain (and
+        // runs at a much higher clock — gemmini-synth).
+        assert!(pipelined.compute_cycles(16) > vector.compute_cycles(16));
+        assert!(pipelined.drain_cycles() > vector.drain_cycles());
+    }
+
+    #[test]
+    fn compute_cycles_floor_at_one_row() {
+        let t = MeshTiming {
+            dim: 16,
+            pipeline_depth: 16,
+        };
+        assert_eq!(t.compute_cycles(0), 17);
+        assert_eq!(t.compute_cycles(16), 32);
+        assert_eq!(t.preload_cycles(0), 1);
+        assert_eq!(t.preload_cycles(16), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many stationary rows")]
+    fn oversized_preload_panics() {
+        let mut mu = MatrixUnit::new(2);
+        mu.preload(&[&[1, 1], &[1, 1], &[1, 1]]);
+    }
+
+    #[test]
+    fn fp32_unit_matches_reference_matmul() {
+        use crate::mesh::MatrixUnitF32;
+        let dim = 4;
+        let a = Tensor::<f32>::random(&[dim, dim], 1);
+        let b = Tensor::<f32>::random(&[dim, dim], 2);
+        let reference = matmul(&a, &b);
+        let mut mu = MatrixUnitF32::new(dim);
+        let b_rows: Vec<&[f32]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        mu.preload(&b_rows);
+        let a_rows: Vec<&[f32]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let c = mu.compute(&a_rows, None);
+        for i in 0..dim {
+            for j in 0..dim {
+                assert!((c[i][j] - reference[(i, j)]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_bias_accumulates() {
+        use crate::mesh::MatrixUnitF32;
+        let mut mu = MatrixUnitF32::new(2);
+        mu.preload(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let d = [vec![0.5f32, -0.5]];
+        let drefs: Vec<&[f32]> = d.iter().map(|r| r.as_slice()).collect();
+        let c = mu.compute(&[&[2.0, 4.0]], Some(&drefs));
+        assert_eq!(c[0], vec![2.5, 3.5]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The optional on-the-fly im2col block.
+//!
+//! Fig. 7's central ablation: without this block, the *host CPU* performs
+//! im2col in memory before every convolution (its cost model lives in
+//! `gemmini-cpu`); with it, the accelerator expands patches as it streams
+//! the input from its scratchpad, costing roughly one cycle per generated
+//! patch row and freeing the CPU entirely.
+
+/// Cost model of the on-the-fly im2col block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2colUnit {
+    /// Patch elements generated per cycle (one scratchpad row's worth).
+    pub elements_per_cycle: usize,
+    /// Fixed per-convolution configuration cost, in cycles.
+    pub setup_cycles: u64,
+}
+
+impl Im2colUnit {
+    /// A unit matched to a `dim`-wide array: it feeds one `dim`-element
+    /// patch row per cycle.
+    pub fn for_dim(dim: usize) -> Self {
+        Self {
+            elements_per_cycle: dim,
+            setup_cycles: 8,
+        }
+    }
+
+    /// Cycles to generate a patch matrix of `rows × cols` elements.
+    /// Generation overlaps compute, so kernels charge
+    /// `max(compute, generate)` rather than the sum.
+    pub fn generate_cycles(&self, rows: usize, cols: usize) -> u64 {
+        let elems = rows as u64 * cols as u64;
+        self.setup_cycles + elems.div_ceil(self.elements_per_cycle as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_patch_row_per_cycle() {
+        let u = Im2colUnit::for_dim(16);
+        // 256 x 16 patch elements = 256 row-cycles + setup.
+        assert_eq!(u.generate_cycles(256, 16), 8 + 256);
+    }
+
+    #[test]
+    fn partial_rows_round_up() {
+        let u = Im2colUnit::for_dim(16);
+        assert_eq!(u.generate_cycles(1, 17), 8 + 2);
+        assert_eq!(u.generate_cycles(0, 16), 8);
+    }
+
+    #[test]
+    fn wider_arrays_generate_faster() {
+        let narrow = Im2colUnit::for_dim(4);
+        let wide = Im2colUnit::for_dim(32);
+        assert!(wide.generate_cycles(128, 32) < narrow.generate_cycles(128, 32));
+    }
+}

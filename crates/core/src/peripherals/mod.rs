@@ -1,0 +1,20 @@
+//! The optional peripheral circuitry (Section III-A): "Gemmini also
+//! supports other commonly-used DNN kernels, e.g., pooling, non-linear
+//! activations (ReLU or ReLU6), and matrix-scalar multiplications, through a
+//! set of configurable, peripheral circuitry."
+//!
+//! Each block pairs a functional model (validated against the reference
+//! operators in `gemmini-dnn`) with a cycle-cost model used by the
+//! execution engine and the kernel library.
+
+pub mod activation;
+pub mod im2col;
+pub mod pooling;
+pub mod scalar;
+pub mod transpose;
+
+pub use activation::readout_row;
+pub use im2col::Im2colUnit;
+pub use pooling::PoolingUnit;
+pub use scalar::ScalarUnit;
+pub use transpose::Transposer;

@@ -1,0 +1,62 @@
+//! The pooling block: max/average pooling applied as data streams out of
+//! the accumulator (Gemmini performs pooling during mvout).
+
+use gemmini_dnn::graph::PoolKind;
+use gemmini_dnn::ops::pool::{avgpool2d_i8, maxpool2d, PoolSpec};
+use gemmini_dnn::tensor::Tensor;
+
+/// Cost + functional model of the pooling block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolingUnit {
+    /// Output elements produced per cycle (`dim` comparator lanes).
+    pub lanes: usize,
+}
+
+impl PoolingUnit {
+    /// A unit matched to a `dim`-wide array.
+    pub fn for_dim(dim: usize) -> Self {
+        Self { lanes: dim }
+    }
+
+    /// Cycles to pool one feature map: each output element consumes its
+    /// window serially, `lanes` outputs in parallel.
+    pub fn pool_cycles(&self, out_elements: usize, window: usize) -> u64 {
+        let per_lane = (out_elements as u64).div_ceil(self.lanes as u64);
+        per_lane * (window * window) as u64
+    }
+
+    /// Functional pooling (delegates to the golden operators).
+    pub fn pool(&self, input: &Tensor<i8>, kind: PoolKind, spec: PoolSpec) -> Tensor<i8> {
+        match kind {
+            PoolKind::Max => maxpool2d(input, spec),
+            PoolKind::Avg => avgpool2d_i8(input, spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_window_and_lanes() {
+        let u = PoolingUnit::for_dim(16);
+        // 3x3 windows over 256 outputs with 16 lanes: 16 * 9 cycles.
+        assert_eq!(u.pool_cycles(256, 3), 144);
+        let wide = PoolingUnit::for_dim(64);
+        assert!(wide.pool_cycles(256, 3) < u.pool_cycles(256, 3));
+    }
+
+    #[test]
+    fn functional_pooling_matches_reference() {
+        let u = PoolingUnit::for_dim(16);
+        let t = Tensor::from_vec(&[1, 1, 2, 2], vec![1i8, 5, 3, 4]);
+        let spec = PoolSpec {
+            size: 2,
+            stride: 2,
+            padding: 0,
+        };
+        assert_eq!(u.pool(&t, PoolKind::Max, spec).as_slice(), &[5]);
+        assert_eq!(u.pool(&t, PoolKind::Avg, spec).as_slice(), &[3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The matrix-scalar block (the paper's peripheral circuitry list includes
+//! "matrix-scalar multiplications"): multiplies a streamed int8 matrix by a
+//! scalar with saturation, one row per cycle.
+
+use gemmini_dnn::quant::{requantize, QuantParams};
+
+/// Cost + functional model of the matrix-scalar unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarUnit {
+    /// Elements processed per cycle (one scratchpad row).
+    pub lanes: usize,
+}
+
+impl ScalarUnit {
+    /// A unit matched to a `dim`-wide array.
+    pub fn for_dim(dim: usize) -> Self {
+        Self { lanes: dim }
+    }
+
+    /// Cycles to scale `elements` values.
+    pub fn scale_cycles(&self, elements: usize) -> u64 {
+        (elements as u64).div_ceil(self.lanes as u64)
+    }
+
+    /// Functionally scales one row: `y = sat(round(x * scale))`.
+    pub fn scale_row(&self, row: &[i8], scale: f32) -> Vec<i8> {
+        let p = QuantParams::new(scale);
+        row.iter().map(|&x| requantize(x as i32, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_cycle() {
+        let u = ScalarUnit::for_dim(16);
+        assert_eq!(u.scale_cycles(256), 16);
+        assert_eq!(u.scale_cycles(257), 17);
+        assert_eq!(u.scale_cycles(0), 0);
+    }
+
+    #[test]
+    fn scaling_rounds_and_saturates() {
+        let u = ScalarUnit::for_dim(4);
+        assert_eq!(
+            u.scale_row(&[10, -10, 100, -100], 0.5),
+            vec![5, -5, 50, -50]
+        );
+        assert_eq!(u.scale_row(&[100], 2.0), vec![127]); // saturates
+        assert_eq!(u.scale_row(&[-100], 2.0), vec![-128]);
+    }
+
+    #[test]
+    fn unit_scale_is_identity() {
+        let u = ScalarUnit::for_dim(4);
+        let row = vec![1i8, -2, 3, -4];
+        assert_eq!(u.scale_row(&row, 1.0), row);
+    }
+}

@@ -1,0 +1,68 @@
+//! The transposer block: transposes a `dim × dim` tile between the
+//! scratchpad and the array, used when the data layout disagrees with the
+//! dataflow (e.g. computing Aᵀ·B in weight-stationary mode).
+
+/// Cost + functional model of the transposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transposer {
+    /// Tile width the transposer handles.
+    pub dim: usize,
+}
+
+impl Transposer {
+    /// A transposer matched to a `dim`-wide array.
+    pub fn for_dim(dim: usize) -> Self {
+        Self { dim }
+    }
+
+    /// Cycles to transpose one tile: the systolic transposer streams the
+    /// tile in and out in `2 * dim` cycles.
+    pub fn transpose_cycles(&self) -> u64 {
+        2 * self.dim as u64
+    }
+
+    /// Functional transpose of a row-major `dim × dim` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is not `dim * dim` long.
+    pub fn transpose(&self, tile: &[i8]) -> Vec<i8> {
+        assert_eq!(tile.len(), self.dim * self.dim, "tile size mismatch");
+        let mut out = vec![0i8; tile.len()];
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                out[c * self.dim + r] = tile[r * self.dim + c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposes_row_major_tile() {
+        let t = Transposer::for_dim(2);
+        assert_eq!(t.transpose(&[1, 2, 3, 4]), vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let t = Transposer::for_dim(4);
+        let tile: Vec<i8> = (0..16).collect();
+        assert_eq!(t.transpose(&t.transpose(&tile)), tile);
+    }
+
+    #[test]
+    fn cycle_cost() {
+        assert_eq!(Transposer::for_dim(16).transpose_cycles(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size mismatch")]
+    fn wrong_size_panics() {
+        Transposer::for_dim(2).transpose(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,234 @@
+//! The accelerator's private memories: the banked int8 scratchpad and the
+//! wide int32 accumulator.
+//!
+//! Both are functional row stores. The paper's architecture reads inputs
+//! from "a local, explicitly managed scratchpad of banked SRAMs" and writes
+//! results "to a local accumulator storage with a higher bitwidth than the
+//! inputs". Bank-conflict timing lives in
+//! [`gemmini_mem::sram::BankedSram`]; this module owns the contents.
+
+use gemmini_mem::sram::{BankedSram, SramConfig};
+
+/// The banked int8 scratchpad: `rows` rows of `dim` elements.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    dim: usize,
+    rows: usize,
+    data: Vec<i8>,
+    timing: BankedSram,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad of `rows` rows of `dim` int8 elements,
+    /// split into `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` does not divide evenly into `banks`.
+    pub fn new(dim: usize, rows: usize, banks: u32) -> Self {
+        assert!(dim > 0 && rows > 0, "scratchpad must be non-empty");
+        assert_eq!(
+            rows % banks as usize,
+            0,
+            "scratchpad rows must divide evenly into banks"
+        );
+        Self {
+            dim,
+            rows,
+            data: vec![0; dim * rows],
+            timing: BankedSram::new(SramConfig {
+                banks,
+                rows_per_bank: (rows / banks as usize) as u32,
+                row_bytes: dim as u32,
+                access_latency: 1,
+            }),
+        }
+    }
+
+    /// Elements per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reads row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[i8] {
+        assert!(row < self.rows, "scratchpad row {row} out of range");
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Overwrites row `row` with `values` (shorter slices zero-fill the
+    /// remainder, matching the DMA's behaviour for partial rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `values` is longer than a row.
+    pub fn write_row(&mut self, row: usize, values: &[i8]) {
+        assert!(row < self.rows, "scratchpad row {row} out of range");
+        assert!(
+            values.len() <= self.dim,
+            "row data longer than scratchpad width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        dst[..values.len()].copy_from_slice(values);
+        dst[values.len()..].fill(0);
+    }
+
+    /// The bank-conflict timing model (shared with the DMA and mesh).
+    pub fn timing_mut(&mut self) -> &mut BankedSram {
+        &mut self.timing
+    }
+}
+
+/// The int32 accumulator: `rows` rows of `dim` 32-bit partial sums.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    dim: usize,
+    rows: usize,
+    data: Vec<i32>,
+}
+
+impl Accumulator {
+    /// Creates a zeroed accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0 && rows > 0, "accumulator must be non-empty");
+        Self {
+            dim,
+            rows,
+            data: vec![0; dim * rows],
+        }
+    }
+
+    /// Elements per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reads row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[i32] {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Overwrites row `row` with `values`, zero-filling the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `values` is too long.
+    pub fn write_row(&mut self, row: usize, values: &[i32]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        assert!(
+            values.len() <= self.dim,
+            "row data longer than accumulator width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        dst[..values.len()].copy_from_slice(values);
+        dst[values.len()..].fill(0);
+    }
+
+    /// Adds `values` elementwise into row `row` (the accumulate-bit path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `values` is too long.
+    pub fn accumulate_row(&mut self, row: usize, values: &[i32]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        assert!(
+            values.len() <= self.dim,
+            "row data longer than accumulator width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, &v) in dst.iter_mut().zip(values) {
+            *d = d.wrapping_add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratchpad_rows_are_isolated() {
+        let mut sp = Scratchpad::new(4, 8, 4);
+        sp.write_row(1, &[1, 2, 3, 4]);
+        sp.write_row(2, &[5, 6, 7, 8]);
+        assert_eq!(sp.row(1), &[1, 2, 3, 4]);
+        assert_eq!(sp.row(2), &[5, 6, 7, 8]);
+        assert_eq!(sp.row(0), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn partial_row_writes_zero_fill() {
+        let mut sp = Scratchpad::new(4, 4, 2);
+        sp.write_row(0, &[9, 9, 9, 9]);
+        sp.write_row(0, &[1, 2]);
+        assert_eq!(sp.row(0), &[1, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scratchpad_oob_read_panics() {
+        let sp = Scratchpad::new(4, 4, 2);
+        let _ = sp.row(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than scratchpad width")]
+    fn scratchpad_overwide_write_panics() {
+        let mut sp = Scratchpad::new(4, 4, 2);
+        sp.write_row(0, &[0; 5]);
+    }
+
+    #[test]
+    fn accumulator_overwrite_vs_accumulate() {
+        let mut acc = Accumulator::new(4, 4);
+        acc.write_row(0, &[1, 2, 3, 4]);
+        acc.accumulate_row(0, &[10, 20, 30, 40]);
+        assert_eq!(acc.row(0), &[11, 22, 33, 44]);
+        acc.write_row(0, &[5, 5, 5, 5]);
+        assert_eq!(acc.row(0), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn accumulator_wraps_like_hardware() {
+        let mut acc = Accumulator::new(1, 1);
+        acc.write_row(0, &[i32::MAX]);
+        acc.accumulate_row(0, &[1]);
+        assert_eq!(acc.row(0), &[i32::MIN]);
+    }
+
+    #[test]
+    fn timing_model_is_exposed() {
+        let mut sp = Scratchpad::new(16, 64, 4);
+        let done = sp.timing_mut().access_row(0, 0);
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_banking_panics() {
+        let _ = Scratchpad::new(4, 10, 4);
+    }
+}

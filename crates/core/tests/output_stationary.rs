@@ -1,0 +1,390 @@
+//! Instruction-level tests of the output-stationary dataflow: partial sums
+//! stay resident in the PEs across computes (A and B both stream), and the
+//! next arming preload (or a flush) drains them to the accumulator.
+
+use gemmini_core::config::{Dataflow, GemminiConfig};
+use gemmini_core::isa::{Instruction, LocalAddr};
+use gemmini_core::{AccelError, Accelerator, MemCtx};
+use gemmini_dnn::graph::Activation;
+use gemmini_dnn::ops::matmul;
+use gemmini_dnn::quant::{requantize_tensor, QuantParams};
+use gemmini_dnn::tensor::Tensor;
+use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
+use gemmini_mem::dram::MainMemory;
+use gemmini_mem::MemorySystem;
+use gemmini_vm::page::FrameAllocator;
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+
+struct Rig {
+    space: AddressSpace,
+    translation: TranslationSystem,
+    mem: MemorySystem,
+    data: MainMemory,
+    base: VirtAddr,
+}
+
+fn rig() -> Rig {
+    let mut frames = FrameAllocator::new();
+    let mut space = AddressSpace::new(&mut frames);
+    let base = space.alloc(&mut frames, 64 * PAGE_SIZE);
+    Rig {
+        space,
+        translation: TranslationSystem::new(TranslationConfig::default()),
+        mem: MemorySystem::default(),
+        data: MainMemory::new(),
+        base,
+    }
+}
+
+impl Rig {
+    fn ctx(&mut self) -> MemCtx<'_> {
+        MemCtx {
+            space: &self.space,
+            translation: &mut self.translation,
+            mem: &mut self.mem,
+            data: Some(&mut self.data),
+            port: 0,
+        }
+    }
+
+    fn store(&mut self, va: VirtAddr, t: &Tensor<i8>) {
+        let bytes: Vec<u8> = t.as_slice().iter().map(|&x| x as u8).collect();
+        let pa = self.space.translate(va).unwrap();
+        self.data.write(pa, &bytes);
+    }
+
+    fn load(&self, va: VirtAddr, n: usize) -> Vec<i8> {
+        let pa = self.space.translate(va).unwrap();
+        let mut buf = vec![0u8; n];
+        self.data.read(pa, &mut buf);
+        buf.iter().map(|&b| b as i8).collect()
+    }
+}
+
+fn sp(row: u32) -> LocalAddr {
+    LocalAddr::Sp { row }
+}
+fn acc(row: u32) -> LocalAddr {
+    LocalAddr::Acc {
+        row,
+        accumulate: false,
+    }
+}
+
+/// C = A·B with the K reduction split across two OS computes: the partials
+/// never visit the accumulator until the flush.
+#[test]
+fn os_matmul_accumulates_in_pes_across_k() {
+    let dim = 16usize;
+    let mut r = rig();
+    let a1 = Tensor::<i8>::random(&[dim, dim], 1);
+    let b1 = Tensor::<i8>::random(&[dim, dim], 2);
+    let a2 = Tensor::<i8>::random(&[dim, dim], 3);
+    let b2 = Tensor::<i8>::random(&[dim, dim], 4);
+    let (va_a1, va_b1) = (r.base, r.base.add(4096));
+    let (va_a2, va_b2) = (r.base.add(8192), r.base.add(12288));
+    let va_c = r.base.add(16384);
+    r.store(va_a1, &a1);
+    r.store(va_b1, &b1);
+    r.store(va_a2, &a2);
+    r.store(va_b2, &b2);
+
+    let mut accel = Accelerator::new(GemminiConfig::edge());
+    let mut ctx = r.ctx();
+    let mv = |va, row| Instruction::Mvin {
+        dram_addr: va,
+        local: sp(row),
+        rows: 16,
+        cols: 16,
+    };
+    for i in [
+        Instruction::ConfigEx {
+            dataflow: Dataflow::OutputStationary,
+            activation: Activation::None,
+            acc_scale: 1.0,
+        },
+        mv(va_a1, 0),
+        mv(va_b1, 16),
+        mv(va_a2, 32),
+        mv(va_b2, 48),
+        // Arm the output block.
+        Instruction::Preload {
+            b: LocalAddr::None,
+            c: acc(0),
+            b_rows: 0,
+            b_cols: 16,
+        },
+        // Two K-slices, both streaming A and B.
+        Instruction::ComputePreloaded {
+            a: sp(0),
+            d: sp(16),
+            a_rows: 16,
+            a_cols: 16,
+        },
+        Instruction::ComputeAccumulated {
+            a: sp(32),
+            d: sp(48),
+            a_rows: 16,
+            a_cols: 16,
+        },
+        // Drain the PE-resident block to the accumulator.
+        Instruction::Flush,
+        Instruction::Mvout {
+            dram_addr: va_c,
+            local: acc(0),
+            rows: 16,
+            cols: 16,
+        },
+    ] {
+        accel.issue(&mut ctx, i).unwrap();
+    }
+
+    let got = r.load(va_c, dim * dim);
+    let mut want = matmul(&a1, &b1);
+    let second = matmul(&a2, &b2);
+    for (w, s) in want.as_mut_slice().iter_mut().zip(second.as_slice()) {
+        *w = w.wrapping_add(*s);
+    }
+    let want = requantize_tensor(&want, QuantParams::new(1.0));
+    assert_eq!(got, want.as_slice());
+}
+
+/// An arming preload drains the previous block — back-to-back output
+/// blocks need no explicit flush in between.
+#[test]
+fn arming_preload_flushes_previous_block() {
+    let dim = 16usize;
+    let mut r = rig();
+    let a = Tensor::<i8>::random(&[dim, dim], 5);
+    let b = Tensor::<i8>::random(&[dim, dim], 6);
+    r.store(r.base, &a);
+    r.store(r.base.add(4096), &b);
+    let va_c = r.base.add(8192);
+
+    let mut accel = Accelerator::new(GemminiConfig::edge());
+    let base = r.base;
+    let mut ctx = r.ctx();
+    for i in [
+        Instruction::ConfigEx {
+            dataflow: Dataflow::OutputStationary,
+            activation: Activation::None,
+            acc_scale: 1.0,
+        },
+        Instruction::Mvin {
+            dram_addr: base,
+            local: sp(0),
+            rows: 16,
+            cols: 16,
+        },
+        Instruction::Mvin {
+            dram_addr: base.add(4096),
+            local: sp(16),
+            rows: 16,
+            cols: 16,
+        },
+        Instruction::Preload {
+            b: LocalAddr::None,
+            c: acc(0),
+            b_rows: 0,
+            b_cols: 16,
+        },
+        Instruction::ComputePreloaded {
+            a: sp(0),
+            d: sp(16),
+            a_rows: 16,
+            a_cols: 16,
+        },
+        // Arming the NEXT block (different acc rows) drains the first.
+        Instruction::Preload {
+            b: LocalAddr::None,
+            c: acc(16),
+            b_rows: 0,
+            b_cols: 16,
+        },
+        Instruction::Mvout {
+            dram_addr: va_c,
+            local: acc(0),
+            rows: 16,
+            cols: 16,
+        },
+    ] {
+        accel.issue(&mut ctx, i).unwrap();
+    }
+    let got = r.load(va_c, dim * dim);
+    let want = requantize_tensor(&matmul(&a, &b), QuantParams::new(1.0));
+    assert_eq!(got, want.as_slice());
+}
+
+#[test]
+fn os_compute_requires_b_in_d_operand() {
+    let mut r = rig();
+    let mut accel = Accelerator::new(GemminiConfig::edge());
+    let mut ctx = r.ctx();
+    accel
+        .issue(
+            &mut ctx,
+            Instruction::ConfigEx {
+                dataflow: Dataflow::OutputStationary,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+        )
+        .unwrap();
+    accel
+        .issue(
+            &mut ctx,
+            Instruction::Preload {
+                b: LocalAddr::None,
+                c: acc(0),
+                b_rows: 0,
+                b_cols: 16,
+            },
+        )
+        .unwrap();
+    let err = accel
+        .issue(
+            &mut ctx,
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 4,
+                a_cols: 4,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, AccelError::BadLocalAddress { .. }));
+}
+
+#[test]
+fn os_compute_without_arming_preload_errors() {
+    let mut r = rig();
+    let mut accel = Accelerator::new(GemminiConfig::edge());
+    let mut ctx = r.ctx();
+    accel
+        .issue(
+            &mut ctx,
+            Instruction::ConfigEx {
+                dataflow: Dataflow::OutputStationary,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+        )
+        .unwrap();
+    let err = accel
+        .issue(
+            &mut ctx,
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: sp(16),
+                a_rows: 4,
+                a_cols: 4,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, AccelError::NoPreload);
+}
+
+/// The dataflows' outputs agree (the paper: runtime-selectable dataflows
+/// compute the same kernels); their timing differs.
+#[test]
+fn ws_and_os_agree_functionally() {
+    let dim = 16usize;
+    let run = |dataflow: Dataflow| -> (Vec<i8>, u64) {
+        let mut r = rig();
+        let a = Tensor::<i8>::random(&[dim, dim], 7);
+        let b = Tensor::<i8>::random(&[dim, dim], 8);
+        r.store(r.base, &a);
+        r.store(r.base.add(4096), &b);
+        let va_c = r.base.add(8192);
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let base = r.base;
+        let mut ctx = r.ctx();
+        let prog: Vec<Instruction> = match dataflow {
+            Dataflow::OutputStationary => vec![
+                Instruction::ConfigEx {
+                    dataflow,
+                    activation: Activation::None,
+                    acc_scale: 1.0,
+                },
+                Instruction::Mvin {
+                    dram_addr: base,
+                    local: sp(0),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Mvin {
+                    dram_addr: base.add(4096),
+                    local: sp(16),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Preload {
+                    b: LocalAddr::None,
+                    c: acc(0),
+                    b_rows: 0,
+                    b_cols: 16,
+                },
+                Instruction::ComputePreloaded {
+                    a: sp(0),
+                    d: sp(16),
+                    a_rows: 16,
+                    a_cols: 16,
+                },
+                Instruction::Flush,
+                Instruction::Mvout {
+                    dram_addr: va_c,
+                    local: acc(0),
+                    rows: 16,
+                    cols: 16,
+                },
+            ],
+            _ => vec![
+                Instruction::ConfigEx {
+                    dataflow,
+                    activation: Activation::None,
+                    acc_scale: 1.0,
+                },
+                Instruction::Mvin {
+                    dram_addr: base,
+                    local: sp(0),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Mvin {
+                    dram_addr: base.add(4096),
+                    local: sp(16),
+                    rows: 16,
+                    cols: 16,
+                },
+                Instruction::Preload {
+                    b: sp(16),
+                    c: acc(0),
+                    b_rows: 16,
+                    b_cols: 16,
+                },
+                Instruction::ComputePreloaded {
+                    a: sp(0),
+                    d: LocalAddr::None,
+                    a_rows: 16,
+                    a_cols: 16,
+                },
+                Instruction::Mvout {
+                    dram_addr: va_c,
+                    local: acc(0),
+                    rows: 16,
+                    cols: 16,
+                },
+            ],
+        };
+        for i in prog {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+        let _ = ctx;
+        (r.load(va_c, dim * dim), accel.stats().finish)
+    };
+
+    let (ws_out, _ws_cycles) = run(Dataflow::WeightStationary);
+    let (os_out, _os_cycles) = run(Dataflow::OutputStationary);
+    assert_eq!(ws_out, os_out, "dataflows must agree on the result");
+}

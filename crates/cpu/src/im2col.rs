@@ -1,0 +1,55 @@
+//! CPU-side im2col: cost of the patch expansion the host performs when the
+//! accelerator lacks the optional im2col block (Fig. 7's ablation).
+
+use crate::model::CpuModel;
+use gemmini_dnn::graph::Network;
+
+/// Total CPU cycles spent on im2col for every convolution in `net`.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_cpu::model::{CpuKind, CpuModel};
+/// use gemmini_cpu::im2col::network_im2col_cycles;
+/// use gemmini_dnn::zoo;
+/// let m = CpuModel::new(CpuKind::Rocket);
+/// assert!(network_im2col_cycles(&m, &zoo::resnet50()) > 0);
+/// assert_eq!(network_im2col_cycles(&m, &zoo::bert_base()), 0); // no convs
+/// ```
+pub fn network_im2col_cycles(model: &CpuModel, net: &Network) -> u64 {
+    net.layers()
+        .iter()
+        .map(|l| model.im2col_cycles(&l.layer))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CpuKind;
+    use gemmini_dnn::zoo;
+
+    #[test]
+    fn resnet50_im2col_is_hundreds_of_megacycles_on_rocket() {
+        // This is the dominant term in the "no im2col unit" Fig. 7 bars:
+        // it must dwarf the accelerator's ~44 M cycles.
+        let m = CpuModel::new(CpuKind::Rocket);
+        let cycles = network_im2col_cycles(&m, &zoo::resnet50());
+        let mcycles = cycles as f64 / 1e6;
+        assert!(mcycles > 100.0, "im2col = {mcycles:.0} M cycles");
+    }
+
+    #[test]
+    fn boom_im2col_is_proportionally_cheaper() {
+        let rocket = network_im2col_cycles(&CpuModel::new(CpuKind::Rocket), &zoo::resnet50());
+        let boom = network_im2col_cycles(&CpuModel::new(CpuKind::Boom), &zoo::resnet50());
+        let ratio = rocket as f64 / boom as f64;
+        assert!((ratio - 2.36).abs() < 0.05);
+    }
+
+    #[test]
+    fn mobilenet_dw_layers_also_pay_im2col() {
+        let m = CpuModel::new(CpuKind::Rocket);
+        assert!(network_im2col_cycles(&m, &zoo::mobilenetv2()) > 0);
+    }
+}

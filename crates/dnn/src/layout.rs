@@ -1,0 +1,90 @@
+//! NCHW ↔ NHWC layout conversion.
+//!
+//! The accelerator's GEMM-lowered convolutions produce pixel-major (NHWC)
+//! feature maps, so the runtime keeps activations in NHWC memory layout;
+//! the reference operators work on NCHW tensors. These helpers convert.
+
+use crate::tensor::Tensor;
+
+/// Serializes an NCHW tensor to NHWC byte order.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_dnn::tensor::Tensor;
+/// use gemmini_dnn::layout::to_nhwc;
+/// let t = Tensor::from_vec(&[1, 2, 1, 2], vec![1i8, 2, 3, 4]); // CHW: c0=[1,2] c1=[3,4]
+/// assert_eq!(to_nhwc(&t), vec![1, 3, 2, 4]);
+/// ```
+pub fn to_nhwc<T: Copy + Default>(t: &Tensor<T>) -> Vec<T> {
+    assert_eq!(t.shape().len(), 4, "layout conversion needs a 4-D tensor");
+    let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    let mut out = Vec::with_capacity(t.len());
+    for ni in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ci in 0..c {
+                    out.push(t.at4(ni, ci, y, x));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes NHWC bytes into an NCHW tensor of the given shape.
+///
+/// # Panics
+///
+/// Panics if `data` does not match the shape's element count.
+pub fn from_nhwc<T: Copy + Default>(
+    data: &[T],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Tensor<T> {
+    assert_eq!(data.len(), n * c * h * w, "layout size mismatch");
+    let mut t = Tensor::<T>::zeros(&[n, c, h, w]);
+    let mut i = 0;
+    for ni in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ci in 0..c {
+                    *t.at4_mut(ni, ci, y, x) = data[i];
+                    i += 1;
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Tensor::<i8>::random(&[2, 3, 4, 5], 1);
+        let nhwc = to_nhwc(&t);
+        let back = from_nhwc(&nhwc, 2, 3, 4, 5);
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn single_channel_is_identity() {
+        let t = Tensor::<i8>::random(&[1, 1, 3, 3], 2);
+        assert_eq!(to_nhwc(&t), t.as_slice().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn bad_size_panics() {
+        let _ = from_nhwc(&[0i8; 5], 1, 2, 1, 2);
+    }
+}

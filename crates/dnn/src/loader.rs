@@ -1,0 +1,352 @@
+//! Textual network format — the reproduction's stand-in for the paper's
+//! ONNX front-end.
+//!
+//! The format is line-oriented: a `network <name>` header followed by one
+//! layer per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! network tiny
+//! conv name=stem in=3 out=64 k=7 s=2 p=3 hw=224x224 act=relu
+//! pool name=pool1 kind=max size=3 s=2 p=1 c=64 hw=112x112
+//! matmul name=fc m=1 k=2048 n=1000 act=none
+//! resadd name=skip elems=802816
+//! ```
+//!
+//! [`parse_network`] and [`serialize_network`] round-trip exactly, so model
+//! descriptions can be stored as plain files and fed to the push-button
+//! runtime flow just as ONNX files feed the paper's.
+
+use crate::graph::{Activation, Layer, Network, PoolKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing the textual network format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetworkError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetworkError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetworkError {
+    ParseNetworkError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct Fields<'a> {
+    map: HashMap<&'a str, &'a str>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(parts: &[&'a str], line: usize) -> Result<Self, ParseNetworkError> {
+        let mut map = HashMap::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| err(line, format!("expected key=value, got `{part}`")))?;
+            if map.insert(k, v).is_some() {
+                return Err(err(line, format!("duplicate field `{k}`")));
+            }
+        }
+        Ok(Self { map, line })
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, ParseNetworkError> {
+        self.map
+            .get(key)
+            .copied()
+            .ok_or_else(|| err(self.line, format!("missing field `{key}`")))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, ParseNetworkError> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| err(self.line, format!("field `{key}` is not a number")))
+    }
+
+    fn hw(&self, key: &str) -> Result<(usize, usize), ParseNetworkError> {
+        let s = self.str(key)?;
+        let (h, w) = s
+            .split_once('x')
+            .ok_or_else(|| err(self.line, format!("field `{key}` must look like 224x224")))?;
+        Ok((
+            h.parse()
+                .map_err(|_| err(self.line, format!("bad height in `{key}`")))?,
+            w.parse()
+                .map_err(|_| err(self.line, format!("bad width in `{key}`")))?,
+        ))
+    }
+
+    fn activation(&self) -> Result<Activation, ParseNetworkError> {
+        match self.map.get("act").copied() {
+            None | Some("none") => Ok(Activation::None),
+            Some("relu") => Ok(Activation::Relu),
+            Some("relu6") => Ok(Activation::Relu6),
+            Some(other) => Err(err(self.line, format!("unknown activation `{other}`"))),
+        }
+    }
+}
+
+/// Parses the textual network format.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetworkError`] naming the offending line for any
+/// malformed input.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_dnn::loader::parse_network;
+/// let net = parse_network("network t\nmatmul name=fc m=2 k=3 n=4 act=none\n")?;
+/// assert_eq!(net.total_macs(), 24);
+/// # Ok::<(), gemmini_dnn::loader::ParseNetworkError>(())
+/// ```
+pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
+    let mut net: Option<Network> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+
+        if kind == "network" {
+            if net.is_some() {
+                return Err(err(lineno, "duplicate `network` header"));
+            }
+            let name = rest
+                .first()
+                .ok_or_else(|| err(lineno, "`network` requires a name"))?;
+            net = Some(Network::new(*name));
+            continue;
+        }
+
+        let net = net
+            .as_mut()
+            .ok_or_else(|| err(lineno, "layer before `network` header"))?;
+        let f = Fields::parse(&rest, lineno)?;
+        let name = f.str("name")?.to_string();
+        let layer = match kind {
+            "conv" => Layer::Conv {
+                in_channels: f.usize("in")?,
+                out_channels: f.usize("out")?,
+                kernel: f.usize("k")?,
+                stride: f.usize("s")?,
+                padding: f.usize("p")?,
+                in_hw: f.hw("hw")?,
+                activation: f.activation()?,
+            },
+            "dwconv" => Layer::DwConv {
+                channels: f.usize("c")?,
+                kernel: f.usize("k")?,
+                stride: f.usize("s")?,
+                padding: f.usize("p")?,
+                in_hw: f.hw("hw")?,
+                activation: f.activation()?,
+            },
+            "matmul" => Layer::Matmul {
+                m: f.usize("m")?,
+                k: f.usize("k")?,
+                n: f.usize("n")?,
+                activation: f.activation()?,
+            },
+            "resadd" => Layer::ResAdd {
+                elements: f.usize("elems")?,
+            },
+            "pool" => Layer::Pool {
+                kind: match f.str("kind")? {
+                    "max" => PoolKind::Max,
+                    "avg" => PoolKind::Avg,
+                    other => return Err(err(lineno, format!("unknown pool kind `{other}`"))),
+                },
+                size: f.usize("size")?,
+                stride: f.usize("s")?,
+                padding: f.usize("p")?,
+                channels: f.usize("c")?,
+                in_hw: f.hw("hw")?,
+            },
+            "layernorm" => Layer::LayerNorm {
+                rows: f.usize("rows")?,
+                cols: f.usize("cols")?,
+            },
+            "softmax" => Layer::Softmax {
+                rows: f.usize("rows")?,
+                cols: f.usize("cols")?,
+            },
+            other => return Err(err(lineno, format!("unknown layer kind `{other}`"))),
+        };
+        net.push(name, layer);
+    }
+    net.ok_or_else(|| err(0, "input contains no `network` header"))
+}
+
+/// Serializes a network to the textual format parsed by [`parse_network`].
+pub fn serialize_network(net: &Network) -> String {
+    let mut out = format!("network {}\n", net.name());
+    for nl in net.layers() {
+        let line = match &nl.layer {
+            Layer::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => format!(
+                "conv name={} in={in_channels} out={out_channels} k={kernel} s={stride} p={padding} hw={}x{} act={activation}",
+                nl.name, in_hw.0, in_hw.1
+            ),
+            Layer::DwConv {
+                channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => format!(
+                "dwconv name={} c={channels} k={kernel} s={stride} p={padding} hw={}x{} act={activation}",
+                nl.name, in_hw.0, in_hw.1
+            ),
+            Layer::Matmul { m, k, n, activation } => {
+                format!("matmul name={} m={m} k={k} n={n} act={activation}", nl.name)
+            }
+            Layer::ResAdd { elements } => format!("resadd name={} elems={elements}", nl.name),
+            Layer::Pool {
+                kind,
+                size,
+                stride,
+                padding,
+                channels,
+                in_hw,
+            } => format!(
+                "pool name={} kind={kind} size={size} s={stride} p={padding} c={channels} hw={}x{}",
+                nl.name, in_hw.0, in_hw.1
+            ),
+            Layer::LayerNorm { rows, cols } => {
+                format!("layernorm name={} rows={rows} cols={cols}", nl.name)
+            }
+            Layer::Softmax { rows, cols } => {
+                format!("softmax name={} rows={rows} cols={cols}", nl.name)
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LayerClass;
+
+    const SAMPLE: &str = "\
+# a tiny test network
+network tiny
+
+conv name=stem in=3 out=64 k=7 s=2 p=3 hw=224x224 act=relu
+dwconv name=dw c=64 k=3 s=1 p=1 hw=112x112 act=relu6
+pool name=p kind=max size=3 s=2 p=1 c=64 hw=112x112
+matmul name=fc m=1 k=2048 n=1000 act=none
+resadd name=skip elems=1024
+layernorm name=ln rows=128 cols=768
+softmax name=sm rows=12 cols=128
+";
+
+    #[test]
+    fn parses_all_layer_kinds() {
+        let net = parse_network(SAMPLE).unwrap();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(net.len(), 7);
+        assert_eq!(net.count_of_class(LayerClass::Conv), 2);
+        assert_eq!(net.count_of_class(LayerClass::Norm), 2);
+        assert_eq!(net.layers()[0].name, "stem");
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let net = parse_network(SAMPLE).unwrap();
+        let text = serialize_network(&net);
+        let again = parse_network(&text).unwrap();
+        assert_eq!(net, again);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let e = parse_network("conv name=c in=3 out=8 k=1 s=1 p=0 hw=8x8").unwrap_err();
+        assert!(e.message.contains("before `network`"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_network("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn missing_field_names_the_field_and_line() {
+        let e = parse_network("network t\nconv name=c in=3 out=8 k=1 s=1 p=0").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("`hw`"), "{e}");
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let e = parse_network("network t\nmatmul name=f m=x k=1 n=1").unwrap_err();
+        assert!(e.message.contains("not a number"));
+    }
+
+    #[test]
+    fn unknown_kind_and_activation_are_reported() {
+        assert!(parse_network("network t\nblah name=x").is_err());
+        let e = parse_network("network t\nmatmul name=f m=1 k=1 n=1 act=tanh").unwrap_err();
+        assert!(e.message.contains("unknown activation"));
+    }
+
+    #[test]
+    fn duplicate_field_is_reported() {
+        let e = parse_network("network t\nresadd name=r elems=1 elems=2").unwrap_err();
+        assert!(e.message.contains("duplicate field"));
+    }
+
+    #[test]
+    fn duplicate_header_is_reported() {
+        let e = parse_network("network a\nnetwork b").unwrap_err();
+        assert!(e.message.contains("duplicate `network`"));
+    }
+
+    #[test]
+    fn activation_defaults_to_none() {
+        let net = parse_network("network t\nmatmul name=f m=1 k=1 n=1").unwrap();
+        assert!(matches!(
+            net.layers()[0].layer,
+            Layer::Matmul {
+                activation: Activation::None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = parse_network("network t\nmatmul name=f m=x k=1 n=1").unwrap_err();
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Activation functions implemented by the accelerator's peripheral
+//! circuitry (the paper lists ReLU and ReLU6 as the supported non-linear
+//! activations).
+
+use crate::tensor::Tensor;
+
+/// Types that ReLU-style activations operate on.
+pub trait ActivationValue: Copy + PartialOrd {
+    /// The additive identity for this type.
+    const ZERO: Self;
+}
+
+impl ActivationValue for i8 {
+    const ZERO: Self = 0;
+}
+impl ActivationValue for i32 {
+    const ZERO: Self = 0;
+}
+impl ActivationValue for f32 {
+    const ZERO: Self = 0.0;
+}
+
+/// `max(0, x)`.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_dnn::ops::relu;
+/// assert_eq!(relu(-3i8), 0);
+/// assert_eq!(relu(3i8), 3);
+/// ```
+#[inline]
+pub fn relu<T: ActivationValue>(x: T) -> T {
+    if x < T::ZERO {
+        T::ZERO
+    } else {
+        x
+    }
+}
+
+/// `min(max(0, x), six)` where `six` is the quantized representation of 6.0
+/// (it depends on the layer's output scale, so the caller supplies it).
+#[inline]
+pub fn relu6<T: ActivationValue>(x: T, six: T) -> T {
+    let r = relu(x);
+    if r > six {
+        six
+    } else {
+        r
+    }
+}
+
+/// Applies ReLU to every element of a tensor.
+pub fn relu_tensor<T: ActivationValue>(t: &Tensor<T>) -> Tensor<T> {
+    t.map(relu)
+}
+
+/// Applies ReLU6 to every element of a tensor.
+pub fn relu6_tensor<T: ActivationValue>(t: &Tensor<T>, six: T) -> Tensor<T> {
+    t.map(|x| relu6(x, six))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        assert_eq!(relu(-128i8), 0);
+        assert_eq!(relu(0i8), 0);
+        assert_eq!(relu(127i8), 127);
+        assert_eq!(relu(-1.5f32), 0.0);
+        assert_eq!(relu(1.5f32), 1.5);
+        assert_eq!(relu(-7i32), 0);
+    }
+
+    #[test]
+    fn relu6_clamps_both_ends() {
+        assert_eq!(relu6(-5i8, 6), 0);
+        assert_eq!(relu6(3i8, 6), 3);
+        assert_eq!(relu6(100i8, 6), 6);
+        // Quantized "6" can be any value, e.g. scale 0.05 -> six = 120.
+        assert_eq!(relu6(127i8, 120), 120);
+        assert_eq!(relu6(9.0f32, 6.0), 6.0);
+    }
+
+    #[test]
+    fn tensor_variants_are_elementwise() {
+        let t = Tensor::from_vec(&[4], vec![-2i32, 0, 5, 99]);
+        assert_eq!(relu_tensor(&t).as_slice(), &[0, 0, 5, 99]);
+        assert_eq!(relu6_tensor(&t, 6).as_slice(), &[0, 0, 5, 6]);
+    }
+}

@@ -1,0 +1,163 @@
+//! AlexNet at 224×224 (torchvision layer dimensions).
+
+use crate::graph::{Activation, Layer, Network, PoolKind};
+
+/// Builds AlexNet (batch 1, 224×224 input, 1000-way classifier).
+pub fn alexnet() -> Network {
+    let mut net = Network::new("alexnet");
+    net.push(
+        "conv1",
+        Layer::Conv {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 11,
+            stride: 4,
+            padding: 2,
+            in_hw: (224, 224),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "pool1",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 64,
+            in_hw: (55, 55),
+        },
+    );
+    net.push(
+        "conv2",
+        Layer::Conv {
+            in_channels: 64,
+            out_channels: 192,
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+            in_hw: (27, 27),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "pool2",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 192,
+            in_hw: (27, 27),
+        },
+    );
+    net.push(
+        "conv3",
+        Layer::Conv {
+            in_channels: 192,
+            out_channels: 384,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (13, 13),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "conv4",
+        Layer::Conv {
+            in_channels: 384,
+            out_channels: 256,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (13, 13),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "conv5",
+        Layer::Conv {
+            in_channels: 256,
+            out_channels: 256,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (13, 13),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "pool5",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 256,
+            in_hw: (13, 13),
+        },
+    );
+    net.push(
+        "fc6",
+        Layer::Matmul {
+            m: 1,
+            k: 256 * 6 * 6,
+            n: 4096,
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "fc7",
+        Layer::Matmul {
+            m: 1,
+            k: 4096,
+            n: 4096,
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "fc8",
+        Layer::Matmul {
+            m: 1,
+            k: 4096,
+            n: 1000,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let net = alexnet();
+        assert_eq!(net.len(), 11);
+        // conv1 output is 55x55 (the classic AlexNet dimension).
+        assert_eq!(net.layers()[0].layer.out_hw(), Some((55, 55)));
+        // pool5 output is 6x6, feeding the 9216-wide fc6.
+        assert_eq!(net.layers()[7].layer.out_hw(), Some((6, 6)));
+    }
+
+    #[test]
+    fn fc_layers_dominate_weights() {
+        let net = alexnet();
+        let fc_weights: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Matmul { .. }))
+            .map(|l| l.layer.weight_bytes())
+            .sum();
+        let conv_weights: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Conv { .. }))
+            .map(|l| l.layer.weight_bytes())
+            .sum();
+        // AlexNet's well-known imbalance: ~58M of 61M parameters are FC.
+        assert!(fc_weights > 10 * conv_weights);
+    }
+}

@@ -1,0 +1,119 @@
+//! BERT-base at sequence length 128 (12 encoder blocks, hidden 768,
+//! 12 heads, FFN 3072).
+
+use crate::graph::{Activation, Layer, Network};
+
+/// Hidden dimension.
+const HIDDEN: usize = 768;
+/// Attention heads.
+const HEADS: usize = 12;
+/// Per-head dimension.
+const HEAD_DIM: usize = HIDDEN / HEADS;
+/// Feed-forward inner dimension.
+const FFN: usize = 3072;
+/// Sequence length the paper's language-model experiments use.
+const SEQ: usize = 128;
+
+fn matmul(m: usize, k: usize, n: usize) -> Layer {
+    Layer::Matmul {
+        m,
+        k,
+        n,
+        activation: Activation::None,
+    }
+}
+
+/// Builds BERT-base (batch 1, sequence length 128).
+pub fn bert_base() -> Network {
+    let mut net = Network::new("bert_base");
+    for b in 0..12 {
+        let tag = format!("enc{b}");
+        // Q, K, V projections.
+        net.push(format!("{tag}_q"), matmul(SEQ, HIDDEN, HIDDEN));
+        net.push(format!("{tag}_k"), matmul(SEQ, HIDDEN, HIDDEN));
+        net.push(format!("{tag}_v"), matmul(SEQ, HIDDEN, HIDDEN));
+        // Attention scores: per head [SEQ, HEAD_DIM] @ [HEAD_DIM, SEQ],
+        // batched across heads as one [HEADS*SEQ, HEAD_DIM, SEQ] GEMM.
+        net.push(format!("{tag}_scores"), matmul(HEADS * SEQ, HEAD_DIM, SEQ));
+        net.push(
+            format!("{tag}_softmax"),
+            Layer::Softmax {
+                rows: HEADS * SEQ,
+                cols: SEQ,
+            },
+        );
+        // Attention-weighted values: [HEADS*SEQ, SEQ] @ [SEQ, HEAD_DIM].
+        net.push(format!("{tag}_context"), matmul(HEADS * SEQ, SEQ, HEAD_DIM));
+        // Output projection.
+        net.push(format!("{tag}_out"), matmul(SEQ, HIDDEN, HIDDEN));
+        net.push(
+            format!("{tag}_add1"),
+            Layer::ResAdd {
+                elements: SEQ * HIDDEN,
+            },
+        );
+        net.push(
+            format!("{tag}_ln1"),
+            Layer::LayerNorm {
+                rows: SEQ,
+                cols: HIDDEN,
+            },
+        );
+        // Feed-forward network.
+        net.push(format!("{tag}_ffn1"), matmul(SEQ, HIDDEN, FFN));
+        net.push(format!("{tag}_ffn2"), matmul(SEQ, FFN, HIDDEN));
+        net.push(
+            format!("{tag}_add2"),
+            Layer::ResAdd {
+                elements: SEQ * HIDDEN,
+            },
+        );
+        net.push(
+            format!("{tag}_ln2"),
+            Layer::LayerNorm {
+                rows: SEQ,
+                cols: HIDDEN,
+            },
+        );
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LayerClass;
+
+    #[test]
+    fn per_block_structure() {
+        let net = bert_base();
+        assert_eq!(net.len(), 12 * 13);
+        // 8 matmuls per block.
+        assert_eq!(net.count_of_class(LayerClass::Matmul), 12 * 8);
+    }
+
+    #[test]
+    fn ffn_dominates_macs() {
+        // FFN is 2 * SEQ*768*3072 per block vs attention's 4 * SEQ*768*768
+        // + 2 * small: roughly 60%.
+        let net = bert_base();
+        let ffn: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("ffn"))
+            .map(|l| l.layer.macs())
+            .sum();
+        assert!(ffn * 2 > net.total_macs());
+    }
+
+    #[test]
+    fn attention_score_dims() {
+        let net = bert_base();
+        let scores = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "enc0_scores")
+            .unwrap();
+        assert_eq!(scores.layer, matmul(12 * 128, 64, 128));
+    }
+}

@@ -1,0 +1,185 @@
+//! MobileNetV2 at 224×224 — the depthwise-separable network the paper uses
+//! to show that low-reuse layers map poorly onto spatial arrays.
+
+use crate::graph::{Activation, Layer, Network, PoolKind};
+
+/// Appends one inverted-residual block; returns (out_channels, out_hw).
+fn inverted_residual(
+    net: &mut Network,
+    idx: usize,
+    in_ch: usize,
+    out_ch: usize,
+    expand: usize,
+    stride: usize,
+    hw: usize,
+) -> (usize, usize) {
+    let mid = in_ch * expand;
+    if expand != 1 {
+        net.push(
+            format!("block{idx}_expand"),
+            Layer::Conv {
+                in_channels: in_ch,
+                out_channels: mid,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                in_hw: (hw, hw),
+                activation: Activation::Relu6,
+            },
+        );
+    }
+    net.push(
+        format!("block{idx}_dw"),
+        Layer::DwConv {
+            channels: mid,
+            kernel: 3,
+            stride,
+            padding: 1,
+            in_hw: (hw, hw),
+            activation: Activation::Relu6,
+        },
+    );
+    let out_hw = (hw + 2 - 3) / stride + 1;
+    net.push(
+        format!("block{idx}_project"),
+        Layer::Conv {
+            in_channels: mid,
+            out_channels: out_ch,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_hw: (out_hw, out_hw),
+            activation: Activation::None,
+        },
+    );
+    if stride == 1 && in_ch == out_ch {
+        net.push(
+            format!("block{idx}_add"),
+            Layer::ResAdd {
+                elements: out_ch * out_hw * out_hw,
+            },
+        );
+    }
+    (out_ch, out_hw)
+}
+
+/// Builds MobileNetV2 (batch 1, 224×224 input, 1000-way classifier).
+pub fn mobilenetv2() -> Network {
+    let mut net = Network::new("mobilenetv2");
+    net.push(
+        "stem",
+        Layer::Conv {
+            in_channels: 3,
+            out_channels: 32,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            in_hw: (224, 224),
+            activation: Activation::Relu6,
+        },
+    );
+
+    // (expansion t, output channels c, repeats n, first stride s)
+    let settings: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+
+    let mut in_ch = 32;
+    let mut hw = 112;
+    let mut idx = 0;
+    for &(t, c, n, s) in &settings {
+        for rep in 0..n {
+            idx += 1;
+            let stride = if rep == 0 { s } else { 1 };
+            let (oc, ohw) = inverted_residual(&mut net, idx, in_ch, c, t, stride, hw);
+            in_ch = oc;
+            hw = ohw;
+        }
+    }
+
+    net.push(
+        "head",
+        Layer::Conv {
+            in_channels: 320,
+            out_channels: 1280,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_hw: (7, 7),
+            activation: Activation::Relu6,
+        },
+    );
+    net.push(
+        "avgpool",
+        Layer::Pool {
+            kind: PoolKind::Avg,
+            size: 7,
+            stride: 7,
+            padding: 0,
+            channels: 1280,
+            in_hw: (7, 7),
+        },
+    );
+    net.push(
+        "classifier",
+        Layer::Matmul {
+            m: 1,
+            k: 1280,
+            n: 1000,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LayerClass;
+
+    #[test]
+    fn seventeen_blocks() {
+        let net = mobilenetv2();
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::DwConv { .. }))
+            .count();
+        assert_eq!(dw, 17); // 1+2+3+4+3+3+1
+    }
+
+    #[test]
+    fn residual_adds_only_on_stride1_same_channel_blocks() {
+        let net = mobilenetv2();
+        // t=6,c=24,n=2: second repeat adds; similar for later groups:
+        // adds = (n-1) per group with n>1 = 1+2+3+2+2 = 10.
+        assert_eq!(net.count_of_class(LayerClass::ResAdd), 10);
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7() {
+        let net = mobilenetv2();
+        let head = net.layers().iter().find(|l| l.name == "head").unwrap();
+        assert_eq!(head.layer.out_hw(), Some((7, 7)));
+    }
+
+    #[test]
+    fn depthwise_macs_are_small_but_layers_are_many() {
+        // The paper's point: depthwise convs are a large layer count but a
+        // small MAC fraction with very low reuse.
+        let net = mobilenetv2();
+        let dw_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::DwConv { .. }))
+            .map(|l| l.layer.macs())
+            .sum();
+        assert!(dw_macs * 5 < net.total_macs());
+    }
+}

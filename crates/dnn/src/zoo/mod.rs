@@ -1,0 +1,175 @@
+//! The model zoo: the five networks the paper evaluates (Fig. 7), plus a
+//! tiny CNN used by functional end-to-end tests.
+//!
+//! Layer dimensions follow the canonical architectures (torchvision /
+//! HuggingFace definitions) at the paper's input sizes: 224×224 images for
+//! the CNNs, sequence length 128 for BERT-base. Weights are not stored here
+//! — performance depends only on shapes, and functional tests generate
+//! deterministic tensors on demand.
+
+mod alexnet;
+mod bert;
+mod mobilenetv2;
+mod resnet50;
+mod squeezenet;
+
+pub use alexnet::alexnet;
+pub use bert::bert_base;
+pub use mobilenetv2::mobilenetv2;
+pub use resnet50::resnet50;
+pub use squeezenet::squeezenet_v11;
+
+use crate::graph::{Activation, Layer, Network};
+
+/// All five evaluated networks, in the order Fig. 7 reports them.
+pub fn all() -> Vec<Network> {
+    vec![
+        resnet50(),
+        alexnet(),
+        squeezenet_v11(),
+        mobilenetv2(),
+        bert_base(),
+    ]
+}
+
+/// A deliberately small CNN (8×8 input) exercising conv, pooling, residual
+/// addition and a classifier matmul — small enough to run through the
+/// *functional* accelerator simulator in tests.
+pub fn tiny_cnn() -> Network {
+    let mut net = Network::new("tiny_cnn");
+    net.push(
+        "conv1",
+        Layer::Conv {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (8, 8),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "conv2",
+        Layer::Conv {
+            in_channels: 8,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (8, 8),
+            activation: Activation::None,
+        },
+    );
+    net.push(
+        "skip",
+        Layer::ResAdd {
+            elements: 8 * 8 * 8,
+        },
+    );
+    net.push(
+        "pool",
+        Layer::Pool {
+            kind: crate::graph::PoolKind::Max,
+            size: 2,
+            stride: 2,
+            padding: 0,
+            channels: 8,
+            in_hw: (8, 8),
+        },
+    );
+    net.push(
+        "fc",
+        Layer::Matmul {
+            m: 1,
+            k: 8 * 4 * 4,
+            n: 10,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LayerClass;
+
+    #[test]
+    fn all_returns_five_networks() {
+        let nets = all();
+        assert_eq!(nets.len(), 5);
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "resnet50",
+                "alexnet",
+                "squeezenet_v1.1",
+                "mobilenetv2",
+                "bert_base"
+            ]
+        );
+    }
+
+    #[test]
+    fn gmac_counts_match_published_architectures() {
+        // Published MAC counts (batch 1): ResNet50 ≈ 4.1G, AlexNet ≈ 0.7G,
+        // SqueezeNet1.1 ≈ 0.35G, MobileNetV2 ≈ 0.3G, BERT-base@128 ≈ 11G.
+        let check = |net: Network, lo: f64, hi: f64| {
+            let g = net.total_macs() as f64 / 1e9;
+            assert!(
+                g > lo && g < hi,
+                "{}: {g:.3} GMACs outside [{lo}, {hi}]",
+                net.name()
+            );
+        };
+        check(resnet50(), 3.7, 4.5);
+        check(alexnet(), 0.5, 0.9);
+        check(squeezenet_v11(), 0.25, 0.45);
+        check(mobilenetv2(), 0.25, 0.45);
+        check(bert_base(), 9.0, 13.0);
+    }
+
+    #[test]
+    fn resnet50_has_all_three_layer_classes() {
+        let net = resnet50();
+        assert!(net.count_of_class(LayerClass::Conv) >= 49);
+        assert_eq!(net.count_of_class(LayerClass::Matmul), 1);
+        assert_eq!(net.count_of_class(LayerClass::ResAdd), 16);
+    }
+
+    #[test]
+    fn mobilenetv2_is_depthwise_heavy() {
+        let net = mobilenetv2();
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::DwConv { .. }))
+            .count();
+        assert_eq!(dw, 17);
+    }
+
+    #[test]
+    fn bert_has_twelve_encoder_blocks() {
+        let net = bert_base();
+        assert_eq!(net.count_of_class(LayerClass::Norm), 12 * 3); // 2 LN + 1 softmax per block
+        assert_eq!(net.count_of_class(LayerClass::ResAdd), 12 * 2);
+    }
+
+    #[test]
+    fn tiny_cnn_is_actually_tiny() {
+        let net = tiny_cnn();
+        assert!(net.total_macs() < 1_000_000);
+        assert_eq!(net.len(), 5);
+    }
+
+    #[test]
+    fn zoo_networks_serialize_and_reparse() {
+        for net in all() {
+            let text = crate::loader::serialize_network(&net);
+            let again = crate::loader::parse_network(&text).unwrap();
+            assert_eq!(net, again, "{} failed to round-trip", net.name());
+        }
+    }
+}

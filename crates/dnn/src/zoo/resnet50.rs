@@ -1,0 +1,216 @@
+//! ResNet50 at 224×224 (torchvision layer dimensions).
+
+use crate::graph::{Activation, Layer, Network, PoolKind};
+
+#[allow(clippy::too_many_arguments)]
+fn conv(
+    net: &mut Network,
+    name: String,
+    ic: usize,
+    oc: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    hw: usize,
+    act: Activation,
+) {
+    net.push(
+        name,
+        Layer::Conv {
+            in_channels: ic,
+            out_channels: oc,
+            kernel: k,
+            stride: s,
+            padding: p,
+            in_hw: (hw, hw),
+            activation: act,
+        },
+    );
+}
+
+/// Appends one bottleneck block: 1×1 reduce, 3×3, 1×1 expand, plus the
+/// projection shortcut on the first block of a stage and the residual add.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    net: &mut Network,
+    stage: usize,
+    block: usize,
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    hw: usize,
+    stride: usize,
+) -> usize {
+    let tag = format!("conv{}_{}", stage, block);
+    let out_hw = hw / stride;
+    conv(
+        net,
+        format!("{tag}_1x1a"),
+        in_ch,
+        mid_ch,
+        1,
+        1,
+        0,
+        hw,
+        Activation::Relu,
+    );
+    conv(
+        net,
+        format!("{tag}_3x3"),
+        mid_ch,
+        mid_ch,
+        3,
+        stride,
+        1,
+        hw,
+        Activation::Relu,
+    );
+    conv(
+        net,
+        format!("{tag}_1x1b"),
+        mid_ch,
+        out_ch,
+        1,
+        1,
+        0,
+        out_hw,
+        Activation::None,
+    );
+    if block == 1 {
+        // Projection shortcut (also downsamples when stride > 1).
+        conv(
+            net,
+            format!("{tag}_proj"),
+            in_ch,
+            out_ch,
+            1,
+            stride,
+            0,
+            hw,
+            Activation::None,
+        );
+    }
+    net.push(
+        format!("{tag}_add"),
+        Layer::ResAdd {
+            elements: out_ch * out_hw * out_hw,
+        },
+    );
+    out_hw
+}
+
+/// Builds ResNet50 (batch 1, 224×224 input, 1000-way classifier).
+pub fn resnet50() -> Network {
+    let mut net = Network::new("resnet50");
+    conv(
+        &mut net,
+        "conv1".to_string(),
+        3,
+        64,
+        7,
+        2,
+        3,
+        224,
+        Activation::Relu,
+    );
+    net.push(
+        "maxpool",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 1,
+            channels: 64,
+            in_hw: (112, 112),
+        },
+    );
+
+    // (blocks, mid channels, out channels, first-block stride)
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    let mut hw = 56;
+    let mut in_ch = 64;
+    for (si, &(blocks, mid, out, first_stride)) in stages.iter().enumerate() {
+        for b in 1..=blocks {
+            let stride = if b == 1 { first_stride } else { 1 };
+            hw = bottleneck(&mut net, si + 2, b, in_ch, mid, out, hw, stride);
+            in_ch = out;
+        }
+    }
+
+    net.push(
+        "avgpool",
+        Layer::Pool {
+            kind: PoolKind::Avg,
+            size: 7,
+            stride: 7,
+            padding: 0,
+            channels: 2048,
+            in_hw: (7, 7),
+        },
+    );
+    net.push(
+        "fc",
+        Layer::Matmul {
+            m: 1,
+            k: 2048,
+            n: 1000,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_matches_architecture() {
+        let net = resnet50();
+        // 1 stem + 16 blocks x 3 convs + 4 projections = 53 convolutions.
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Conv { .. }))
+            .count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn spatial_sizes_shrink_correctly() {
+        let net = resnet50();
+        // The final residual add covers 2048 channels of 7x7.
+        let last_add = net
+            .layers()
+            .iter()
+            .rev()
+            .find(|l| matches!(l.layer, Layer::ResAdd { .. }))
+            .unwrap();
+        assert_eq!(
+            last_add.layer,
+            Layer::ResAdd {
+                elements: 2048 * 7 * 7
+            }
+        );
+    }
+
+    #[test]
+    fn stem_is_the_classic_7x7() {
+        let net = resnet50();
+        assert!(matches!(
+            net.layers()[0].layer,
+            Layer::Conv {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 7,
+                stride: 2,
+                ..
+            }
+        ));
+    }
+}

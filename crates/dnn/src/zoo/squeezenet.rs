@@ -1,0 +1,156 @@
+//! SqueezeNet v1.1 at 224×224 (the lighter revision the paper evaluates).
+
+use crate::graph::{Activation, Layer, Network, PoolKind};
+
+/// Appends one fire module: a 1×1 squeeze followed by parallel 1×1 and 3×3
+/// expands (whose outputs concatenate channel-wise).
+fn fire(net: &mut Network, idx: usize, in_ch: usize, squeeze: usize, expand: usize, hw: usize) {
+    net.push(
+        format!("fire{idx}_squeeze1x1"),
+        Layer::Conv {
+            in_channels: in_ch,
+            out_channels: squeeze,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_hw: (hw, hw),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        format!("fire{idx}_expand1x1"),
+        Layer::Conv {
+            in_channels: squeeze,
+            out_channels: expand,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_hw: (hw, hw),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        format!("fire{idx}_expand3x3"),
+        Layer::Conv {
+            in_channels: squeeze,
+            out_channels: expand,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (hw, hw),
+            activation: Activation::Relu,
+        },
+    );
+}
+
+/// Builds SqueezeNet v1.1 (batch 1, 224×224 input, 1000-way classifier).
+pub fn squeezenet_v11() -> Network {
+    let mut net = Network::new("squeezenet_v1.1");
+    net.push(
+        "conv1",
+        Layer::Conv {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+            in_hw: (224, 224),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "pool1",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 64,
+            in_hw: (111, 111),
+        },
+    );
+    fire(&mut net, 2, 64, 16, 64, 55);
+    fire(&mut net, 3, 128, 16, 64, 55);
+    net.push(
+        "pool3",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 128,
+            in_hw: (55, 55),
+        },
+    );
+    fire(&mut net, 4, 128, 32, 128, 27);
+    fire(&mut net, 5, 256, 32, 128, 27);
+    net.push(
+        "pool5",
+        Layer::Pool {
+            kind: PoolKind::Max,
+            size: 3,
+            stride: 2,
+            padding: 0,
+            channels: 256,
+            in_hw: (27, 27),
+        },
+    );
+    fire(&mut net, 6, 256, 48, 192, 13);
+    fire(&mut net, 7, 384, 48, 192, 13);
+    fire(&mut net, 8, 384, 64, 256, 13);
+    fire(&mut net, 9, 512, 64, 256, 13);
+    net.push(
+        "conv10",
+        Layer::Conv {
+            in_channels: 512,
+            out_channels: 1000,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_hw: (13, 13),
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "avgpool",
+        Layer::Pool {
+            kind: PoolKind::Avg,
+            size: 13,
+            stride: 13,
+            padding: 0,
+            channels: 1000,
+            in_hw: (13, 13),
+        },
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_fire_modules() {
+        let net = squeezenet_v11();
+        let squeezes = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("squeeze"))
+            .count();
+        assert_eq!(squeezes, 8);
+    }
+
+    #[test]
+    fn conv1_output_is_111() {
+        // v1.1 stem: 3x3 stride 2 no padding: (224-3)/2+1 = 111.
+        let net = squeezenet_v11();
+        assert_eq!(net.layers()[0].layer.out_hw(), Some((111, 111)));
+    }
+
+    #[test]
+    fn no_fc_layers_at_all() {
+        // SqueezeNet famously ends with conv10 + global average pool.
+        let net = squeezenet_v11();
+        assert_eq!(net.count_of_class(crate::graph::LayerClass::Matmul), 0);
+    }
+}

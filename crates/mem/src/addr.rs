@@ -1,0 +1,238 @@
+//! Address newtypes and line/page arithmetic.
+//!
+//! Physical and virtual addresses are distinct types so that the translation
+//! boundary (the `gemmini-vm` crate's job) can never be crossed accidentally: a DMA
+//! engine holding a [`VirtAddr`] must go through the TLB to obtain a
+//! [`PhysAddr`] before it can touch the cache hierarchy.
+
+use std::fmt;
+
+/// Size of a memory page in bytes (4 KiB, as in sv39).
+pub const PAGE_SIZE: u64 = 4096;
+/// Log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Size of a cache line in bytes.
+pub const LINE_SIZE: u64 = 64;
+/// Log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A physical memory address.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::addr::PhysAddr;
+/// let a = PhysAddr::new(0x8000_1234);
+/// assert_eq!(a.line_index(), 0x8000_1234 >> 6);
+/// assert_eq!(a.offset_in_page(), 0x234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A virtual memory address, meaningful only within one address space.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::addr::VirtAddr;
+/// let v = VirtAddr::new(0x1000);
+/// assert_eq!(v.page_number(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+macro_rules! addr_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Creates an address from a raw integer value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address advanced by `bytes`.
+            #[inline]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Returns the page number (address divided by [`PAGE_SIZE`]).
+            #[inline]
+            pub const fn page_number(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Returns the byte offset within the page.
+            #[inline]
+            pub const fn offset_in_page(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Returns the cache-line index (address divided by [`LINE_SIZE`]).
+            #[inline]
+            pub const fn line_index(self) -> u64 {
+                self.0 >> LINE_SHIFT
+            }
+
+            /// Returns the address rounded down to its cache-line boundary.
+            #[inline]
+            pub const fn line_aligned(self) -> Self {
+                Self(self.0 & !(LINE_SIZE - 1))
+            }
+
+            /// Returns the address rounded down to its page boundary.
+            #[inline]
+            pub const fn page_aligned(self) -> Self {
+                Self(self.0 & !(PAGE_SIZE - 1))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(a: $ty) -> u64 {
+                a.raw()
+            }
+        }
+    };
+}
+
+addr_common!(PhysAddr);
+addr_common!(VirtAddr);
+
+/// Iterates over the cache lines touched by the byte range `[start, start + len)`.
+///
+/// Yields line-aligned addresses of the same type as `start`.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::addr::{lines_in_range, PhysAddr, LINE_SIZE};
+/// let lines: Vec<_> = lines_in_range(PhysAddr::new(60), 10).collect();
+/// assert_eq!(lines, vec![PhysAddr::new(0), PhysAddr::new(64)]);
+/// ```
+pub fn lines_in_range(start: PhysAddr, len: u64) -> impl Iterator<Item = PhysAddr> {
+    let first = start.line_index();
+    let last = if len == 0 {
+        first
+    } else {
+        (start.raw() + len - 1) >> LINE_SHIFT
+    };
+    let count = if len == 0 { 0 } else { last - first + 1 };
+    (0..count).map(move |i| PhysAddr::new((first + i) << LINE_SHIFT))
+}
+
+/// Returns the number of cache lines touched by a byte range of length `len`
+/// starting at `start`.
+pub fn line_count(start: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = start >> LINE_SHIFT;
+    let last = (start + len - 1) >> LINE_SHIFT;
+    last - first + 1
+}
+
+/// Iterates over the virtual pages touched by `[start, start + len)`.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::addr::{pages_in_range, VirtAddr};
+/// let pages: Vec<_> = pages_in_range(VirtAddr::new(4090), 10).map(|p| p.page_number()).collect();
+/// assert_eq!(pages, vec![0, 1]);
+/// ```
+pub fn pages_in_range(start: VirtAddr, len: u64) -> impl Iterator<Item = VirtAddr> {
+    let first = start.page_number();
+    let last = if len == 0 {
+        first
+    } else {
+        (start.raw() + len - 1) >> PAGE_SHIFT
+    };
+    let count = if len == 0 { 0 } else { last - first + 1 };
+    (0..count).map(move |i| VirtAddr::new((first + i) << PAGE_SHIFT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_line_arithmetic() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.page_number(), 1);
+        assert_eq!(a.offset_in_page(), 0x234);
+        assert_eq!(a.line_aligned(), PhysAddr::new(0x1200));
+        assert_eq!(a.page_aligned(), PhysAddr::new(0x1000));
+    }
+
+    #[test]
+    fn zero_length_ranges_touch_nothing() {
+        assert_eq!(lines_in_range(PhysAddr::new(100), 0).count(), 0);
+        assert_eq!(pages_in_range(VirtAddr::new(100), 0).count(), 0);
+        assert_eq!(line_count(100, 0), 0);
+    }
+
+    #[test]
+    fn single_byte_touches_one_line_and_page() {
+        assert_eq!(lines_in_range(PhysAddr::new(63), 1).count(), 1);
+        assert_eq!(lines_in_range(PhysAddr::new(63), 2).count(), 2);
+        assert_eq!(pages_in_range(VirtAddr::new(4095), 1).count(), 1);
+        assert_eq!(pages_in_range(VirtAddr::new(4095), 2).count(), 2);
+    }
+
+    #[test]
+    fn exact_line_spans() {
+        // A full line starting at a line boundary touches exactly one line.
+        assert_eq!(lines_in_range(PhysAddr::new(128), 64).count(), 1);
+        // Starting mid-line, the same length spills into a second line.
+        assert_eq!(lines_in_range(PhysAddr::new(130), 64).count(), 2);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(0xabc).to_string(), "0xabc");
+        assert_eq!(format!("{:x}", VirtAddr::new(0xabc)), "abc");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a = PhysAddr::from(42u64);
+        assert_eq!(u64::from(a), 42);
+    }
+
+    #[test]
+    fn line_count_matches_iterator() {
+        for start in [0u64, 1, 63, 64, 65, 4095] {
+            for len in [0u64, 1, 63, 64, 65, 128, 4096] {
+                assert_eq!(
+                    line_count(start, len),
+                    lines_in_range(PhysAddr::new(start), len).count() as u64,
+                    "start={start} len={len}"
+                );
+            }
+        }
+    }
+}

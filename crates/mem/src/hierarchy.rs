@@ -1,0 +1,275 @@
+//! The composed memory hierarchy: bus → shared L2 → DRAM.
+//!
+//! [`MemorySystem`] is the single object the rest of the stack (accelerator
+//! DMA engines, CPU models, the page-table walker) uses to account for
+//! off-accelerator memory time. It is shared state: in multi-core SoCs every
+//! core's traffic flows through one `MemorySystem`, which is how the Fig. 9
+//! contention effects arise.
+
+use crate::addr::{lines_in_range, PhysAddr};
+use crate::bus::{Bus, BusConfig};
+use crate::cache::{AccessKind, Cache, CacheConfig};
+use crate::dram::{DramConfig, DramModel};
+use crate::stats::TrafficStats;
+use crate::Cycle;
+use std::collections::HashMap;
+
+/// Configuration for the whole off-chip memory path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemorySystemConfig {
+    /// System-bus parameters.
+    pub bus: BusConfig,
+    /// Shared L2 parameters.
+    pub l2: CacheConfig,
+    /// DRAM channel parameters.
+    pub dram: DramConfig,
+}
+
+impl MemorySystemConfig {
+    /// Validates every component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first component error encountered.
+    pub fn validate(&self) -> Result<(), String> {
+        self.bus.validate()?;
+        self.l2.validate()?;
+        self.dram.validate()
+    }
+}
+
+/// Identifies which requestor issued an access, for per-port statistics.
+pub type PortId = usize;
+
+/// Composed bus → L2 → DRAM timing model with per-port traffic statistics.
+///
+/// Accesses are line-granular: a request for `bytes` starting at `addr` is
+/// split into cache-line accesses, each looked up in the L2; misses pay the
+/// DRAM latency and occupy the shared DRAM channel.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::hierarchy::{MemorySystem, MemorySystemConfig};
+/// use gemmini_mem::addr::PhysAddr;
+///
+/// let mut mem = MemorySystem::new(MemorySystemConfig::default());
+/// let miss = mem.read(0, 0, PhysAddr::new(0x8000_0000), 64);
+/// let hit = mem.read(0, miss, PhysAddr::new(0x8000_0000), 64);
+/// assert!(hit - miss < miss); // the hit is much cheaper than the cold miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemorySystemConfig,
+    bus: Bus,
+    l2: Cache,
+    dram: DramModel,
+    port_traffic: HashMap<PortId, TrafficStats>,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MemorySystemConfig::validate`].
+    pub fn new(config: MemorySystemConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid memory-system configuration: {e}");
+        }
+        Self {
+            config,
+            bus: Bus::new(config.bus),
+            l2: Cache::new(config.l2),
+            dram: DramModel::new(config.dram),
+            port_traffic: HashMap::new(),
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.config
+    }
+
+    fn port_stats_mut(&mut self, port: PortId) -> &mut TrafficStats {
+        self.port_traffic.entry(port).or_default()
+    }
+
+    fn access(
+        &mut self,
+        port: PortId,
+        now: Cycle,
+        addr: PhysAddr,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> Cycle {
+        // Bus transfer for the whole burst.
+        let bus_done = self.bus.transfer(now, bytes);
+        // L2 lookup per line; misses serialize on the DRAM channel.
+        let mut done = bus_done;
+        for line in lines_in_range(addr, bytes) {
+            let res = self.l2.access(line, kind);
+            let line_done = if res.hit {
+                bus_done + res.latency
+            } else {
+                let fill_done = self
+                    .dram
+                    .transfer(bus_done + res.latency, crate::addr::LINE_SIZE);
+                if res.writeback {
+                    // The dirty victim's writeback occupies the DRAM channel
+                    // (delaying later requests) but the demand fill does not
+                    // wait for it to finish.
+                    let _ = self
+                        .dram
+                        .transfer(bus_done + res.latency, crate::addr::LINE_SIZE);
+                }
+                fill_done
+            };
+            done = done.max(line_done);
+        }
+        let stats = self.port_stats_mut(port);
+        match kind {
+            AccessKind::Read => stats.record_read(bytes),
+            AccessKind::Write => stats.record_write(bytes),
+        }
+        done
+    }
+
+    /// Reads `bytes` starting at `addr` on behalf of `port`; returns the
+    /// completion cycle.
+    pub fn read(&mut self, port: PortId, now: Cycle, addr: PhysAddr, bytes: u64) -> Cycle {
+        self.access(port, now, addr, bytes, AccessKind::Read)
+    }
+
+    /// Writes `bytes` starting at `addr` on behalf of `port`; returns the
+    /// completion cycle.
+    pub fn write(&mut self, port: PortId, now: Cycle, addr: PhysAddr, bytes: u64) -> Cycle {
+        self.access(port, now, addr, bytes, AccessKind::Write)
+    }
+
+    /// The shared L2 (for statistics and probing).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Mutable access to the shared L2 (e.g. to flush it on OS events).
+    pub fn l2_mut(&mut self) -> &mut Cache {
+        &mut self.l2
+    }
+
+    /// The DRAM channel model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// The system bus model.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Traffic generated by `port`, if any was recorded.
+    pub fn port_traffic(&self, port: PortId) -> Option<&TrafficStats> {
+        self.port_traffic.get(&port)
+    }
+
+    /// Resets all statistics (tag state and channel occupancy are preserved).
+    pub fn reset_stats(&mut self) {
+        self.l2.reset_stats();
+        self.dram.reset_stats();
+        self.bus.reset_stats();
+        self.port_traffic.clear();
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        Self::new(MemorySystemConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MemorySystemConfig::default())
+    }
+
+    #[test]
+    fn read_signature_misses_then_hits() {
+        let mut m = sys();
+        let a = PhysAddr::new(0x8000_0000);
+        let t1 = m.read(0, 0, a, 64);
+        let t2 = m.read(0, t1, a, 64);
+        // Cold miss pays DRAM latency; hit pays only bus + L2 latency.
+        assert!(t1 >= m.config().dram.latency);
+        assert!(t2 - t1 <= m.config().bus.arbitration_latency + 4 + m.config().l2.hit_latency);
+        assert_eq!(m.l2().stats().hits(), 1);
+        assert_eq!(m.l2().stats().misses(), 1);
+    }
+
+    #[test]
+    fn multi_line_burst_touches_every_line() {
+        let mut m = sys();
+        m.read(0, 0, PhysAddr::new(0), 256);
+        assert_eq!(m.l2().stats().accesses(), 4);
+    }
+
+    #[test]
+    fn unaligned_burst_touches_extra_line() {
+        let mut m = sys();
+        m.read(0, 0, PhysAddr::new(32), 64);
+        assert_eq!(m.l2().stats().accesses(), 2);
+    }
+
+    #[test]
+    fn per_port_traffic_is_separated() {
+        let mut m = sys();
+        m.read(0, 0, PhysAddr::new(0), 64);
+        m.write(1, 0, PhysAddr::new(4096), 128);
+        assert_eq!(m.port_traffic(0).unwrap().bytes_read, 64);
+        assert_eq!(m.port_traffic(1).unwrap().bytes_written, 128);
+        assert!(m.port_traffic(2).is_none());
+    }
+
+    #[test]
+    fn two_ports_contend_on_dram() {
+        let mut m = sys();
+        // Two cold misses at the same time: the second completes later
+        // because the DRAM channel serializes.
+        let t1 = m.read(0, 0, PhysAddr::new(0x1000_0000), 64);
+        let t2 = m.read(1, 0, PhysAddr::new(0x2000_0000), 64);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn writes_mark_lines_dirty_and_evictions_write_back() {
+        // Tiny L2 to force evictions quickly.
+        let mut m = MemorySystem::new(MemorySystemConfig {
+            l2: CacheConfig {
+                size_bytes: 8 * 64,
+                ways: 1,
+                hit_latency: 2,
+            },
+            ..MemorySystemConfig::default()
+        });
+        // Write 8 lines (fills the direct-mapped cache), then read 8 more
+        // lines that map onto the same sets -> dirty evictions.
+        for i in 0..8u64 {
+            m.write(0, 0, PhysAddr::new(i * 64), 64);
+        }
+        for i in 0..8u64 {
+            m.read(0, 0, PhysAddr::new(8 * 64 + i * 64), 64);
+        }
+        assert_eq!(m.l2().writebacks(), 8);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = sys();
+        m.read(0, 0, PhysAddr::new(0), 64);
+        m.reset_stats();
+        assert_eq!(m.l2().stats().accesses(), 0);
+        assert!(m.port_traffic(0).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Counters and windowed time-series statistics.
+//!
+//! The paper's profile figures (e.g. Fig. 4, TLB miss rate over a full
+//! ResNet50 inference) plot a *rate over time*. [`WindowedRate`] collects
+//! (cycle, hit/miss) events into fixed-width windows so the benchmark harness
+//! can print the same series.
+
+use crate::Cycle;
+
+/// Hit/miss counters for any cache-like structure.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::stats::HitMissStats;
+/// let mut s = HitMissStats::default();
+/// s.record(true);
+/// s.record(false);
+/// assert_eq!(s.accesses(), 2);
+/// assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMissStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl HitMissStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access; `hit` selects which counter is incremented.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total number of accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of accesses that hit; `0.0` when no accesses were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Fraction of accesses that missed; `0.0` when no accesses were recorded.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &HitMissStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// One point of a windowed rate series: the window's start cycle, its event
+/// counts, and the miss rate within the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// First cycle covered by the window.
+    pub start_cycle: Cycle,
+    /// Accesses that hit in this window.
+    pub hits: u64,
+    /// Accesses that missed in this window.
+    pub misses: u64,
+}
+
+impl WindowPoint {
+    /// Miss rate within this window; `0.0` for an empty window.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Collects hit/miss events into fixed-width cycle windows.
+///
+/// Used to regenerate the paper's Fig. 4: the DMA's TLB requests over a full
+/// inference, bucketed by time, showing miss-rate spikes at layer boundaries.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_mem::stats::WindowedRate;
+/// let mut w = WindowedRate::new(100);
+/// w.record(10, false);
+/// w.record(150, true);
+/// let series = w.series();
+/// assert_eq!(series.len(), 2);
+/// assert!((series[0].miss_rate() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedRate {
+    window: Cycle,
+    points: Vec<WindowPoint>,
+}
+
+impl WindowedRate {
+    /// Creates a series with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "window width must be non-zero");
+        Self {
+            window,
+            points: Vec::new(),
+        }
+    }
+
+    /// Window width in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Records one event at simulation time `now`.
+    ///
+    /// Events may arrive slightly out of order (overlapped load/store
+    /// streams); each is bucketed by its own timestamp.
+    pub fn record(&mut self, now: Cycle, hit: bool) {
+        let idx = (now / self.window) as usize;
+        if idx >= self.points.len() {
+            let base = self.points.len();
+            self.points.extend((base..=idx).map(|i| WindowPoint {
+                start_cycle: i as Cycle * self.window,
+                hits: 0,
+                misses: 0,
+            }));
+        }
+        let p = &mut self.points[idx];
+        if hit {
+            p.hits += 1;
+        } else {
+            p.misses += 1;
+        }
+    }
+
+    /// Returns the collected series, one point per window, in time order.
+    pub fn series(&self) -> &[WindowPoint] {
+        &self.points
+    }
+
+    /// The maximum per-window miss rate observed (ignoring empty windows).
+    pub fn peak_miss_rate(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.hits + p.misses > 0)
+            .map(|p| p.miss_rate())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Traffic counters for a memory component: bytes moved and transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes read through the component.
+    pub bytes_read: u64,
+    /// Bytes written through the component.
+    pub bytes_written: u64,
+    /// Read transactions.
+    pub reads: u64,
+    /// Write transactions.
+    pub writes: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes` bytes.
+    #[inline]
+    pub fn record_read(&mut self, bytes: u64) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+    }
+
+    /// Records a write of `bytes` bytes.
+    #[inline]
+    pub fn record_write(&mut self, bytes: u64) {
+        self.writes += 1;
+        self.bytes_written += bytes;
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_rates() {
+        let mut s = HitMissStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        for _ in 0..3 {
+            s.record(true);
+        }
+        s.record(false);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_miss_merge_and_reset() {
+        let mut a = HitMissStats::new();
+        a.record(true);
+        let mut b = HitMissStats::new();
+        b.record(false);
+        a.merge(&b);
+        assert_eq!(a.accesses(), 2);
+        a.reset();
+        assert_eq!(a.accesses(), 0);
+    }
+
+    #[test]
+    fn windowed_rate_buckets_by_time() {
+        let mut w = WindowedRate::new(10);
+        w.record(0, true);
+        w.record(9, false);
+        w.record(25, false);
+        let s = w.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].hits, 1);
+        assert_eq!(s[0].misses, 1);
+        assert_eq!(s[1].hits + s[1].misses, 0);
+        assert_eq!(s[2].misses, 1);
+        assert_eq!(s[1].start_cycle, 10);
+    }
+
+    #[test]
+    fn windowed_rate_out_of_order_events() {
+        let mut w = WindowedRate::new(10);
+        w.record(25, false);
+        w.record(5, true); // earlier than previous event
+        assert_eq!(w.series()[0].hits, 1);
+        assert_eq!(w.series()[2].misses, 1);
+    }
+
+    #[test]
+    fn peak_miss_rate_ignores_empty_windows() {
+        let mut w = WindowedRate::new(10);
+        w.record(0, true);
+        w.record(50, false);
+        assert!((w.peak_miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_panics() {
+        let _ = WindowedRate::new(0);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut t = TrafficStats::new();
+        t.record_read(64);
+        t.record_write(128);
+        assert_eq!(t.total_bytes(), 192);
+        assert_eq!(t.reads, 1);
+        assert_eq!(t.writes, 1);
+        let mut u = TrafficStats::new();
+        u.merge(&t);
+        assert_eq!(u.total_bytes(), 192);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the memory substrate's invariants.
+
+use gemmini_mem::addr::{line_count, lines_in_range, pages_in_range, PhysAddr, VirtAddr};
+use gemmini_mem::cache::{AccessKind, Cache, CacheConfig};
+use gemmini_mem::dram::{DramConfig, DramModel, MainMemory};
+use gemmini_mem::hierarchy::{MemorySystem, MemorySystemConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// The line iterator and the count agree, and every yielded line is
+    /// aligned and inside the range's span.
+    #[test]
+    fn line_iteration_invariants(start in 0u64..1_000_000, len in 0u64..10_000) {
+        let lines: Vec<PhysAddr> = lines_in_range(PhysAddr::new(start), len).collect();
+        prop_assert_eq!(lines.len() as u64, line_count(start, len));
+        for (i, l) in lines.iter().enumerate() {
+            prop_assert_eq!(l.raw() % 64, 0);
+            if i > 0 {
+                prop_assert_eq!(l.raw() - lines[i - 1].raw(), 64);
+            }
+        }
+        if len > 0 {
+            prop_assert!(lines.first().unwrap().raw() <= start);
+            prop_assert!(lines.last().unwrap().raw() < start + len);
+        }
+    }
+
+    /// Page iteration covers exactly the bytes of the range.
+    #[test]
+    fn page_iteration_covers_range(start in 0u64..1_000_000, len in 1u64..100_000) {
+        let pages: Vec<u64> = pages_in_range(VirtAddr::new(start), len)
+            .map(|p| p.page_number())
+            .collect();
+        prop_assert_eq!(*pages.first().unwrap(), start >> 12);
+        prop_assert_eq!(*pages.last().unwrap(), (start + len - 1) >> 12);
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    /// Cache valid-line count never exceeds capacity, and hits + misses
+    /// equals accesses.
+    #[test]
+    fn cache_occupancy_and_conservation(
+        lines in proptest::collection::vec(0u64..512, 1..300),
+        ways in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let capacity_lines = 64usize; // 4 KiB / 64 B
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways,
+            hit_latency: 1,
+        });
+        for l in &lines {
+            cache.access(PhysAddr::new(l * 64), AccessKind::Read);
+            prop_assert!(cache.valid_lines() <= capacity_lines);
+        }
+        prop_assert_eq!(
+            cache.stats().hits() + cache.stats().misses(),
+            lines.len() as u64
+        );
+    }
+
+    /// A probe immediately after an access always finds the line (it was
+    /// just filled), regardless of the access mix before it.
+    #[test]
+    fn accessed_line_is_resident(
+        warmup in proptest::collection::vec((0u64..256, any::<bool>()), 0..100),
+        line in 0u64..256,
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            hit_latency: 1,
+        });
+        for (l, write) in warmup {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            cache.access(PhysAddr::new(l * 64), kind);
+        }
+        cache.access(PhysAddr::new(line * 64), AccessKind::Read);
+        prop_assert!(cache.probe(PhysAddr::new(line * 64)));
+    }
+
+    /// DRAM and bus completions are monotone in request order for
+    /// same-time requests, and never precede the request time.
+    #[test]
+    fn dram_completion_monotonicity(sizes in proptest::collection::vec(1u64..4096, 1..50)) {
+        let mut dram = DramModel::new(DramConfig::default());
+        let mut last = 0;
+        for s in sizes {
+            let done = dram.transfer(0, s);
+            prop_assert!(done >= last);
+            prop_assert!(done >= DramConfig::default().latency);
+            last = done;
+        }
+    }
+
+    /// MainMemory read-after-write returns exactly what was written, for
+    /// arbitrary (possibly overlapping, cross-page) writes.
+    #[test]
+    fn main_memory_read_your_writes(
+        writes in proptest::collection::vec((0u64..20_000, proptest::collection::vec(any::<u8>(), 1..200)), 1..20),
+    ) {
+        let mut mem = MainMemory::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for (addr, bytes) in &writes {
+            mem.write(PhysAddr::new(*addr), bytes);
+            for (i, b) in bytes.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, bytes) in &writes {
+            let mut buf = vec![0u8; bytes.len()];
+            mem.read(PhysAddr::new(*addr), &mut buf);
+            for (i, got) in buf.iter().enumerate() {
+                prop_assert_eq!(*got, model[&(addr + i as u64)]);
+            }
+        }
+    }
+
+    /// Through the full hierarchy, a re-read of the same line is never
+    /// slower than its cold read took (warm path exists).
+    #[test]
+    fn hierarchy_warm_reads_are_not_slower(addr in 0u64..(1u64 << 30)) {
+        let mut mem = MemorySystem::new(MemorySystemConfig::default());
+        let aligned = PhysAddr::new(addr).line_aligned();
+        let cold_done = mem.read(0, 0, aligned, 64);
+        let warm_done = mem.read(0, cold_done, aligned, 64);
+        prop_assert!(warm_done - cold_done <= cold_done);
+    }
+}

@@ -1,0 +1,1368 @@
+//! The tuned kernel library — the "low level" of the paper's multi-level
+//! programming interface.
+//!
+//! Each kernel lowers one DNN operator to the accelerator's instruction
+//! stream using the tile sizes from [`crate::tiling`]. Kernels are
+//! *resumable state machines* ([`Kernel::step`] executes roughly one output
+//! tile) so that multi-core SoC simulations can interleave cores at tile
+//! granularity, which is what makes the shared-L2 contention of the
+//! Fig. 9 case study observable.
+
+use crate::tiling::{blocks, plan_matmul, TilePlan};
+use gemmini_core::config::Dataflow;
+use gemmini_core::isa::{Instruction, LocalAddr};
+use gemmini_core::peripherals::PoolingUnit;
+use gemmini_core::{AccelError, Accelerator, MemCtx};
+use gemmini_cpu::CpuModel;
+use gemmini_dnn::graph::Activation;
+use gemmini_dnn::tensor::Tensor;
+use gemmini_mem::addr::VirtAddr;
+
+/// Everything a kernel needs from its core for one step.
+#[derive(Debug)]
+pub struct KernelEnv<'a> {
+    /// The core's accelerator.
+    pub accel: &'a mut Accelerator,
+    /// The core's CPU model (for software phases).
+    pub cpu: &'a CpuModel,
+    /// The core's view of memory (address space, TLBs, shared L2/DRAM).
+    pub ctx: MemCtx<'a>,
+}
+
+/// Result of one kernel step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More work remains.
+    Working,
+    /// The kernel has finished.
+    Done,
+}
+
+/// A resumable operator implementation.
+pub trait Kernel {
+    /// Executes roughly one tile of work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator errors (page faults, bad addresses).
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError>;
+}
+
+/// Where a matmul's moving operand comes from.
+#[derive(Debug)]
+pub enum ASource {
+    /// A is materialized in memory at `MatmulParams::a`, row stride `k`.
+    Memory,
+    /// A rows are convolution patches generated on the fly by the im2col
+    /// block from a raw NCHW input.
+    Im2col(Im2colParams),
+}
+
+/// Parameters of the on-the-fly im2col source. Activations live in memory
+/// in NHWC (pixel-major) layout — the layout the accelerator's GEMM output
+/// naturally produces — so patch-matrix columns are channels-fastest
+/// (see `gemmini_dnn::ops::im2col::im2col_nhwc`).
+#[derive(Debug)]
+pub struct Im2colParams {
+    /// Base of the raw NHWC input region this GEMM reads.
+    pub input: VirtAddr,
+    /// Input channels this GEMM consumes (1 for a depthwise channel).
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Bytes between consecutive image rows in memory
+    /// (`in_w * total_channels` for a shared NHWC tensor).
+    pub row_pitch: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// Output width (for mapping patch rows to input rows).
+    pub out_w: usize,
+    /// The functional `m × k` patch matrix (None in timing-only mode).
+    pub patches: Option<Tensor<i8>>,
+}
+
+/// Packs a row-major `[k, n]` stationary operand into `dim`-column panels:
+/// panel `j` holds columns `j*dim..(j+1)*dim` contiguously (zero-padded to
+/// `dim`), `k` rows of `dim` bytes each. The tuned software stack pre-packs
+/// static weights this way so B tiles stream as dense, page-friendly reads
+/// instead of pathological `n`-strided 16-byte gathers (which would take a
+/// TLB walk per row on tall FC matrices).
+pub fn pack_b_panels(b: &Tensor<i8>, dim: usize) -> Vec<i8> {
+    assert_eq!(b.shape().len(), 2, "stationary operand must be 2-D");
+    let (k, n) = (b.shape()[0], b.shape()[1]);
+    let panels = n.div_ceil(dim);
+    let mut out = vec![0i8; panels * k * dim];
+    for p in 0..panels {
+        for r in 0..k {
+            for c in 0..dim {
+                let col = p * dim + c;
+                if col < n {
+                    out[(p * k + r) * dim + c] = b[(r, col)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Bytes a panel-packed `[k, n]` stationary operand occupies.
+pub fn packed_b_len(k: usize, n: usize, dim: usize) -> usize {
+    n.div_ceil(dim) * k * dim
+}
+
+/// Dense matmul parameters: `C[m,n] = A[m,k] · B[k,n]`, int8 operands.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulParams {
+    /// A's base address (ignored for the im2col source).
+    pub a: VirtAddr,
+    /// B's base address, in the panel layout of [`pack_b_panels`].
+    pub b: VirtAddr,
+    /// C's base address (row stride `n`).
+    pub c: VirtAddr,
+    /// Output rows.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Bytes between consecutive C rows in memory (equals `n` for a dense
+    /// output; the full channel count for NHWC-interleaved depthwise
+    /// columns).
+    pub c_stride: usize,
+    /// Fused activation applied on mvout.
+    pub activation: Activation,
+    /// Accumulator output scale.
+    pub acc_scale: f32,
+}
+
+/// The tiled matrix-multiplication kernel (weight-stationary, double
+/// buffered, with A/B tile caching).
+#[derive(Debug)]
+pub struct TiledMatmulKernel {
+    params: MatmulParams,
+    source: ASource,
+    plan: TilePlan,
+    dim: usize,
+    kb: usize,
+    nb: usize,
+    mi: usize,
+    nj: usize,
+    i0: usize,
+    j0: usize,
+    configured: bool,
+    a_slots: [Option<(usize, usize)>; 2],
+    next_a: usize,
+    b_slots: [Option<(usize, usize)>; 2],
+    next_b: usize,
+    a_base: [u32; 2],
+    b_base: [u32; 2],
+    /// Whether already-resident tiles are reused across loop iterations.
+    /// `false` matches the paper's software stack (its `tiled_matmul_auto`
+    /// re-mvins operands every iteration); `true` is the reuse-optimized
+    /// variant this repo adds as an ablation (see DESIGN.md).
+    tile_reuse: bool,
+}
+
+impl TiledMatmulKernel {
+    /// Plans and builds a matmul kernel for the accelerator configuration,
+    /// with the paper-faithful (no tile reuse) software behaviour.
+    pub fn new(
+        config: &gemmini_core::config::GemminiConfig,
+        params: MatmulParams,
+        source: ASource,
+    ) -> Self {
+        Self::with_plan(
+            config,
+            params,
+            source,
+            plan_matmul(config, params.m, params.k, params.n),
+        )
+    }
+
+    /// Like [`Self::new`] but reusing already-resident A/B tiles across
+    /// loop iterations — the smarter software stack, used by the ablation
+    /// benches.
+    pub fn with_tile_reuse(
+        config: &gemmini_core::config::GemminiConfig,
+        params: MatmulParams,
+        source: ASource,
+    ) -> Self {
+        let mut k = Self::new(config, params, source);
+        k.tile_reuse = true;
+        k
+    }
+
+    /// Builds a kernel with a manually chosen tile plan (the low-level
+    /// API's manual tile-size override).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not fit the configuration.
+    pub fn with_plan(
+        config: &gemmini_core::config::GemminiConfig,
+        params: MatmulParams,
+        source: ASource,
+        plan: TilePlan,
+    ) -> Self {
+        assert!(plan.fits(config), "tile plan {plan:?} does not fit");
+        let dim = config.dim();
+        let (mb, kb, nb) = (
+            blocks(params.m, dim),
+            blocks(params.k, dim),
+            blocks(params.n, dim),
+        );
+        let mi = mb.div_ceil(plan.tm);
+        let a_cap = (plan.tm * plan.tk * dim) as u32;
+        let b_cap = (plan.tk * plan.tn * dim) as u32;
+        Self {
+            params,
+            source,
+            plan,
+            dim,
+            kb,
+            nb,
+            mi,
+            nj: nb.div_ceil(plan.tn),
+            i0: 0,
+            j0: 0,
+            configured: false,
+            a_slots: [None, None],
+            next_a: 0,
+            b_slots: [None, None],
+            next_b: 0,
+            a_base: [0, a_cap],
+            b_base: [2 * a_cap, 2 * a_cap + b_cap],
+            tile_reuse: false,
+        }
+    }
+
+    /// Number of (i,j) tile steps this kernel will take.
+    pub fn total_steps(&self) -> usize {
+        self.mi * self.nj
+    }
+
+    fn stripe_rows(&self, i0: usize) -> usize {
+        let start = i0 * self.plan.tm * self.dim;
+        (self.params.m - start).min(self.plan.tm * self.dim)
+    }
+
+    fn block_cols_k(&self, kblk: usize) -> usize {
+        (self.params.k - kblk * self.dim).min(self.dim)
+    }
+
+    fn block_cols_n(&self, nblk: usize) -> usize {
+        (self.params.n - nblk * self.dim).min(self.dim)
+    }
+
+    fn ensure_configured(&mut self, env: &mut KernelEnv<'_>) -> Result<(), AccelError> {
+        if !self.configured {
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::ConfigEx {
+                    dataflow: Dataflow::WeightStationary,
+                    activation: self.params.activation,
+                    acc_scale: self.params.acc_scale,
+                },
+            )?;
+            self.configured = true;
+        }
+        Ok(())
+    }
+
+    fn ensure_a(
+        &mut self,
+        env: &mut KernelEnv<'_>,
+        i0: usize,
+        k0: usize,
+    ) -> Result<usize, AccelError> {
+        if self.tile_reuse {
+            if let Some(slot) = (0..2).find(|&s| self.a_slots[s] == Some((i0, k0))) {
+                return Ok(slot);
+            }
+        }
+        let slot = self.next_a;
+        self.next_a ^= 1;
+        self.a_slots[slot] = Some((i0, k0));
+        let m_rows = self.stripe_rows(i0);
+        let tk_eff = (self.kb - k0 * self.plan.tk).min(self.plan.tk);
+        match &self.source {
+            ASource::Memory => {
+                env.accel.issue(
+                    &mut env.ctx,
+                    Instruction::ConfigLd {
+                        stride: self.params.k as u64,
+                        shrink: false,
+                    },
+                )?;
+                for kbi in 0..tk_eff {
+                    let kblk = k0 * self.plan.tk + kbi;
+                    let cols = self.block_cols_k(kblk);
+                    let dram = self.params.a.add(
+                        (i0 * self.plan.tm * self.dim * self.params.k + kblk * self.dim) as u64,
+                    );
+                    env.accel.issue(
+                        &mut env.ctx,
+                        Instruction::Mvin {
+                            dram_addr: dram,
+                            local: LocalAddr::Sp {
+                                row: self.a_base[slot] + (kbi * self.plan.tm * self.dim) as u32,
+                            },
+                            rows: m_rows as u16,
+                            cols: cols as u16,
+                        },
+                    )?;
+                }
+            }
+            ASource::Im2col(p) => {
+                let p0 = i0 * self.plan.tm * self.dim;
+                let oy0 = p0 / p.out_w;
+                let oy1 = (p0 + m_rows - 1) / p.out_w;
+                let iy0 = (oy0 * p.stride).saturating_sub(p.padding);
+                let iy1 = (oy1 * p.stride + p.kernel)
+                    .saturating_sub(p.padding)
+                    .min(p.in_h)
+                    .max(iy0 + 1);
+                let n_iy = iy1 - iy0;
+                // The im2col block expands patches from scratchpad-buffered
+                // raw input rows. `ensure_a` only runs when the (stripe,
+                // k-group) tile is not resident, so raw DRAM traffic is paid
+                // exactly when the tile is (re)loaded — bigger scratchpads
+                // mean fewer reloads, the Fig. 9 BigSP effect. The fetch
+                // covers the channels this k-group's patch columns touch
+                // (channels vary fastest in the NHWC column order).
+                let cs_group = p.channels.min(tk_eff * self.dim);
+                for kbi in 0..tk_eff {
+                    let kblk = k0 * self.plan.tk + kbi;
+                    let col0 = kblk * self.dim;
+                    let cols = self.block_cols_k(kblk);
+                    let raw_va = p.input.add((iy0 * p.row_pitch) as u64);
+                    let raw_rows = if kbi == 0 { n_iy } else { 0 };
+                    let patch_data: Option<Vec<Vec<i8>>> = p.patches.as_ref().map(|t| {
+                        (0..m_rows)
+                            .map(|r| (0..cols).map(|c| t[(p0 + r, col0 + c)]).collect())
+                            .collect()
+                    });
+                    env.accel.mvin_im2col(
+                        &mut env.ctx,
+                        raw_va,
+                        raw_rows,
+                        (p.in_w * cs_group) as u64,
+                        p.row_pitch as u64,
+                        self.a_base[slot] + (kbi * self.plan.tm * self.dim) as u32,
+                        m_rows as u16,
+                        patch_data.as_deref(),
+                    )?;
+                }
+            }
+        }
+        Ok(slot)
+    }
+
+    fn ensure_b(
+        &mut self,
+        env: &mut KernelEnv<'_>,
+        k0: usize,
+        j0: usize,
+    ) -> Result<usize, AccelError> {
+        if self.tile_reuse {
+            if let Some(slot) = (0..2).find(|&s| self.b_slots[s] == Some((k0, j0))) {
+                return Ok(slot);
+            }
+        }
+        let slot = self.next_b;
+        self.next_b ^= 1;
+        self.b_slots[slot] = Some((k0, j0));
+        let tn_eff = (self.nb - j0 * self.plan.tn).min(self.plan.tn);
+        let k_start = k0 * self.plan.tk * self.dim;
+        let k_rows = (self.params.k - k_start).min(self.plan.tk * self.dim);
+        // B is panel-packed: each tile is a dense run of dim-byte rows.
+        env.accel.issue(
+            &mut env.ctx,
+            Instruction::ConfigLd {
+                stride: self.dim as u64,
+                shrink: false,
+            },
+        )?;
+        for jbi in 0..tn_eff {
+            let nblk = j0 * self.plan.tn + jbi;
+            let dram = self
+                .params
+                .b
+                .add(((nblk * self.params.k + k_start) * self.dim) as u64);
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::Mvin {
+                    dram_addr: dram,
+                    local: LocalAddr::Sp {
+                        row: self.b_base[slot] + (jbi * self.plan.tk * self.dim) as u32,
+                    },
+                    rows: k_rows as u16,
+                    cols: self.dim as u16,
+                },
+            )?;
+        }
+        Ok(slot)
+    }
+}
+
+impl Kernel for TiledMatmulKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if self.i0 >= self.mi {
+            return Ok(StepOutcome::Done);
+        }
+        self.ensure_configured(env)?;
+        let (i0, j0) = (self.i0, self.j0);
+        let m_rows = self.stripe_rows(i0);
+        let tm_eff = m_rows.div_ceil(self.dim);
+        let tn_eff = (self.nb - j0 * self.plan.tn).min(self.plan.tn);
+        let kt = self.kb.div_ceil(self.plan.tk);
+
+        for k0 in 0..kt {
+            let aslot = self.ensure_a(env, i0, k0)?;
+            let bslot = self.ensure_b(env, k0, j0)?;
+            let tk_eff = (self.kb - k0 * self.plan.tk).min(self.plan.tk);
+            for jbi in 0..tn_eff {
+                let nblk = j0 * self.plan.tn + jbi;
+                let b_cols = self.block_cols_n(nblk);
+                let c_col_base = (jbi * self.plan.tm * self.dim) as u32;
+                for kbi in 0..tk_eff {
+                    let kblk = k0 * self.plan.tk + kbi;
+                    let b_rows = self.block_cols_k(kblk);
+                    let accumulate = k0 > 0 || kbi > 0;
+                    let b_row = self.b_base[bslot]
+                        + (jbi * self.plan.tk * self.dim + kbi * self.dim) as u32;
+                    for ibi in 0..tm_eff {
+                        let a_rows = (m_rows - ibi * self.dim).min(self.dim);
+                        let a_row = self.a_base[aslot]
+                            + (kbi * self.plan.tm * self.dim + ibi * self.dim) as u32;
+                        let c_row = c_col_base + (ibi * self.dim) as u32;
+                        let (b_operand, pb_rows, pb_cols) = if ibi == 0 {
+                            (LocalAddr::Sp { row: b_row }, b_rows as u16, b_cols as u16)
+                        } else {
+                            (LocalAddr::None, 0, b_cols as u16)
+                        };
+                        env.accel.issue(
+                            &mut env.ctx,
+                            Instruction::Preload {
+                                b: b_operand,
+                                c: LocalAddr::Acc {
+                                    row: c_row,
+                                    accumulate,
+                                },
+                                b_rows: pb_rows,
+                                b_cols: pb_cols,
+                            },
+                        )?;
+                        env.accel.issue(
+                            &mut env.ctx,
+                            Instruction::ComputePreloaded {
+                                a: LocalAddr::Sp { row: a_row },
+                                d: LocalAddr::None,
+                                a_rows: a_rows as u16,
+                                a_cols: b_rows as u16,
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // Store the finished C tile.
+        env.accel.issue(
+            &mut env.ctx,
+            Instruction::ConfigSt {
+                stride: self.params.c_stride as u64,
+            },
+        )?;
+        for jbi in 0..tn_eff {
+            let nblk = j0 * self.plan.tn + jbi;
+            let cols = self.block_cols_n(nblk);
+            let dram = self.params.c.add(
+                (i0 * self.plan.tm * self.dim * self.params.c_stride + nblk * self.dim) as u64,
+            );
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::Mvout {
+                    dram_addr: dram,
+                    local: LocalAddr::Acc {
+                        row: (jbi * self.plan.tm * self.dim) as u32,
+                        accumulate: false,
+                    },
+                    rows: m_rows as u16,
+                    cols: cols as u16,
+                },
+            )?;
+        }
+
+        self.j0 += 1;
+        if self.j0 >= self.nj {
+            self.j0 = 0;
+            self.i0 += 1;
+        }
+        Ok(if self.i0 >= self.mi {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Working
+        })
+    }
+}
+
+/// Residual addition: streams both operands through the accumulator with
+/// 8-bit widening mvins (Gemmini's shrunk mvin) and stores the saturated
+/// sum — zero reuse, purely memory bound.
+#[derive(Debug)]
+pub struct ResAddKernel {
+    a: VirtAddr,
+    b: VirtAddr,
+    c: VirtAddr,
+    rows_total: usize,
+    dim: usize,
+    chunk_rows: usize,
+    row_pos: usize,
+    parity: bool,
+    configured: bool,
+}
+
+impl ResAddKernel {
+    /// Builds a residual-add kernel over `elements` int8 values.
+    /// Buffers must be padded to a multiple of the array dimension.
+    pub fn new(
+        config: &gemmini_core::config::GemminiConfig,
+        a: VirtAddr,
+        b: VirtAddr,
+        c: VirtAddr,
+        elements: usize,
+    ) -> Self {
+        let dim = config.dim();
+        Self {
+            a,
+            b,
+            c,
+            rows_total: elements.div_ceil(dim),
+            dim,
+            chunk_rows: (config.acc_rows() / 2).max(1),
+            row_pos: 0,
+            parity: false,
+            configured: false,
+        }
+    }
+}
+
+impl Kernel for ResAddKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if self.row_pos >= self.rows_total {
+            return Ok(StepOutcome::Done);
+        }
+        if !self.configured {
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::ConfigEx {
+                    dataflow: Dataflow::WeightStationary,
+                    activation: Activation::None,
+                    acc_scale: 1.0,
+                },
+            )?;
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::ConfigLd {
+                    stride: self.dim as u64,
+                    shrink: true,
+                },
+            )?;
+            env.accel.issue(
+                &mut env.ctx,
+                Instruction::ConfigSt {
+                    stride: self.dim as u64,
+                },
+            )?;
+            self.configured = true;
+        }
+        let rows = (self.rows_total - self.row_pos).min(self.chunk_rows);
+        let acc_row = if self.parity {
+            self.chunk_rows as u32
+        } else {
+            0
+        };
+        self.parity = !self.parity;
+        let off = (self.row_pos * self.dim) as u64;
+        env.accel.issue(
+            &mut env.ctx,
+            Instruction::Mvin {
+                dram_addr: self.a.add(off),
+                local: LocalAddr::Acc {
+                    row: acc_row,
+                    accumulate: false,
+                },
+                rows: rows as u16,
+                cols: self.dim as u16,
+            },
+        )?;
+        env.accel.issue(
+            &mut env.ctx,
+            Instruction::Mvin {
+                dram_addr: self.b.add(off),
+                local: LocalAddr::Acc {
+                    row: acc_row,
+                    accumulate: true,
+                },
+                rows: rows as u16,
+                cols: self.dim as u16,
+            },
+        )?;
+        env.accel.issue(
+            &mut env.ctx,
+            Instruction::Mvout {
+                dram_addr: self.c.add(off),
+                local: LocalAddr::Acc {
+                    row: acc_row,
+                    accumulate: false,
+                },
+                rows: rows as u16,
+                cols: self.dim as u16,
+            },
+        )?;
+        self.row_pos += rows;
+        Ok(if self.row_pos >= self.rows_total {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Working
+        })
+    }
+}
+
+/// Pooling: streams the input feature map through the pooling block and
+/// stores the pooled output (Gemmini pools in the store path).
+#[derive(Debug)]
+pub struct PoolKernel {
+    input: VirtAddr,
+    output: VirtAddr,
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_h: usize,
+    out_w: usize,
+    window: usize,
+    unit: PoolingUnit,
+    /// Functional pooled rows (`channels * out_h` rows of `out_w` bytes).
+    out_data: Option<Vec<Vec<u8>>>,
+    done: bool,
+}
+
+impl PoolKernel {
+    /// Builds a pooling kernel. `out_data` carries the functional result
+    /// computed by the runtime's golden path (None in timing mode).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: &gemmini_core::config::GemminiConfig,
+        input: VirtAddr,
+        output: VirtAddr,
+        channels: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        window: usize,
+        out_data: Option<Vec<Vec<u8>>>,
+    ) -> Self {
+        Self {
+            input,
+            output,
+            channels,
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            out_h: out_hw.0,
+            out_w: out_hw.1,
+            window,
+            unit: PoolingUnit::for_dim(config.dim()),
+            out_data,
+            done: false,
+        }
+    }
+}
+
+impl Kernel for PoolKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if self.done {
+            return Ok(StepOutcome::Done);
+        }
+        let in_done = env.accel.mvin_raw(
+            &mut env.ctx,
+            self.input,
+            self.channels * self.in_h,
+            self.in_w as u64,
+            self.in_w as u64,
+        )?;
+        let cycles = self
+            .unit
+            .pool_cycles(self.channels * self.out_h * self.out_w, self.window);
+        env.accel.charge_execute_after(in_done, cycles);
+        env.accel.mvout_raw(
+            &mut env.ctx,
+            self.output,
+            self.channels * self.out_h,
+            self.out_w as u64,
+            self.out_w as u64,
+            self.out_data.as_deref(),
+        )?;
+        self.done = true;
+        Ok(StepOutcome::Done)
+    }
+}
+
+/// A layer executed entirely by the host CPU (softmax, layer norm, or any
+/// operator on an accelerator configured without the matching block).
+#[derive(Debug)]
+pub struct CpuLayerKernel {
+    cycles: u64,
+    done: bool,
+}
+
+impl CpuLayerKernel {
+    /// Builds a CPU layer costing `cycles` host cycles.
+    pub fn new(cycles: u64) -> Self {
+        Self {
+            cycles,
+            done: false,
+        }
+    }
+}
+
+impl Kernel for CpuLayerKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if !self.done {
+            let now = env.accel.now();
+            env.accel.advance_to(now + self.cycles);
+            self.done = true;
+        }
+        Ok(StepOutcome::Done)
+    }
+}
+
+/// Depthwise convolution: each channel is an independent tiny GEMM
+/// (`m = oh·ow`, `k = kernel²`, `n = 1`) — the low-reuse mapping that makes
+/// MobileNet-class layers inefficient on spatial arrays (Section IV-B).
+#[derive(Debug)]
+pub struct DwConvKernel {
+    config: gemmini_core::config::GemminiConfig,
+    input: VirtAddr,
+    weights: VirtAddr,
+    output: VirtAddr,
+    channels: usize,
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    activation: Activation,
+    acc_scale: f32,
+    patches_per_channel: Option<Vec<Tensor<i8>>>,
+    /// When the accelerator lacks the im2col block, the CPU materializes
+    /// per-channel patch matrices here and channels read them as plain
+    /// memory operands.
+    materialized_patches: Option<VirtAddr>,
+    channel: usize,
+    inner: Option<TiledMatmulKernel>,
+}
+
+impl DwConvKernel {
+    /// Builds a depthwise-convolution kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: &gemmini_core::config::GemminiConfig,
+        input: VirtAddr,
+        weights: VirtAddr,
+        output: VirtAddr,
+        channels: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        activation: Activation,
+        acc_scale: f32,
+        patches_per_channel: Option<Vec<Tensor<i8>>>,
+        materialized_patches: Option<VirtAddr>,
+    ) -> Self {
+        Self {
+            config: config.clone(),
+            input,
+            weights,
+            output,
+            channels,
+            in_hw,
+            out_hw,
+            kernel,
+            stride,
+            padding,
+            activation,
+            acc_scale,
+            patches_per_channel,
+            materialized_patches,
+            channel: 0,
+            inner: None,
+        }
+    }
+}
+
+impl Kernel for DwConvKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if self.channel >= self.channels {
+            return Ok(StepOutcome::Done);
+        }
+        if self.inner.is_none() {
+            let m = self.out_hw.0 * self.out_hw.1;
+            let kk = self.kernel * self.kernel;
+            // Output is NHWC: channel ch of pixel p lives at p*channels + ch.
+            // Each per-channel GEMM writes an m x 1 column; with n = the
+            // full channel count as the row stride, columns interleave into
+            // NHWC naturally. We express that by giving the sub-GEMM
+            // n = channels and pointing c at the channel offset.
+            let dim = self.config.dim();
+            let (params, source) = if let Some(pa) = self.materialized_patches {
+                (
+                    MatmulParams {
+                        a: pa.add((self.channel * m * kk) as u64),
+                        b: self.weights.add((self.channel * kk * dim) as u64),
+                        c: self.output.add(self.channel as u64),
+                        m,
+                        k: kk,
+                        n: 1,
+                        c_stride: self.channels,
+                        activation: self.activation,
+                        acc_scale: self.acc_scale,
+                    },
+                    ASource::Memory,
+                )
+            } else {
+                (
+                    MatmulParams {
+                        a: VirtAddr::new(0), // unused for im2col source
+                        b: self.weights.add((self.channel * kk * dim) as u64),
+                        c: self.output.add(self.channel as u64),
+                        m,
+                        k: kk,
+                        n: 1,
+                        c_stride: self.channels,
+                        activation: self.activation,
+                        acc_scale: self.acc_scale,
+                    },
+                    ASource::Im2col(Im2colParams {
+                        input: self.input.add(self.channel as u64),
+                        channels: 1,
+                        in_h: self.in_hw.0,
+                        in_w: self.in_hw.1,
+                        row_pitch: self.in_hw.1 * self.channels,
+                        kernel: self.kernel,
+                        stride: self.stride,
+                        padding: self.padding,
+                        out_w: self.out_hw.1,
+                        patches: self
+                            .patches_per_channel
+                            .as_ref()
+                            .map(|v| v[self.channel].clone()),
+                    }),
+                )
+            };
+            self.inner = Some(TiledMatmulKernel::new(&self.config, params, source));
+        }
+        let done = matches!(
+            self.inner
+                .as_mut()
+                .expect("inner kernel exists")
+                .step(env)?,
+            StepOutcome::Done
+        );
+        if done {
+            self.inner = None;
+            self.channel += 1;
+        }
+        Ok(if self.channel >= self.channels {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Working
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_core::config::GemminiConfig;
+    use gemmini_dnn::ops::matmul;
+    use gemmini_dnn::quant::{requantize_tensor, QuantParams};
+    use gemmini_mem::addr::PAGE_SIZE;
+    use gemmini_mem::dram::MainMemory;
+    use gemmini_mem::MemorySystem;
+    use gemmini_vm::page::FrameAllocator;
+    use gemmini_vm::page_table::AddressSpace;
+    use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+
+    struct Rig {
+        space: AddressSpace,
+        translation: TranslationSystem,
+        mem: MemorySystem,
+        data: MainMemory,
+        frames: FrameAllocator,
+    }
+
+    fn rig() -> Rig {
+        let mut frames = FrameAllocator::new();
+        let space = AddressSpace::new(&mut frames);
+        Rig {
+            space,
+            translation: TranslationSystem::new(TranslationConfig::default()),
+            mem: MemorySystem::default(),
+            data: MainMemory::new(),
+            frames,
+        }
+    }
+
+    impl Rig {
+        fn alloc(&mut self, len: usize) -> VirtAddr {
+            self.space.alloc(
+                &mut self.frames,
+                (len as u64).max(1).div_ceil(PAGE_SIZE) * PAGE_SIZE,
+            )
+        }
+
+        fn write_i8(&mut self, va: VirtAddr, vals: &[i8]) {
+            let bytes: Vec<u8> = vals.iter().map(|&x| x as u8).collect();
+            let mut off = 0usize;
+            while off < bytes.len() {
+                let cur = va.add(off as u64);
+                let pa = self.space.translate(cur).unwrap();
+                let n = ((PAGE_SIZE - cur.offset_in_page()) as usize).min(bytes.len() - off);
+                self.data.write(pa, &bytes[off..off + n]);
+                off += n;
+            }
+        }
+
+        fn read_i8(&self, va: VirtAddr, len: usize) -> Vec<i8> {
+            let mut out = vec![0u8; len];
+            let mut off = 0usize;
+            while off < len {
+                let cur = va.add(off as u64);
+                let pa = self.space.translate(cur).unwrap();
+                let n = ((PAGE_SIZE - cur.offset_in_page()) as usize).min(len - off);
+                let mut buf = vec![0u8; n];
+                self.data.read(pa, &mut buf);
+                out[off..off + n].copy_from_slice(&buf);
+                off += n;
+            }
+            out.iter().map(|&b| b as i8).collect()
+        }
+    }
+
+    fn run_kernel(rig: &mut Rig, accel: &mut Accelerator, kernel: &mut dyn Kernel) {
+        let cpu = CpuModel::new(gemmini_cpu::CpuKind::Rocket);
+        loop {
+            let mut env = KernelEnv {
+                accel,
+                cpu: &cpu,
+                ctx: MemCtx {
+                    space: &rig.space,
+                    translation: &mut rig.translation,
+                    mem: &mut rig.mem,
+                    data: Some(&mut rig.data),
+                    port: 0,
+                },
+            };
+            if matches!(kernel.step(&mut env).unwrap(), StepOutcome::Done) {
+                break;
+            }
+        }
+    }
+
+    fn check_matmul(m: usize, k: usize, n: usize, seed: u64) {
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let a = Tensor::<i8>::random(&[m, k], seed);
+        let b = Tensor::<i8>::random(&[k, n], seed + 1);
+        let va_a = r.alloc(m * k);
+        let va_b = r.alloc(packed_b_len(k, n, 16));
+        let va_c = r.alloc(m * n);
+        r.write_i8(va_a, a.as_slice());
+        r.write_i8(va_b, &pack_b_panels(&b, 16));
+
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = TiledMatmulKernel::new(
+            &cfg,
+            MatmulParams {
+                a: va_a,
+                b: va_b,
+                c: va_c,
+                m,
+                k,
+                n,
+                c_stride: n,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+            ASource::Memory,
+        );
+        run_kernel(&mut r, &mut accel, &mut kernel);
+
+        let got = r.read_i8(va_c, m * n);
+        let want = requantize_tensor(&matmul(&a, &b), QuantParams::new(1.0));
+        assert_eq!(got, want.as_slice(), "matmul {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn matmul_single_tile() {
+        check_matmul(16, 16, 16, 1);
+    }
+
+    #[test]
+    fn matmul_multi_tile_k_reduction() {
+        check_matmul(16, 128, 16, 2);
+    }
+
+    #[test]
+    fn matmul_rectangular_multi_tile() {
+        check_matmul(64, 48, 80, 3);
+    }
+
+    #[test]
+    fn matmul_ragged_edges() {
+        // Dimensions not multiples of 16 exercise partial blocks.
+        check_matmul(18, 33, 21, 4);
+        check_matmul(1, 100, 10, 5);
+    }
+
+    #[test]
+    fn matmul_larger_than_tile_plan() {
+        check_matmul(100, 70, 90, 6);
+    }
+
+    #[test]
+    fn conv_via_im2col_source_matches_reference() {
+        use gemmini_dnn::layout::to_nhwc;
+        use gemmini_dnn::ops::conv::{conv2d, ConvSpec};
+        use gemmini_dnn::ops::im2col::{im2col_nhwc, weights_to_matrix_nhwc};
+
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let (c_in, h, w, c_out, ksz) = (3usize, 10usize, 10usize, 8usize, 3usize);
+        let spec = ConvSpec {
+            kernel: ksz,
+            stride: 1,
+            padding: 1,
+        };
+        let input = Tensor::<i8>::random(&[1, c_in, h, w], 7);
+        let weights = Tensor::<i8>::random(&[c_out, c_in, ksz, ksz], 8);
+        let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+        let m = oh * ow;
+        let k = ksz * ksz * c_in;
+
+        let va_in = r.alloc(c_in * h * w);
+        let va_w = r.alloc(packed_b_len(k, c_out, 16));
+        let va_out = r.alloc(m * c_out);
+        // Activations live in memory in NHWC layout.
+        r.write_i8(va_in, &to_nhwc(&input));
+        let wmat = weights_to_matrix_nhwc(&weights);
+        r.write_i8(va_w, &pack_b_panels(&wmat, 16));
+
+        let patches = im2col_nhwc(&input, spec);
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = TiledMatmulKernel::new(
+            &cfg,
+            MatmulParams {
+                a: VirtAddr::new(0),
+                b: va_w,
+                c: va_out,
+                m,
+                k,
+                n: c_out,
+                c_stride: c_out,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            },
+            ASource::Im2col(Im2colParams {
+                input: va_in,
+                channels: c_in,
+                in_h: h,
+                in_w: w,
+                row_pitch: w * c_in,
+                kernel: ksz,
+                stride: 1,
+                padding: 1,
+                out_w: ow,
+                patches: Some(patches),
+            }),
+        );
+        run_kernel(&mut r, &mut accel, &mut kernel);
+
+        let got = r.read_i8(va_out, m * c_out);
+        let reference = conv2d(&input, &weights, spec);
+        // The GEMM layout is [pixel, oc]; reference is NCHW.
+        for oc in 0..c_out {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let pix = y * ow + x;
+                    let want = gemmini_dnn::quant::requantize(
+                        reference.at4(0, oc, y, x),
+                        QuantParams::new(1.0),
+                    );
+                    assert_eq!(got[pix * c_out + oc], want, "oc={oc} y={y} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_source_moves_less_data_than_materialized_patches() {
+        // The whole point of the block: raw traffic ≈ input bytes, not k².
+        let cfg = GemminiConfig::edge();
+        let (c_in, h, w, c_out, ksz) = (16usize, 32usize, 32usize, 16usize, 3usize);
+        let m = h * w;
+        let k = ksz * ksz * c_in;
+
+        let run = |source_is_im2col: bool| -> u64 {
+            let mut r = rig();
+            let va_in = r.alloc(c_in * h * w);
+            let va_a = r.alloc(m * k);
+            let va_w = r.alloc(packed_b_len(k, c_out, 16));
+            let va_out = r.alloc(m * c_out);
+            let mut accel = Accelerator::new(cfg.clone());
+            let params = MatmulParams {
+                a: va_a,
+                b: va_w,
+                c: va_out,
+                m,
+                k,
+                n: c_out,
+                c_stride: c_out,
+                activation: Activation::None,
+                acc_scale: 1.0,
+            };
+            let source = if source_is_im2col {
+                ASource::Im2col(Im2colParams {
+                    input: va_in,
+                    channels: c_in,
+                    in_h: h,
+                    in_w: w,
+                    row_pitch: w * c_in,
+                    kernel: ksz,
+                    stride: 1,
+                    padding: 1,
+                    out_w: w,
+                    patches: None,
+                })
+            } else {
+                ASource::Memory
+            };
+            let mut kernel = TiledMatmulKernel::new(&cfg, params, source);
+            // Timing-only run.
+            let cpu = CpuModel::new(gemmini_cpu::CpuKind::Rocket);
+            loop {
+                let mut env = KernelEnv {
+                    accel: &mut accel,
+                    cpu: &cpu,
+                    ctx: MemCtx {
+                        space: &r.space,
+                        translation: &mut r.translation,
+                        mem: &mut r.mem,
+                        data: None,
+                        port: 0,
+                    },
+                };
+                if matches!(kernel.step(&mut env).unwrap(), StepOutcome::Done) {
+                    break;
+                }
+            }
+            accel.dma_stats().bytes_in
+        };
+
+        let raw = run(true);
+        let materialized = run(false);
+        assert!(
+            raw * 2 < materialized,
+            "im2col source should move far less: raw={raw} materialized={materialized}"
+        );
+    }
+
+    #[test]
+    fn resadd_matches_saturating_reference() {
+        use gemmini_dnn::ops::resadd_i8;
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let n = 1000usize;
+        let padded = n.div_ceil(16) * 16;
+        let a = Tensor::<i8>::random(&[padded], 10);
+        let b = Tensor::<i8>::random(&[padded], 11);
+        let va_a = r.alloc(padded);
+        let va_b = r.alloc(padded);
+        let va_c = r.alloc(padded);
+        r.write_i8(va_a, a.as_slice());
+        r.write_i8(va_b, b.as_slice());
+
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = ResAddKernel::new(&cfg, va_a, va_b, va_c, n);
+        run_kernel(&mut r, &mut accel, &mut kernel);
+
+        let got = r.read_i8(va_c, n);
+        let want = resadd_i8(&a, &b);
+        assert_eq!(&got[..], &want.as_slice()[..n]);
+    }
+
+    #[test]
+    fn resadd_with_saturation_values() {
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let vals_a = vec![127i8; 32];
+        let vals_b = vec![127i8; 32];
+        let va_a = r.alloc(32);
+        let va_b = r.alloc(32);
+        let va_c = r.alloc(32);
+        r.write_i8(va_a, &vals_a);
+        r.write_i8(va_b, &vals_b);
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = ResAddKernel::new(&cfg, va_a, va_b, va_c, 32);
+        run_kernel(&mut r, &mut accel, &mut kernel);
+        assert_eq!(r.read_i8(va_c, 32), vec![127i8; 32]);
+    }
+
+    #[test]
+    fn pool_kernel_streams_and_writes_functional_output() {
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let va_in = r.alloc(4 * 8 * 8);
+        let va_out = r.alloc(4 * 4 * 4);
+        // Functional pooled rows: 4 channels * 4 rows of 4 bytes, value 9.
+        let rows: Vec<Vec<u8>> = (0..16).map(|_| vec![9u8; 4]).collect();
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = PoolKernel::new(&cfg, va_in, va_out, 4, (8, 8), (4, 4), 2, Some(rows));
+        run_kernel(&mut r, &mut accel, &mut kernel);
+        assert_eq!(r.read_i8(va_out, 64), vec![9i8; 64]);
+        assert!(accel.stats().finish > 0);
+        assert_eq!(accel.dma_stats().bytes_in, 4 * 8 * 8);
+        assert_eq!(accel.dma_stats().bytes_out, 4 * 4 * 4);
+    }
+
+    #[test]
+    fn cpu_layer_kernel_advances_time() {
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let mut accel = Accelerator::new(cfg);
+        let mut kernel = CpuLayerKernel::new(12345);
+        run_kernel(&mut r, &mut accel, &mut kernel);
+        assert_eq!(accel.now(), 12345);
+    }
+
+    #[test]
+    fn dwconv_matches_reference() {
+        use gemmini_dnn::layout::to_nhwc;
+        use gemmini_dnn::ops::conv::{dwconv2d, ConvSpec};
+        use gemmini_dnn::ops::im2col::im2col;
+
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        let (c, h, w, ksz) = (4usize, 6usize, 6usize, 3usize);
+        let spec = ConvSpec {
+            kernel: ksz,
+            stride: 1,
+            padding: 1,
+        };
+        let input = Tensor::<i8>::random(&[1, c, h, w], 20);
+        let weights = Tensor::<i8>::random(&[c, ksz, ksz], 21);
+        let (oh, ow) = (h, w);
+
+        let va_in = r.alloc(c * h * w);
+        let va_w = r.alloc(c * ksz * ksz * 16);
+        let va_out = r.alloc(c * oh * ow);
+        r.write_i8(va_in, &to_nhwc(&input));
+        // Weight layout: per-channel [k², 1] panels padded to dim columns.
+        let mut panels = Vec::new();
+        for ch in 0..c {
+            let col = Tensor::from_vec(
+                &[ksz * ksz, 1],
+                weights.as_slice()[ch * ksz * ksz..(ch + 1) * ksz * ksz].to_vec(),
+            );
+            panels.extend(pack_b_panels(&col, 16));
+        }
+        r.write_i8(va_w, &panels);
+
+        // Per-channel patch matrices.
+        let patches: Vec<Tensor<i8>> = (0..c)
+            .map(|ch| {
+                let chan = Tensor::from_vec(
+                    &[1, 1, h, w],
+                    input.as_slice()[ch * h * w..(ch + 1) * h * w].to_vec(),
+                );
+                im2col(&chan, spec)
+            })
+            .collect();
+
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = DwConvKernel::new(
+            &cfg,
+            va_in,
+            va_w,
+            va_out,
+            c,
+            (h, w),
+            (oh, ow),
+            ksz,
+            1,
+            1,
+            Activation::None,
+            1.0,
+            Some(patches),
+            None,
+        );
+        run_kernel(&mut r, &mut accel, &mut kernel);
+
+        // Output is NHWC: pixel-major, channels interleaved.
+        let got = r.read_i8(va_out, c * oh * ow);
+        let reference = dwconv2d(&input, &weights, spec);
+        for ch in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let want = gemmini_dnn::quant::requantize(
+                        reference.at4(0, ch, y, x),
+                        QuantParams::new(1.0),
+                    );
+                    assert_eq!(got[(y * ow + x) * c + ch], want, "ch={ch} y={y} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_activation_applies_through_kernel() {
+        let cfg = GemminiConfig::edge();
+        let mut r = rig();
+        // A = [-1], B = [1] -> product -1 -> relu -> 0.
+        let va_a = r.alloc(16);
+        let va_b = r.alloc(16);
+        let va_c = r.alloc(16);
+        r.write_i8(va_a, &[-1]);
+        // 1x1 B, panel-padded to 16 columns.
+        r.write_i8(
+            va_b,
+            &pack_b_panels(&Tensor::from_vec(&[1, 1], vec![1i8]), 16),
+        );
+        let mut accel = Accelerator::new(cfg.clone());
+        let mut kernel = TiledMatmulKernel::new(
+            &cfg,
+            MatmulParams {
+                a: va_a,
+                b: va_b,
+                c: va_c,
+                m: 1,
+                k: 1,
+                n: 1,
+                c_stride: 1,
+                activation: Activation::Relu,
+                acc_scale: 1.0,
+            },
+            ASource::Memory,
+        );
+        run_kernel(&mut r, &mut accel, &mut kernel);
+        assert_eq!(r.read_i8(va_c, 1), vec![0i8]);
+    }
+}

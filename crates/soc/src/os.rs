@@ -1,0 +1,141 @@
+//! OS-noise model.
+//!
+//! The paper argues that full-SoC, OS-capable simulation surfaces effects
+//! bare-metal evaluation hides: "context switches, page table evictions,
+//! and other unexpected events can happen at any time". This module injects
+//! those events: a context switch costs CPU cycles and flushes the core's
+//! translation state (TLBs and filter registers), so the accelerator's next
+//! DMA bursts re-walk the page table.
+
+use gemmini_mem::Cycle;
+
+/// OS-noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsConfig {
+    /// Cycles between context switches on each core (`None` = bare metal).
+    pub context_switch_interval: Option<Cycle>,
+    /// Whether a switch flushes the accelerator's translation state
+    /// (sfence.vma on return).
+    pub flush_translation_on_switch: bool,
+}
+
+impl OsConfig {
+    /// Bare-metal: no OS events at all.
+    pub fn bare_metal() -> Self {
+        Self {
+            context_switch_interval: None,
+            flush_translation_on_switch: false,
+        }
+    }
+
+    /// A Linux-like environment: a timer tick every `interval` cycles
+    /// (e.g. 1 ms at 1 GHz = 1,000,000 cycles), flushing translations.
+    pub fn linux(interval: Cycle) -> Self {
+        Self {
+            context_switch_interval: Some(interval),
+            flush_translation_on_switch: true,
+        }
+    }
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        Self::bare_metal()
+    }
+}
+
+/// Per-core OS event tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct OsState {
+    config: OsConfig,
+    next_switch: Option<Cycle>,
+    switches: u64,
+}
+
+impl OsState {
+    /// Creates a tracker with the first switch scheduled.
+    pub fn new(config: OsConfig) -> Self {
+        Self {
+            config,
+            next_switch: config.context_switch_interval,
+            switches: 0,
+        }
+    }
+
+    /// Whether a context switch is due at or before `now`. Pair with
+    /// [`Self::take`]: the next tick is scheduled only once the switch's
+    /// cost has been applied, so a switch cost larger than the interval
+    /// cannot livelock the simulation.
+    pub fn due(&self, now: Cycle) -> bool {
+        matches!(self.next_switch, Some(at) if now >= at)
+    }
+
+    /// Consumes the due switch: counts it and schedules the next tick one
+    /// interval after `completed_at` (the core's time once the switch cost
+    /// was applied).
+    pub fn take(&mut self, completed_at: Cycle) {
+        let interval = self
+            .config
+            .context_switch_interval
+            .expect("take() is only called after due()");
+        self.next_switch = Some(completed_at + interval);
+        self.switches += 1;
+    }
+
+    /// Whether switches flush translation state.
+    pub fn flushes_translation(&self) -> bool {
+        self.config.flush_translation_on_switch
+    }
+
+    /// Context switches taken so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_metal_never_fires() {
+        let s = OsState::new(OsConfig::bare_metal());
+        assert!(!s.due(u64::MAX));
+        assert_eq!(s.switches(), 0);
+    }
+
+    #[test]
+    fn switches_fire_at_interval() {
+        let mut s = OsState::new(OsConfig::linux(1000));
+        assert!(!s.due(999));
+        assert!(s.due(1000));
+        s.take(1005); // switch cost applied; next tick at 2005
+        assert!(!s.due(1500));
+        assert!(s.due(2100));
+        s.take(2105);
+        assert_eq!(s.switches(), 2);
+    }
+
+    #[test]
+    fn expensive_switches_cannot_livelock() {
+        // Switch cost (5000) larger than the interval (100): the next tick
+        // is scheduled after completion, so time always advances past it.
+        let mut s = OsState::new(OsConfig::linux(100));
+        let mut now = 100u64;
+        for _ in 0..3 {
+            assert!(s.due(now));
+            now += 5000; // the switch's cost
+            s.take(now);
+            assert!(!s.due(now));
+            now += 100;
+        }
+        assert_eq!(s.switches(), 3);
+    }
+
+    #[test]
+    fn linux_config_flushes() {
+        let s = OsState::new(OsConfig::linux(100));
+        assert!(s.flushes_translation());
+        assert!(!OsState::new(OsConfig::bare_metal()).flushes_translation());
+    }
+}

@@ -1,0 +1,142 @@
+//! Roofline lower bounds — a self-check for the timing model.
+//!
+//! For any layer, no schedule can beat (a) the compute bound (MACs divided
+//! by the array's peak rate) or (b) the memory bound (compulsory traffic
+//! divided by the DMA bus width). The simulator's per-layer cycle counts
+//! must therefore always sit **on or above** the roofline; a layer below it
+//! would be a timing-model bug. `tests/` enforce this over whole networks.
+
+use gemmini_core::config::GemminiConfig;
+use gemmini_dnn::graph::Layer;
+use gemmini_mem::Cycle;
+
+/// Roofline lower bound for one layer on one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RooflineBound {
+    /// Minimum cycles implied by arithmetic throughput.
+    pub compute_cycles: Cycle,
+    /// Minimum cycles implied by compulsory DMA traffic.
+    pub memory_cycles: Cycle,
+}
+
+impl RooflineBound {
+    /// The binding constraint: `max(compute, memory)`.
+    pub fn cycles(&self) -> Cycle {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+
+    /// Whether the layer is memory-bound at this configuration.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_cycles >= self.compute_cycles
+    }
+}
+
+/// Computes the roofline bound for `layer` on `config`.
+///
+/// Compulsory traffic counts each operand once: inputs + weights in,
+/// outputs out (residual adds read both operands). Reuse can only *add*
+/// traffic, never remove compulsory bytes, so this is a true lower bound.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_soc::roofline::layer_roofline;
+/// use gemmini_core::config::GemminiConfig;
+/// use gemmini_dnn::graph::{Layer, Activation};
+///
+/// let cfg = GemminiConfig::edge();
+/// let fc = Layer::Matmul { m: 256, k: 256, n: 256, activation: Activation::None };
+/// let bound = layer_roofline(&cfg, &fc);
+/// assert!(bound.compute_cycles >= 256 * 256 * 256 / 256);
+/// ```
+pub fn layer_roofline(config: &GemminiConfig, layer: &Layer) -> RooflineBound {
+    let peak = (config.dim() * config.dim()) as u64;
+    let compute_cycles = layer.macs().div_ceil(peak);
+    let bytes = layer.input_bytes() + layer.weight_bytes() + layer.output_bytes();
+    let memory_cycles = bytes.div_ceil(config.dma_bus_bytes);
+    RooflineBound {
+        compute_cycles,
+        memory_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemmini_dnn::graph::Activation;
+
+    fn edge() -> GemminiConfig {
+        GemminiConfig::edge()
+    }
+
+    #[test]
+    fn big_matmul_is_compute_bound() {
+        let l = Layer::Matmul {
+            m: 1024,
+            k: 1024,
+            n: 1024,
+            activation: Activation::None,
+        };
+        let b = layer_roofline(&edge(), &l);
+        assert!(!b.memory_bound());
+        assert_eq!(b.compute_cycles, 1024u64 * 1024 * 1024 / 256);
+    }
+
+    #[test]
+    fn resadd_is_memory_bound() {
+        let l = Layer::ResAdd { elements: 1 << 20 };
+        let b = layer_roofline(&edge(), &l);
+        assert!(b.memory_bound());
+        assert_eq!(b.compute_cycles, 0);
+        // 3 MiB moved (two reads + one write) over 16 B/cycle.
+        assert_eq!(b.memory_cycles, 3 * (1u64 << 20) / 16);
+    }
+
+    #[test]
+    fn fc_layers_are_memory_bound_weights_dominate() {
+        // AlexNet fc6: 1x9216x4096 — weights dwarf compute.
+        let l = Layer::Matmul {
+            m: 1,
+            k: 9216,
+            n: 4096,
+            activation: Activation::None,
+        };
+        let b = layer_roofline(&edge(), &l);
+        assert!(b.memory_bound());
+    }
+
+    #[test]
+    fn deep_conv_is_compute_bound() {
+        let l = Layer::Conv {
+            in_channels: 256,
+            out_channels: 256,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_hw: (14, 14),
+            activation: Activation::Relu,
+        };
+        assert!(!layer_roofline(&edge(), &l).memory_bound());
+    }
+
+    #[test]
+    fn wider_arrays_lower_the_compute_bound_only() {
+        let l = Layer::Matmul {
+            m: 512,
+            k: 512,
+            n: 512,
+            activation: Activation::None,
+        };
+        let small = layer_roofline(&edge(), &l);
+        let big = layer_roofline(
+            &GemminiConfig {
+                mesh_rows: 32,
+                mesh_cols: 32,
+                ..edge()
+            },
+            &l,
+        );
+        assert!(big.compute_cycles < small.compute_cycles);
+        assert_eq!(big.memory_cycles, small.memory_cycles);
+    }
+}

@@ -1,0 +1,486 @@
+//! The experiment driver: runs one network per core to completion and
+//! collects every statistic the evaluation figures consume.
+
+use crate::kernel::{KernelEnv, StepOutcome};
+use crate::os::OsState;
+use crate::runtime::{read_virt, LayerTiming, NetworkExecution};
+use crate::soc::{Soc, SocConfig};
+use gemmini_core::dma::DmaStats;
+use gemmini_core::{AccelError, MemCtx};
+use gemmini_dnn::graph::{LayerClass, Network};
+use gemmini_mem::Cycle;
+
+/// Options for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Whether to move real bytes (functional) or only account time.
+    pub functional: bool,
+    /// Seed for synthetic tensors.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Timing-only run (the mode for full-network figure sweeps).
+    pub fn timing() -> Self {
+        Self {
+            functional: false,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Functionally-exact run (for correctness tests on small networks).
+    pub fn functional() -> Self {
+        Self {
+            functional: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Per-layer cycle report.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Layer class.
+    pub class: LayerClass,
+    /// Cycles the layer took.
+    pub cycles: Cycle,
+}
+
+/// Snapshot of one core's translation-system statistics.
+#[derive(Debug, Clone)]
+pub struct TranslationReport {
+    /// Total translation requests.
+    pub requests: u64,
+    /// Private-TLB hit rate (excluding filter hits).
+    pub private_hit_rate: f64,
+    /// Hit rate including filter-register hits (the paper's 90% metric).
+    pub effective_hit_rate: f64,
+    /// Filter-register hits.
+    pub filter_hits: u64,
+    /// Shared-TLB hit rate.
+    pub shared_hit_rate: f64,
+    /// Full walks taken.
+    pub walks: u64,
+    /// Mean walk latency in cycles.
+    pub mean_walk_cycles: f64,
+    /// Consecutive read requests to the same page (paper: 87%).
+    pub consecutive_read_same_page: f64,
+    /// Consecutive write requests to the same page (paper: 83%).
+    pub consecutive_write_same_page: f64,
+    /// Windowed miss-rate series: (window start cycle, miss rate).
+    pub miss_rate_series: Vec<(Cycle, f64)>,
+}
+
+/// One core's report.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Which network ran.
+    pub network: String,
+    /// Total cycles from start to the last layer's completion.
+    pub total_cycles: Cycle,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerReport>,
+    /// Translation statistics.
+    pub translation: TranslationReport,
+    /// DMA traffic.
+    pub dma: DmaStats,
+    /// MACs performed by the accelerator.
+    pub macs: u64,
+    /// Context switches taken.
+    pub context_switches: u64,
+    /// Final output bytes (functional runs only).
+    pub output: Option<Vec<i8>>,
+}
+
+impl CoreReport {
+    /// Total cycles spent in layers of one class.
+    pub fn class_cycles(&self, class: LayerClass) -> Cycle {
+        self.layers
+            .iter()
+            .filter(|l| l.class == class)
+            .map(|l| l.cycles)
+            .sum()
+    }
+
+    /// Frames (inferences) per second at `clock_ghz`.
+    pub fn fps(&self, clock_ghz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            clock_ghz * 1e9 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Shared-L2 statistics for the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Report {
+    /// Total L2 accesses.
+    pub accesses: u64,
+    /// L2 misses.
+    pub misses: u64,
+    /// Miss rate.
+    pub miss_rate: f64,
+    /// Dirty writebacks.
+    pub writebacks: u64,
+}
+
+/// Whole-SoC report.
+#[derive(Debug, Clone)]
+pub struct SocReport {
+    /// Per-core reports, in core order.
+    pub cores: Vec<CoreReport>,
+    /// Shared-L2 statistics.
+    pub l2: L2Report,
+    /// Bytes moved over the DRAM channel.
+    pub dram_bytes: u64,
+}
+
+fn layer_reports(timings: &[LayerTiming]) -> Vec<LayerReport> {
+    timings
+        .iter()
+        .map(|t| LayerReport {
+            name: t.name.clone(),
+            class: t.class,
+            cycles: t.cycles(),
+        })
+        .collect()
+}
+
+/// Runs `nets[i]` on core `i` of an SoC built from `config`, interleaving
+/// cores at kernel-step granularity (the core with the smallest local clock
+/// steps next), and returns the full report.
+///
+/// # Errors
+///
+/// Propagates the first accelerator error (e.g. a page fault) from any core.
+///
+/// # Panics
+///
+/// Panics if `nets.len()` differs from the configured core count.
+pub fn run_networks(
+    config: &SocConfig,
+    nets: &[Network],
+    options: &RunOptions,
+) -> Result<SocReport, AccelError> {
+    assert_eq!(
+        nets.len(),
+        config.cores.len(),
+        "need exactly one network per core"
+    );
+    let mut soc = Soc::new(config, options.functional);
+    let Soc {
+        cores,
+        mem,
+        data,
+        frames,
+    } = &mut soc;
+
+    let mut execs: Vec<NetworkExecution> = cores
+        .iter_mut()
+        .zip(nets)
+        .map(|(core, net)| {
+            NetworkExecution::new(
+                net.clone(),
+                core.accel.config().clone(),
+                &mut core.space,
+                frames,
+                data.as_mut(),
+                options.seed.wrapping_add(core.id as u64),
+            )
+        })
+        .collect();
+
+    let mut os_states: Vec<OsState> = cores.iter().map(|_| OsState::new(config.os)).collect();
+    let mut finished = vec![false; cores.len()];
+
+    while finished.iter().any(|f| !f) {
+        // Pick the unfinished core with the smallest local clock.
+        let idx = (0..cores.len())
+            .filter(|&i| !finished[i])
+            .min_by_key(|&i| cores[i].accel.now())
+            .expect("an unfinished core exists");
+        let core = &mut cores[idx];
+
+        // OS events that fired before this core's current time.
+        while os_states[idx].due(core.accel.now()) {
+            let now = core.accel.now();
+            core.accel
+                .advance_to(now + core.cpu.context_switch_cycles());
+            if os_states[idx].flushes_translation() {
+                core.translation.flush();
+            }
+            os_states[idx].take(core.accel.now());
+        }
+
+        let mut env = KernelEnv {
+            accel: &mut core.accel,
+            cpu: &core.cpu,
+            ctx: MemCtx {
+                space: &core.space,
+                translation: &mut core.translation,
+                mem,
+                data: data.as_mut(),
+                port: core.id,
+            },
+        };
+        if matches!(execs[idx].step(&mut env)?, StepOutcome::Done) {
+            finished[idx] = true;
+        }
+    }
+
+    // Assemble reports.
+    let core_reports = cores
+        .iter()
+        .zip(&execs)
+        .zip(&os_states)
+        .map(|((core, exec), os)| {
+            let t = &core.translation;
+            let output = data.as_ref().map(|d| {
+                read_virt(&core.space, d, exec.output_va(), exec.output_elements())
+                    .iter()
+                    .map(|&b| b as i8)
+                    .collect()
+            });
+            CoreReport {
+                network: exec.network().name().to_string(),
+                total_cycles: core.accel.stats().finish,
+                layers: layer_reports(exec.timings()),
+                translation: TranslationReport {
+                    requests: t.requests(),
+                    private_hit_rate: t.private_tlb().stats().hit_rate(),
+                    effective_hit_rate: t.effective_hit_rate(),
+                    filter_hits: t.filter_hits(),
+                    shared_hit_rate: t.shared_tlb().stats().hit_rate(),
+                    walks: t.walks_taken(),
+                    mean_walk_cycles: t.ptw().mean_walk_cycles(),
+                    consecutive_read_same_page: t.consecutive_read_same_page_rate(),
+                    consecutive_write_same_page: t.consecutive_write_same_page_rate(),
+                    miss_rate_series: t
+                        .miss_rate_series()
+                        .series()
+                        .iter()
+                        .map(|p| (p.start_cycle, p.miss_rate()))
+                        .collect(),
+                },
+                dma: *core.accel.dma_stats(),
+                macs: core.accel.stats().macs,
+                context_switches: os.switches(),
+                output,
+            }
+        })
+        .collect();
+
+    let l2 = soc_l2_report(&soc);
+    let dram_bytes = soc.mem.dram().stats().total_bytes();
+    Ok(SocReport {
+        cores: core_reports,
+        l2,
+        dram_bytes,
+    })
+}
+
+fn soc_l2_report(soc: &Soc) -> L2Report {
+    let stats = soc.mem.l2().stats();
+    L2Report {
+        accesses: stats.accesses(),
+        misses: stats.misses(),
+        miss_rate: stats.miss_rate(),
+        writebacks: soc.mem.l2().writebacks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::reference_forward;
+    use gemmini_dnn::graph::{Activation, Layer};
+    use gemmini_dnn::zoo;
+
+    #[test]
+    fn functional_tiny_cnn_matches_reference_bit_for_bit() {
+        let net = zoo::tiny_cnn();
+        let report = run_networks(
+            &SocConfig::edge_single_core(),
+            std::slice::from_ref(&net),
+            &RunOptions::functional(),
+        )
+        .unwrap();
+        let got = report.cores[0].output.as_ref().unwrap();
+        let want = reference_forward(&net, RunOptions::functional().seed);
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got, &want, "accelerator output must equal golden model");
+        assert!(report.cores[0].total_cycles > 0);
+        assert!(report.cores[0].macs > 0);
+    }
+
+    #[test]
+    fn functional_without_im2col_unit_also_matches() {
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].accel.has_im2col = false;
+        let net = zoo::tiny_cnn();
+        let report =
+            run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::functional()).unwrap();
+        let got = report.cores[0].output.as_ref().unwrap();
+        let want = reference_forward(&net, RunOptions::functional().seed);
+        assert_eq!(got, &want);
+    }
+
+    #[test]
+    fn timing_only_matches_functional_cycle_count() {
+        let net = zoo::tiny_cnn();
+        let cfg = SocConfig::edge_single_core();
+        let f = run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::functional()).unwrap();
+        let t = run_networks(&cfg, &[net], &RunOptions::timing()).unwrap();
+        assert_eq!(f.cores[0].total_cycles, t.cores[0].total_cycles);
+        assert!(t.cores[0].output.is_none());
+    }
+
+    #[test]
+    fn cpu_im2col_is_slower_than_accelerator_im2col() {
+        let net = zoo::tiny_cnn();
+        let with_unit = run_networks(
+            &SocConfig::edge_single_core(),
+            std::slice::from_ref(&net),
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].accel.has_im2col = false;
+        let without = run_networks(&cfg, &[net], &RunOptions::timing()).unwrap();
+        assert!(
+            without.cores[0].total_cycles > with_unit.cores[0].total_cycles,
+            "CPU im2col must cost more: {} vs {}",
+            without.cores[0].total_cycles,
+            with_unit.cores[0].total_cycles
+        );
+    }
+
+    #[test]
+    fn dual_core_runs_both_networks() {
+        let cfg = SocConfig::edge_dual_core();
+        let report = run_networks(
+            &cfg,
+            &[zoo::tiny_cnn(), zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        assert_eq!(report.cores.len(), 2);
+        assert!(report.cores.iter().all(|c| c.total_cycles > 0));
+        assert!(report.l2.accesses > 0);
+    }
+
+    #[test]
+    fn dual_core_contention_slows_cores_down() {
+        let single = run_networks(
+            &SocConfig::edge_single_core(),
+            &[zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        let dual = run_networks(
+            &SocConfig::edge_dual_core(),
+            &[zoo::tiny_cnn(), zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        // Sharing the L2/DRAM should not make anyone faster.
+        assert!(dual.cores[0].total_cycles >= single.cores[0].total_cycles);
+    }
+
+    #[test]
+    fn per_layer_reports_cover_every_layer() {
+        let net = zoo::tiny_cnn();
+        let layers = net.len();
+        let report = run_networks(
+            &SocConfig::edge_single_core(),
+            &[net],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        assert_eq!(report.cores[0].layers.len(), layers);
+        let by_class: Cycle = [
+            LayerClass::Conv,
+            LayerClass::Matmul,
+            LayerClass::ResAdd,
+            LayerClass::Pool,
+            LayerClass::Norm,
+        ]
+        .iter()
+        .map(|&c| report.cores[0].class_cycles(c))
+        .sum();
+        let total: Cycle = report.cores[0].layers.iter().map(|l| l.cycles).sum();
+        assert_eq!(by_class, total);
+    }
+
+    #[test]
+    fn os_noise_adds_time_and_switches() {
+        use crate::os::OsConfig;
+        let quiet = SocConfig::edge_single_core();
+        let mut noisy = SocConfig::edge_single_core();
+        noisy.os = OsConfig::linux(2_000);
+        let net = zoo::tiny_cnn();
+        let a = run_networks(&quiet, std::slice::from_ref(&net), &RunOptions::timing()).unwrap();
+        let b = run_networks(&noisy, &[net], &RunOptions::timing()).unwrap();
+        assert!(b.cores[0].context_switches > 0);
+        assert!(b.cores[0].total_cycles > a.cores[0].total_cycles);
+    }
+
+    #[test]
+    fn translation_stats_are_populated() {
+        let report = run_networks(
+            &SocConfig::edge_single_core(),
+            &[zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        let t = &report.cores[0].translation;
+        assert!(t.requests > 0);
+        assert!(t.walks > 0);
+        assert!(t.private_hit_rate > 0.0);
+        assert!(!t.miss_rate_series.is_empty());
+    }
+
+    #[test]
+    fn matmul_only_network_runs() {
+        let mut net = Network::new("mm");
+        net.push(
+            "fc1",
+            Layer::Matmul {
+                m: 32,
+                k: 64,
+                n: 48,
+                activation: Activation::Relu,
+            },
+        );
+        net.push(
+            "fc2",
+            Layer::Matmul {
+                m: 32,
+                k: 48,
+                n: 10,
+                activation: Activation::None,
+            },
+        );
+        let report = run_networks(
+            &SocConfig::edge_single_core(),
+            std::slice::from_ref(&net),
+            &RunOptions::functional(),
+        )
+        .unwrap();
+        let want = reference_forward(&net, RunOptions::functional().seed);
+        assert_eq!(report.cores[0].output.as_ref().unwrap(), &want);
+    }
+
+    #[test]
+    #[should_panic(expected = "one network per core")]
+    fn network_count_mismatch_panics() {
+        let _ = run_networks(
+            &SocConfig::edge_dual_core(),
+            &[zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        );
+    }
+}

@@ -1,0 +1,883 @@
+//! The push-button software flow (the "high level" of the multi-level
+//! programming interface).
+//!
+//! A [`NetworkExecution`] takes a [`Network`] description (parsed from the
+//! textual format or built by the zoo — our ONNX stand-in), allocates every
+//! buffer in the process's virtual address space, and executes the layers
+//! in order, "mapping as many kernels as possible onto the Gemmini-generated
+//! accelerator": conv/matmul/residual-add/pool run on the accelerator
+//! (subject to which optional blocks the instance has), softmax/layer-norm
+//! stay on the host CPU.
+//!
+//! Data layout: activations are NHWC (pixel-major) in memory because that
+//! is what GEMM-lowered convolutions naturally produce; the reference
+//! executor ([`reference_forward`]) mirrors the exact arithmetic (same
+//! scales, same read-out path) so functional runs can be checked
+//! bit-for-bit.
+
+use crate::kernel::{
+    pack_b_panels, packed_b_len, ASource, CpuLayerKernel, DwConvKernel, Im2colParams, Kernel,
+    KernelEnv, MatmulParams, PoolKernel, ResAddKernel, StepOutcome, TiledMatmulKernel,
+};
+use gemmini_core::config::GemminiConfig;
+use gemmini_core::peripherals::readout_row;
+use gemmini_core::AccelError;
+use gemmini_dnn::graph::{Layer, LayerClass, Network, PoolKind};
+use gemmini_dnn::layout::{from_nhwc, to_nhwc};
+use gemmini_dnn::ops::conv::{conv2d, dwconv2d, ConvSpec};
+use gemmini_dnn::ops::im2col::{im2col_nhwc, weights_to_matrix_nhwc};
+use gemmini_dnn::ops::matmul;
+use gemmini_dnn::ops::pool::{avgpool2d_i8, maxpool2d, PoolSpec};
+use gemmini_dnn::ops::resadd_i8;
+use gemmini_dnn::tensor::Tensor;
+use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
+use gemmini_mem::dram::MainMemory;
+use gemmini_mem::Cycle;
+use gemmini_vm::page::FrameAllocator;
+use gemmini_vm::page_table::AddressSpace;
+
+/// Recorded timing of one executed layer.
+#[derive(Debug, Clone)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub name: String,
+    /// Layer class (for the Fig. 9 per-class aggregation).
+    pub class: LayerClass,
+    /// Core-local start cycle.
+    pub start: Cycle,
+    /// Core-local end cycle.
+    pub end: Cycle,
+}
+
+impl LayerTiming {
+    /// Cycles this layer took.
+    pub fn cycles(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    weights: Option<VirtAddr>,
+    output: VirtAddr,
+    patch: Option<VirtAddr>,
+    out_elements: usize,
+}
+
+/// Output scale used for conv/matmul layers of reduction depth `k`: keeps
+/// int8 outputs well-spread for the synthetic value distribution
+/// (uniform in [-64, 63]).
+pub fn scale_for_k(k: usize) -> f32 {
+    2.0 / (64.0 * (k as f32).sqrt())
+}
+
+/// Deterministic per-layer weight seed.
+pub fn weight_seed(seed: u64, layer: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(1000 + layer as u64)
+}
+
+fn round_up(bytes: usize, to: usize) -> usize {
+    bytes.div_ceil(to) * to
+}
+
+/// Writes bytes to virtual memory through the page table (functional path).
+pub fn write_virt(space: &AddressSpace, data: &mut MainMemory, va: VirtAddr, bytes: &[u8]) {
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let cur = va.add(off as u64);
+        let pa = space
+            .translate(cur)
+            .expect("runtime buffers are always mapped");
+        let n = ((PAGE_SIZE - cur.offset_in_page()) as usize).min(bytes.len() - off);
+        data.write(pa, &bytes[off..off + n]);
+        off += n;
+    }
+}
+
+/// Reads bytes from virtual memory through the page table (functional path).
+pub fn read_virt(space: &AddressSpace, data: &MainMemory, va: VirtAddr, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    let mut off = 0usize;
+    while off < len {
+        let cur = va.add(off as u64);
+        let pa = space
+            .translate(cur)
+            .expect("runtime buffers are always mapped");
+        let n = ((PAGE_SIZE - cur.offset_in_page()) as usize).min(len - off);
+        let mut buf = vec![0u8; n];
+        data.read(pa, &mut buf);
+        out[off..off + n].copy_from_slice(&buf);
+        off += n;
+    }
+    out
+}
+
+fn as_i8(bytes: &[u8]) -> Vec<i8> {
+    bytes.iter().map(|&b| b as i8).collect()
+}
+
+fn as_u8(vals: &[i8]) -> Vec<u8> {
+    vals.iter().map(|&v| v as u8).collect()
+}
+
+/// How many int8 elements a layer's (primary) input holds.
+fn layer_input_elements(layer: &Layer) -> usize {
+    match *layer {
+        Layer::Conv {
+            in_channels, in_hw, ..
+        } => in_channels * in_hw.0 * in_hw.1,
+        Layer::DwConv {
+            channels, in_hw, ..
+        } => channels * in_hw.0 * in_hw.1,
+        Layer::Matmul { m, k, .. } => m * k,
+        Layer::ResAdd { elements } => elements,
+        Layer::Pool {
+            channels, in_hw, ..
+        } => channels * in_hw.0 * in_hw.1,
+        Layer::LayerNorm { rows, cols } | Layer::Softmax { rows, cols } => rows * cols,
+    }
+}
+
+/// Runs a sequence of sub-kernels back to back (e.g. CPU im2col followed by
+/// the GEMM).
+struct SequenceKernel {
+    kernels: Vec<Box<dyn Kernel>>,
+    idx: usize,
+}
+
+impl Kernel for SequenceKernel {
+    fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        while self.idx < self.kernels.len() {
+            match self.kernels[self.idx].step(env)? {
+                StepOutcome::Working => return Ok(StepOutcome::Working),
+                StepOutcome::Done => self.idx += 1,
+            }
+            if self.idx < self.kernels.len() {
+                return Ok(StepOutcome::Working);
+            }
+        }
+        Ok(StepOutcome::Done)
+    }
+}
+
+/// Executes one network on one core, layer by layer, as a resumable state
+/// machine.
+pub struct NetworkExecution {
+    net: Network,
+    accel_cfg: GemminiConfig,
+    input_va: VirtAddr,
+    input_elements: usize,
+    placements: Vec<Placement>,
+    current: usize,
+    kernel: Option<Box<dyn Kernel>>,
+    layer_start: Cycle,
+    timings: Vec<LayerTiming>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for NetworkExecution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkExecution")
+            .field("net", &self.net.name())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl NetworkExecution {
+    /// Allocates every buffer for `net` in `space` and, when `data` is
+    /// provided, initializes input and weights with deterministic synthetic
+    /// values derived from `seed`.
+    pub fn new(
+        net: Network,
+        accel_cfg: GemminiConfig,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        mut data: Option<&mut MainMemory>,
+        seed: u64,
+    ) -> Self {
+        let dim = accel_cfg.dim();
+        let pad = dim.max(64);
+        let input_elements = net
+            .layers()
+            .first()
+            .map(|l| layer_input_elements(&l.layer))
+            .unwrap_or(1);
+        let input_va = space.alloc(frames, round_up(input_elements, pad) as u64);
+
+        let mut placements = Vec::with_capacity(net.len());
+        for (i, nl) in net.layers().iter().enumerate() {
+            let l = &nl.layer;
+            // Stationary operands are stored panel-packed (see
+            // `pack_b_panels`), which pads each panel to `dim` columns.
+            let weights_len = match *l {
+                Layer::Conv {
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    ..
+                } => packed_b_len(kernel * kernel * in_channels, out_channels, dim),
+                Layer::DwConv {
+                    channels, kernel, ..
+                } => channels * kernel * kernel * dim,
+                Layer::Matmul { k, n, .. } => packed_b_len(k, n, dim),
+                _ => 0,
+            };
+            let weights =
+                (weights_len > 0).then(|| space.alloc(frames, round_up(weights_len, pad) as u64));
+            let out_elements = l.output_bytes() as usize;
+            let output = space.alloc(frames, round_up(out_elements.max(1), pad) as u64);
+            // Patch scratch for CPU-side im2col.
+            let patch = match l {
+                Layer::Conv { .. } | Layer::DwConv { .. } if !accel_cfg.has_im2col => {
+                    // `as_gemm` already folds channels into m for depthwise.
+                    let (m, k, _n) = l.as_gemm().expect("conv lowers to GEMM");
+                    Some(space.alloc(frames, round_up(m * k, pad) as u64))
+                }
+                _ => None,
+            };
+            placements.push(Placement {
+                weights,
+                output,
+                patch,
+                out_elements,
+            });
+
+            // Functional weight initialization.
+            if let Some(mem) = data.as_deref_mut() {
+                let wseed = weight_seed(seed, i);
+                match *l {
+                    Layer::Conv {
+                        in_channels,
+                        out_channels,
+                        kernel,
+                        ..
+                    } => {
+                        let w = Tensor::<i8>::random(
+                            &[out_channels, in_channels, kernel, kernel],
+                            wseed,
+                        );
+                        let mat = weights_to_matrix_nhwc(&w);
+                        let panels = pack_b_panels(&mat, dim);
+                        write_virt(
+                            space,
+                            mem,
+                            placements[i].weights.expect("conv has weights"),
+                            &as_u8(&panels),
+                        );
+                    }
+                    Layer::DwConv {
+                        channels, kernel, ..
+                    } => {
+                        let w = Tensor::<i8>::random(&[channels, kernel, kernel], wseed);
+                        // Per-channel [k², 1] panels, each padded to dim cols.
+                        let kk = kernel * kernel;
+                        let mut panels = Vec::with_capacity(channels * kk * dim);
+                        for ch in 0..channels {
+                            let col = Tensor::from_vec(
+                                &[kk, 1],
+                                w.as_slice()[ch * kk..(ch + 1) * kk].to_vec(),
+                            );
+                            panels.extend(pack_b_panels(&col, dim));
+                        }
+                        write_virt(
+                            space,
+                            mem,
+                            placements[i].weights.expect("dwconv has weights"),
+                            &as_u8(&panels),
+                        );
+                    }
+                    Layer::Matmul { k, n, .. } => {
+                        let w = Tensor::<i8>::random(&[k, n], wseed);
+                        let panels = pack_b_panels(&w, dim);
+                        write_virt(
+                            space,
+                            mem,
+                            placements[i].weights.expect("matmul has weights"),
+                            &as_u8(&panels),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Functional input initialization (NHWC for spatial layers).
+        if let Some(mem) = data {
+            if let Some(first) = net.layers().first() {
+                let bytes = match first.layer {
+                    Layer::Conv {
+                        in_channels, in_hw, ..
+                    } => {
+                        let t = Tensor::<i8>::random(&[1, in_channels, in_hw.0, in_hw.1], seed);
+                        as_u8(&to_nhwc(&t))
+                    }
+                    Layer::DwConv {
+                        channels, in_hw, ..
+                    } => {
+                        let t = Tensor::<i8>::random(&[1, channels, in_hw.0, in_hw.1], seed);
+                        as_u8(&to_nhwc(&t))
+                    }
+                    _ => {
+                        let t = Tensor::<i8>::random(&[input_elements], seed);
+                        as_u8(t.as_slice())
+                    }
+                };
+                write_virt(space, mem, input_va, &bytes);
+            }
+        }
+
+        Self {
+            net,
+            accel_cfg,
+            input_va,
+            input_elements,
+            placements,
+            current: 0,
+            kernel: None,
+            layer_start: 0,
+            timings: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The network being executed.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Per-layer timings recorded so far.
+    pub fn timings(&self) -> &[LayerTiming] {
+        &self.timings
+    }
+
+    /// The final layer's output buffer.
+    pub fn output_va(&self) -> VirtAddr {
+        self.placements
+            .last()
+            .map(|p| p.output)
+            .unwrap_or(self.input_va)
+    }
+
+    /// Element count of the final output.
+    pub fn output_elements(&self) -> usize {
+        self.placements
+            .last()
+            .map(|p| p.out_elements)
+            .unwrap_or(self.input_elements)
+    }
+
+    /// Whether every layer has completed.
+    pub fn is_finished(&self) -> bool {
+        self.current >= self.net.len()
+    }
+
+    fn input_of(&self, i: usize) -> VirtAddr {
+        if i == 0 {
+            self.input_va
+        } else {
+            self.placements[i - 1].output
+        }
+    }
+
+    /// The second residual operand: the most recent earlier buffer with a
+    /// matching element count (the block input for identity shortcuts, the
+    /// projection output for projection shortcuts).
+    fn resadd_second_operand(&self, i: usize, elements: usize) -> VirtAddr {
+        for j in (0..i.saturating_sub(1)).rev() {
+            if self.placements[j].out_elements == elements {
+                return self.placements[j].output;
+            }
+        }
+        if self.input_elements == elements {
+            return self.input_va;
+        }
+        // Degenerate fallback: reuse the primary operand.
+        self.input_of(i)
+    }
+
+    fn read_input_nchw(
+        &self,
+        env: &KernelEnv<'_>,
+        i: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Option<Tensor<i8>> {
+        let data = env.ctx.data.as_deref()?;
+        let bytes = read_virt(env.ctx.space, data, self.input_of(i), c * h * w);
+        Some(from_nhwc(&as_i8(&bytes), 1, c, h, w))
+    }
+
+    fn prepare_layer(&mut self, env: &mut KernelEnv<'_>) -> Box<dyn Kernel> {
+        let i = self.current;
+        let layer = self.net.layers()[i].layer.clone();
+        let place = self.placements[i];
+        let cfg = self.accel_cfg.clone();
+        match layer {
+            Layer::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => {
+                let spec = ConvSpec {
+                    kernel,
+                    stride,
+                    padding,
+                };
+                let (oh, ow) = (spec.out_size(in_hw.0), spec.out_size(in_hw.1));
+                let m = oh * ow;
+                let kdim = kernel * kernel * in_channels;
+                let params = MatmulParams {
+                    a: place.patch.unwrap_or(VirtAddr::new(0)),
+                    b: place.weights.expect("conv has weights"),
+                    c: place.output,
+                    m,
+                    k: kdim,
+                    n: out_channels,
+                    c_stride: out_channels,
+                    activation,
+                    acc_scale: scale_for_k(kdim),
+                };
+                let input_nchw = self.read_input_nchw(env, i, in_channels, in_hw.0, in_hw.1);
+                if cfg.has_im2col {
+                    let patches = input_nchw.map(|t| im2col_nhwc(&t, spec));
+                    Box::new(TiledMatmulKernel::new(
+                        &cfg,
+                        params,
+                        ASource::Im2col(Im2colParams {
+                            input: self.input_of(i),
+                            channels: in_channels,
+                            in_h: in_hw.0,
+                            in_w: in_hw.1,
+                            row_pitch: in_hw.1 * in_channels,
+                            kernel,
+                            stride,
+                            padding,
+                            out_w: ow,
+                            patches,
+                        }),
+                    ))
+                } else {
+                    // CPU im2col: the host expands patches into memory, then
+                    // the accelerator consumes a plain matrix.
+                    if let (Some(t), Some(patch_va)) = (input_nchw, place.patch) {
+                        let patches = im2col_nhwc(&t, spec);
+                        // Functional write occurs up front; its time cost is
+                        // the CpuLayerKernel below.
+                        if let Some(data) = env.ctx.data.as_deref_mut() {
+                            write_virt(env.ctx.space, data, patch_va, &as_u8(patches.as_slice()));
+                        }
+                    }
+                    let cycles = env.cpu.im2col_cycles(&layer);
+                    Box::new(SequenceKernel {
+                        kernels: vec![
+                            Box::new(CpuLayerKernel::new(cycles)),
+                            Box::new(TiledMatmulKernel::new(&cfg, params, ASource::Memory)),
+                        ],
+                        idx: 0,
+                    })
+                }
+            }
+            Layer::DwConv {
+                channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => {
+                let spec = ConvSpec {
+                    kernel,
+                    stride,
+                    padding,
+                };
+                let (oh, ow) = (spec.out_size(in_hw.0), spec.out_size(in_hw.1));
+                let input_nchw = self.read_input_nchw(env, i, channels, in_hw.0, in_hw.1);
+                let patches_per_channel = input_nchw.as_ref().map(|t| {
+                    (0..channels)
+                        .map(|ch| {
+                            let plane = Tensor::from_vec(
+                                &[1, 1, in_hw.0, in_hw.1],
+                                t.as_slice()[ch * in_hw.0 * in_hw.1..(ch + 1) * in_hw.0 * in_hw.1]
+                                    .to_vec(),
+                            );
+                            im2col_nhwc(&plane, spec)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                let scale = scale_for_k(kernel * kernel);
+                if cfg.has_im2col {
+                    Box::new(DwConvKernel::new(
+                        &cfg,
+                        self.input_of(i),
+                        place.weights.expect("dwconv has weights"),
+                        place.output,
+                        channels,
+                        in_hw,
+                        (oh, ow),
+                        kernel,
+                        stride,
+                        padding,
+                        activation,
+                        scale,
+                        patches_per_channel,
+                        None,
+                    ))
+                } else {
+                    let patch_va = place.patch.expect("cpu-im2col dwconv has patch buffer");
+                    if let (Some(patches), Some(data)) =
+                        (patches_per_channel.as_ref(), env.ctx.data.as_deref_mut())
+                    {
+                        let kk = kernel * kernel;
+                        let m = oh * ow;
+                        for (ch, p) in patches.iter().enumerate() {
+                            write_virt(
+                                env.ctx.space,
+                                data,
+                                patch_va.add((ch * m * kk) as u64),
+                                &as_u8(p.as_slice()),
+                            );
+                        }
+                    }
+                    let cycles = env.cpu.im2col_cycles(&layer);
+                    Box::new(SequenceKernel {
+                        kernels: vec![
+                            Box::new(CpuLayerKernel::new(cycles)),
+                            Box::new(DwConvKernel::new(
+                                &cfg,
+                                self.input_of(i),
+                                place.weights.expect("dwconv has weights"),
+                                place.output,
+                                channels,
+                                in_hw,
+                                (oh, ow),
+                                kernel,
+                                stride,
+                                padding,
+                                activation,
+                                scale,
+                                None,
+                                Some(patch_va),
+                            )),
+                        ],
+                        idx: 0,
+                    })
+                }
+            }
+            Layer::Matmul {
+                m,
+                k,
+                n,
+                activation,
+            } => Box::new(TiledMatmulKernel::new(
+                &cfg,
+                MatmulParams {
+                    a: self.input_of(i),
+                    b: place.weights.expect("matmul has weights"),
+                    c: place.output,
+                    m,
+                    k,
+                    n,
+                    c_stride: n,
+                    activation,
+                    acc_scale: scale_for_k(k),
+                },
+                ASource::Memory,
+            )),
+            Layer::ResAdd { elements } => {
+                let a = self.input_of(i);
+                let b = self.resadd_second_operand(i, elements);
+                Box::new(ResAddKernel::new(&cfg, a, b, place.output, elements))
+            }
+            Layer::Pool {
+                kind,
+                size,
+                stride,
+                padding,
+                channels,
+                in_hw,
+            } => {
+                if cfg.has_pooling {
+                    let spec = PoolSpec {
+                        size,
+                        stride,
+                        padding,
+                    };
+                    let (oh, ow) = (spec.out_size(in_hw.0), spec.out_size(in_hw.1));
+                    let out_data = self
+                        .read_input_nchw(env, i, channels, in_hw.0, in_hw.1)
+                        .map(|t| {
+                            let pooled = match kind {
+                                PoolKind::Max => maxpool2d(&t, spec),
+                                PoolKind::Avg => avgpool2d_i8(&t, spec),
+                            };
+                            let nhwc = to_nhwc(&pooled);
+                            // NHWC rows: oh rows of ow*c bytes.
+                            nhwc.chunks(ow * channels).map(as_u8).collect::<Vec<_>>()
+                        });
+                    // Stream NHWC rows: treat the feature map as 1 "channel"
+                    // of (h, w*c) for the row geometry.
+                    Box::new(PoolKernel::new(
+                        &cfg,
+                        self.input_of(i),
+                        place.output,
+                        1,
+                        (in_hw.0, in_hw.1 * channels),
+                        (oh, ow * channels),
+                        size,
+                        out_data,
+                    ))
+                } else {
+                    Box::new(CpuLayerKernel::new(env.cpu.layer_cycles(&layer)))
+                }
+            }
+            Layer::LayerNorm { .. } | Layer::Softmax { .. } => {
+                Box::new(CpuLayerKernel::new(env.cpu.layer_cycles(&layer)))
+            }
+        }
+    }
+
+    /// Executes one kernel step of the current layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator errors.
+    pub fn step(&mut self, env: &mut KernelEnv<'_>) -> Result<StepOutcome, AccelError> {
+        if self.is_finished() {
+            return Ok(StepOutcome::Done);
+        }
+        if self.kernel.is_none() {
+            self.layer_start = env.accel.now();
+            let k = self.prepare_layer(env);
+            self.kernel = Some(k);
+        }
+        let outcome = self
+            .kernel
+            .as_mut()
+            .expect("kernel prepared above")
+            .step(env)?;
+        if outcome == StepOutcome::Done {
+            let nl = &self.net.layers()[self.current];
+            self.timings.push(LayerTiming {
+                name: nl.name.clone(),
+                class: nl.layer.class(),
+                start: self.layer_start,
+                end: env.accel.now(),
+            });
+            self.kernel = None;
+            self.current += 1;
+        }
+        Ok(if self.is_finished() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Working
+        })
+    }
+
+    /// Seed used for synthetic tensors.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Golden-model execution of `net` with the same synthetic tensors, layouts,
+/// scales and read-out arithmetic as [`NetworkExecution`]; returns the final
+/// output bytes (in the runtime's memory layout) for bit-exact comparison.
+///
+/// Norm-class layers are not modeled functionally (they run on the CPU in
+/// both paths); networks containing them should be compared layer-wise
+/// before the first norm layer.
+pub fn reference_forward(net: &Network, seed: u64) -> Vec<i8> {
+    let mut outputs: Vec<Vec<i8>> = Vec::new();
+    let mut input_elements = net
+        .layers()
+        .first()
+        .map(|l| layer_input_elements(&l.layer))
+        .unwrap_or(1);
+    let _ = &mut input_elements;
+
+    let first_input: Vec<i8> = match net.layers().first().map(|l| &l.layer) {
+        Some(Layer::Conv {
+            in_channels, in_hw, ..
+        }) => {
+            let t = Tensor::<i8>::random(&[1, *in_channels, in_hw.0, in_hw.1], seed);
+            to_nhwc(&t)
+        }
+        Some(Layer::DwConv {
+            channels, in_hw, ..
+        }) => {
+            let t = Tensor::<i8>::random(&[1, *channels, in_hw.0, in_hw.1], seed);
+            to_nhwc(&t)
+        }
+        Some(l) => Tensor::<i8>::random(&[layer_input_elements(l)], seed).into_vec(),
+        None => vec![],
+    };
+
+    let mut prev = first_input.clone();
+    for (i, nl) in net.layers().iter().enumerate() {
+        let wseed = weight_seed(seed, i);
+        let out: Vec<i8> = match &nl.layer {
+            Layer::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => {
+                let spec = ConvSpec {
+                    kernel: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                };
+                let input = from_nhwc(&prev, 1, *in_channels, in_hw.0, in_hw.1);
+                let w =
+                    Tensor::<i8>::random(&[*out_channels, *in_channels, *kernel, *kernel], wseed);
+                let acc = conv2d(&input, &w, spec);
+                let scale = scale_for_k(kernel * kernel * in_channels);
+                let (oh, ow) = (spec.out_size(in_hw.0), spec.out_size(in_hw.1));
+                // Read out per pixel row (NHWC): [oc] per pixel.
+                let mut out = Vec::with_capacity(oh * ow * out_channels);
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row: Vec<i32> =
+                            (0..*out_channels).map(|o| acc.at4(0, o, y, x)).collect();
+                        out.extend(readout_row(&row, *activation, scale));
+                    }
+                }
+                out
+            }
+            Layer::DwConv {
+                channels,
+                kernel,
+                stride,
+                padding,
+                in_hw,
+                activation,
+            } => {
+                let spec = ConvSpec {
+                    kernel: *kernel,
+                    stride: *stride,
+                    padding: *padding,
+                };
+                let input = from_nhwc(&prev, 1, *channels, in_hw.0, in_hw.1);
+                let w = Tensor::<i8>::random(&[*channels, *kernel, *kernel], wseed);
+                let acc = dwconv2d(&input, &w, spec);
+                let scale = scale_for_k(kernel * kernel);
+                let (oh, ow) = (spec.out_size(in_hw.0), spec.out_size(in_hw.1));
+                let mut out = Vec::with_capacity(oh * ow * channels);
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row: Vec<i32> = (0..*channels).map(|c| acc.at4(0, c, y, x)).collect();
+                        out.extend(readout_row(&row, *activation, scale));
+                    }
+                }
+                out
+            }
+            Layer::Matmul {
+                m,
+                k,
+                n,
+                activation,
+            } => {
+                let a = Tensor::from_vec(&[*m, *k], prev.clone());
+                let b = Tensor::<i8>::random(&[*k, *n], wseed);
+                let acc = matmul(&a, &b);
+                let scale = scale_for_k(*k);
+                let mut out = Vec::with_capacity(m * n);
+                for r in 0..*m {
+                    out.extend(readout_row(
+                        &acc.as_slice()[r * n..(r + 1) * n],
+                        *activation,
+                        scale,
+                    ));
+                }
+                out
+            }
+            Layer::ResAdd { elements } => {
+                let b_bytes = outputs[..i.saturating_sub(1)]
+                    .iter()
+                    .rev()
+                    .find(|o| o.len() == *elements)
+                    .cloned()
+                    .or_else(|| (first_input.len() == *elements).then(|| first_input.clone()))
+                    .unwrap_or_else(|| prev.clone());
+                let a = Tensor::from_vec(&[*elements], prev.clone());
+                let b = Tensor::from_vec(&[*elements], b_bytes);
+                resadd_i8(&a, &b).into_vec()
+            }
+            Layer::Pool {
+                kind,
+                size,
+                stride,
+                padding,
+                channels,
+                in_hw,
+            } => {
+                let spec = PoolSpec {
+                    size: *size,
+                    stride: *stride,
+                    padding: *padding,
+                };
+                let input = from_nhwc(&prev, 1, *channels, in_hw.0, in_hw.1);
+                let pooled = match kind {
+                    PoolKind::Max => maxpool2d(&input, spec),
+                    PoolKind::Avg => avgpool2d_i8(&input, spec),
+                };
+                to_nhwc(&pooled)
+            }
+            Layer::LayerNorm { .. } | Layer::Softmax { .. } => prev.clone(),
+        };
+        outputs.push(out.clone());
+        prev = out;
+    }
+    prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_formula_keeps_outputs_in_range() {
+        // For uniform [-64,63] operands the scaled std stays well inside i8.
+        for k in [9usize, 64, 576, 2048] {
+            let s = scale_for_k(k);
+            let acc_std = 64.0f32 / (3.0f32).sqrt() * (k as f32).sqrt() * 36.9;
+            let out_std = acc_std * s;
+            assert!(out_std < 127.0 * 10.0, "k={k} out_std={out_std}");
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn weight_seeds_are_distinct_per_layer() {
+        let a = weight_seed(42, 0);
+        let b = weight_seed(42, 1);
+        let c = weight_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn input_element_counts() {
+        use gemmini_dnn::graph::Activation;
+        assert_eq!(
+            layer_input_elements(&Layer::Matmul {
+                m: 2,
+                k: 3,
+                n: 4,
+                activation: Activation::None
+            }),
+            6
+        );
+        assert_eq!(layer_input_elements(&Layer::ResAdd { elements: 7 }), 7);
+    }
+}

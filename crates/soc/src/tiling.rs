@@ -1,0 +1,198 @@
+//! Loop-tile-size calculation — the Section III-B data-staging heuristic.
+//!
+//! > "At runtime, based on the dimensions of a layer's inputs, and the
+//! > hardware parameters of the accelerator instantiation, Gemmini uses
+//! > heuristics to maximize the amount of data moved into the scratchpad
+//! > per iteration."
+//!
+//! Tile sizes are expressed in `dim × dim` blocks. A tile of
+//! `(tm, tk, tn)` blocks keeps an A tile (`tm·tk` blocks) and a B tile
+//! (`tk·tn` blocks) resident in the scratchpad — double-buffered, so two of
+//! each fit — and a C tile (`tm·tn` blocks) in the accumulator.
+
+use gemmini_core::config::GemminiConfig;
+
+/// A tile shape, in units of `dim × dim` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Output-row blocks per tile.
+    pub tm: usize,
+    /// Reduction blocks per tile.
+    pub tk: usize,
+    /// Output-column blocks per tile.
+    pub tn: usize,
+}
+
+impl TilePlan {
+    /// Scratchpad rows one buffer of this tile occupies (A + B tiles).
+    pub fn sp_rows(&self, dim: usize) -> usize {
+        (self.tm * self.tk + self.tk * self.tn) * dim
+    }
+
+    /// Accumulator rows the C tile occupies.
+    pub fn acc_rows(&self, dim: usize) -> usize {
+        self.tm * self.tn * dim
+    }
+
+    /// Whether this plan fits the configuration with double-buffered
+    /// scratchpad tiles.
+    pub fn fits(&self, config: &GemminiConfig) -> bool {
+        let dim = config.dim();
+        2 * self.sp_rows(dim) <= config.sp_rows() && self.acc_rows(dim) <= config.acc_rows()
+    }
+}
+
+/// Number of `dim`-blocks covering `len` elements.
+pub fn blocks(len: usize, dim: usize) -> usize {
+    len.div_ceil(dim)
+}
+
+/// Computes tile sizes for an `m × k × n` matrix multiplication on
+/// `config`, growing each tile dimension round-robin while the working set
+/// still fits (the generator's heuristic). Never exceeds the problem's own
+/// block counts.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_soc::tiling::plan_matmul;
+/// use gemmini_core::config::GemminiConfig;
+/// let cfg = GemminiConfig::edge();
+/// let plan = plan_matmul(&cfg, 3136, 576, 64);
+/// assert!(plan.fits(&cfg));
+/// assert!(plan.tm >= 1 && plan.tk >= 1 && plan.tn >= 1);
+/// ```
+pub fn plan_matmul(config: &GemminiConfig, m: usize, k: usize, n: usize) -> TilePlan {
+    let dim = config.dim();
+    let (mb, kb, nb) = (blocks(m, dim), blocks(k, dim), blocks(n, dim));
+    let mut plan = TilePlan {
+        tm: 1,
+        tk: 1,
+        tn: 1,
+    };
+    assert!(
+        plan.fits(config),
+        "configuration cannot hold even a single {dim}x{dim} tile"
+    );
+    loop {
+        let mut grew = false;
+        // Growth order k → m → n: deepening the reduction dimension first
+        // maximizes accumulator reuse per loaded byte.
+        for (field, limit) in [(2usize, kb), (0, mb), (1, nb)] {
+            let mut candidate = plan;
+            match field {
+                2 => candidate.tk += 1,
+                0 => candidate.tm += 1,
+                _ => candidate.tn += 1,
+            }
+            let current = match field {
+                2 => plan.tk,
+                0 => plan.tm,
+                _ => plan.tn,
+            };
+            if current < limit && candidate.fits(config) {
+                plan = candidate;
+                grew = true;
+            }
+        }
+        if !grew {
+            return plan;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> GemminiConfig {
+        GemminiConfig::edge()
+    }
+
+    #[test]
+    fn plan_always_fits() {
+        let cfg = edge();
+        for (m, k, n) in [
+            (16, 16, 16),
+            (3136, 576, 64),
+            (12544, 147, 64),
+            (1, 2048, 1000),
+            (128, 768, 3072),
+            (100000, 9, 1),
+        ] {
+            let p = plan_matmul(&cfg, m, k, n);
+            assert!(p.fits(&cfg), "({m},{k},{n}) -> {p:?}");
+        }
+    }
+
+    #[test]
+    fn plan_never_exceeds_problem_size() {
+        let cfg = edge();
+        let p = plan_matmul(&cfg, 16, 16, 16);
+        assert_eq!((p.tm, p.tk, p.tn), (1, 1, 1));
+        let p = plan_matmul(&cfg, 32, 16, 4096);
+        assert!(p.tm <= 2);
+        assert!(p.tk <= 1);
+    }
+
+    #[test]
+    fn bigger_scratchpad_gives_bigger_tiles() {
+        let small = edge();
+        let big = GemminiConfig {
+            sp_capacity_kb: 512,
+            acc_capacity_kb: 512,
+            ..edge()
+        };
+        let ps = plan_matmul(&small, 4096, 4096, 4096);
+        let pb = plan_matmul(&big, 4096, 4096, 4096);
+        let vol = |p: &TilePlan| p.tm * p.tk + p.tk * p.tn;
+        assert!(
+            vol(&pb) > vol(&ps),
+            "BigSP tiles {pb:?} should exceed Base tiles {ps:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_dimension_is_preferred() {
+        // For a deep problem the heuristic should grow tk generously.
+        let p = plan_matmul(&edge(), 4096, 4096, 4096);
+        assert!(p.tk >= p.tn);
+    }
+
+    #[test]
+    fn manual_plan_fits_check() {
+        let cfg = edge();
+        // 256 KiB sp, 16-byte rows -> 16384 rows; double-buffered tiles
+        // of (tm*tk + tk*tn)*16 rows each.
+        let ok = TilePlan {
+            tm: 8,
+            tk: 8,
+            tn: 8,
+        };
+        assert!(ok.fits(&cfg));
+        let too_big = TilePlan {
+            tm: 64,
+            tk: 64,
+            tn: 64,
+        };
+        assert!(!too_big.fits(&cfg));
+    }
+
+    #[test]
+    fn blocks_rounds_up() {
+        assert_eq!(blocks(16, 16), 1);
+        assert_eq!(blocks(17, 16), 2);
+        assert_eq!(blocks(1, 16), 1);
+    }
+
+    #[test]
+    fn acc_constraint_binds() {
+        // Tiny accumulator forces small tm*tn even with a huge scratchpad.
+        let cfg = GemminiConfig {
+            acc_capacity_kb: 4, // 64 acc rows -> tm*tn <= 4
+            ..edge()
+        };
+        let p = plan_matmul(&cfg, 4096, 4096, 4096);
+        assert!(p.tm * p.tn <= 4);
+    }
+}

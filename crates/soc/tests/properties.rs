@@ -1,0 +1,106 @@
+//! Property-based tests for the software stack: tiling invariants and
+//! functional equivalence of the full instruction-level path against the
+//! golden model on randomized small networks.
+
+use gemmini_core::config::GemminiConfig;
+use gemmini_dnn::graph::{Activation, Layer, Network};
+use gemmini_soc::run::{run_networks, RunOptions};
+use gemmini_soc::runtime::reference_forward;
+use gemmini_soc::soc::SocConfig;
+use gemmini_soc::tiling::plan_matmul;
+use proptest::prelude::*;
+
+proptest! {
+    /// The tile planner always returns a plan that fits, never exceeds the
+    /// problem's own block counts, and covers at least one block per axis.
+    #[test]
+    fn plans_fit_and_are_sane(
+        m in 1usize..5000,
+        k in 1usize..5000,
+        n in 1usize..5000,
+        sp_kb in prop::sample::select(vec![64usize, 128, 256, 512]),
+        acc_kb in prop::sample::select(vec![16usize, 64, 256, 512]),
+    ) {
+        let cfg = GemminiConfig {
+            sp_capacity_kb: sp_kb,
+            acc_capacity_kb: acc_kb,
+            ..GemminiConfig::edge()
+        };
+        let plan = plan_matmul(&cfg, m, k, n);
+        prop_assert!(plan.fits(&cfg));
+        prop_assert!(plan.tm >= 1 && plan.tk >= 1 && plan.tn >= 1);
+        let dim = cfg.dim();
+        prop_assert!(plan.tm <= m.div_ceil(dim));
+        prop_assert!(plan.tk <= k.div_ceil(dim));
+        prop_assert!(plan.tn <= n.div_ceil(dim));
+    }
+
+    /// Growing the scratchpad never shrinks the chosen tile volume.
+    #[test]
+    fn bigger_scratchpad_never_shrinks_tiles(m in 64usize..4096, k in 64usize..4096, n in 64usize..4096) {
+        let small = GemminiConfig::edge();
+        let big = GemminiConfig { sp_capacity_kb: 512, acc_capacity_kb: 512, ..GemminiConfig::edge() };
+        let ps = plan_matmul(&small, m, k, n);
+        let pb = plan_matmul(&big, m, k, n);
+        prop_assert!(pb.tm * pb.tk + pb.tk * pb.tn >= ps.tm * ps.tk + ps.tk * ps.tn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized two-layer matmul networks: the instruction-level
+    /// simulator's output equals the golden model bit-for-bit.
+    #[test]
+    fn random_matmul_networks_are_bit_exact(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        n2 in 1usize..20,
+        relu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new("prop_mm");
+        net.push("fc1", Layer::Matmul {
+            m,
+            k,
+            n,
+            activation: if relu { Activation::Relu } else { Activation::None },
+        });
+        net.push("fc2", Layer::Matmul { m, k: n, n: n2, activation: Activation::None });
+        let opts = RunOptions { functional: true, seed };
+        let report = run_networks(&SocConfig::edge_single_core(), std::slice::from_ref(&net), &opts).unwrap();
+        let want = reference_forward(&net, seed);
+        prop_assert_eq!(report.cores[0].output.as_ref().unwrap(), &want);
+    }
+
+    /// Randomized tiny conv networks (with and without the im2col block)
+    /// stay bit-exact.
+    #[test]
+    fn random_conv_networks_are_bit_exact(
+        c_in in 1usize..5,
+        c_out in 1usize..6,
+        hw in 4usize..10,
+        ksz in prop::sample::select(vec![1usize, 3]),
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new("prop_conv");
+        net.push("conv", Layer::Conv {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel: ksz,
+            stride: 1,
+            padding: ksz / 2,
+            in_hw: (hw, hw),
+            activation: Activation::Relu,
+        });
+        net.push("skip", Layer::ResAdd { elements: c_out * hw * hw });
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].accel.has_im2col = unit;
+        let opts = RunOptions { functional: true, seed };
+        let report = run_networks(&cfg, std::slice::from_ref(&net), &opts).unwrap();
+        let want = reference_forward(&net, seed);
+        prop_assert_eq!(report.cores[0].output.as_ref().unwrap(), &want);
+    }
+}

@@ -1,0 +1,200 @@
+//! Component-level area model (the Fig. 6a breakdown).
+
+use crate::tech::{
+    AREA_BOOM_UM2, AREA_CTRL_UM2, AREA_PE_INT8_UM2, AREA_PIPE_REG_UM2, AREA_ROCKET_UM2,
+    AREA_SRAM_ACC_UM2_PER_KB, AREA_SRAM_SP_UM2_PER_KB, FP32_PE_AREA_FACTOR,
+};
+use gemmini_core::config::{DataType, GemminiConfig};
+
+/// Host-CPU macro choices for SoC-level area totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuKind {
+    /// In-order Rocket core.
+    Rocket,
+    /// Out-of-order BOOM core.
+    Boom,
+}
+
+impl CpuKind {
+    /// Macro area in µm².
+    pub fn area_um2(self) -> f64 {
+        match self {
+            Self::Rocket => AREA_ROCKET_UM2,
+            Self::Boom => AREA_BOOM_UM2,
+        }
+    }
+}
+
+/// One named component of the breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaComponent {
+    /// Component name as it appears in the Fig. 6a table.
+    pub name: String,
+    /// Area in µm².
+    pub area_um2: f64,
+}
+
+/// A full area breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Components, in presentation order.
+    pub components: Vec<AreaComponent>,
+}
+
+impl AreaReport {
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_um2).sum()
+    }
+
+    /// One component's share of the total.
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total_um2();
+        self.components
+            .iter()
+            .filter(|c| c.name.contains(name))
+            .map(|c| c.area_um2)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Combined SRAM share (scratchpad + accumulator) of the report's
+    /// total — the paper's "the SRAMs alone consume 67.1% of the
+    /// accelerator's total area" claim (measured against the Fig. 6a
+    /// system total, which includes the host CPU).
+    pub fn sram_fraction(&self) -> f64 {
+        let sram: f64 = self
+            .components
+            .iter()
+            .filter(|c| c.name.contains("Scratchpad") || c.name.contains("Accumulator"))
+            .map(|c| c.area_um2)
+            .sum();
+        sram / self.total_um2()
+    }
+}
+
+/// Spatial-array area for a configuration: PE logic plus the pipeline
+/// registers implied by the tile hierarchy (one register bank per tile
+/// column at each tile boundary).
+pub fn spatial_array_area_um2(config: &GemminiConfig) -> f64 {
+    let dtype_factor = match config.dtype {
+        DataType::Int8 => 1.0,
+        DataType::Fp32 => FP32_PE_AREA_FACTOR,
+    };
+    let pes = config.pe_count() as f64;
+    // Registers close each tile's output columns: mesh_rows*mesh_cols tiles
+    // × tile_cols register banks each. Fully pipelined ⇒ one per PE.
+    let reg_units = (config.mesh_rows * config.mesh_cols * config.tile_cols) as f64;
+    pes * AREA_PE_INT8_UM2 * dtype_factor + reg_units * AREA_PIPE_REG_UM2 * dtype_factor
+}
+
+/// Full accelerator breakdown (array + local SRAMs + controller), without
+/// a host CPU.
+pub fn accelerator_area(config: &GemminiConfig) -> AreaReport {
+    let dim = config.dim();
+    AreaReport {
+        components: vec![
+            AreaComponent {
+                name: format!("Spatial Array ({dim}x{dim})"),
+                area_um2: spatial_array_area_um2(config),
+            },
+            AreaComponent {
+                name: format!("Scratchpad ({} KB)", config.sp_capacity_kb),
+                area_um2: config.sp_capacity_kb as f64 * AREA_SRAM_SP_UM2_PER_KB,
+            },
+            AreaComponent {
+                name: format!("Accumulator ({} KB)", config.acc_capacity_kb),
+                area_um2: config.acc_capacity_kb as f64 * AREA_SRAM_ACC_UM2_PER_KB,
+            },
+            AreaComponent {
+                name: "Controller (DMA, TLB, ROB)".to_string(),
+                area_um2: AREA_CTRL_UM2,
+            },
+        ],
+    }
+}
+
+/// Accelerator plus host CPU — the system breakdown of Fig. 6a.
+pub fn soc_area(config: &GemminiConfig, cpu: CpuKind) -> AreaReport {
+    let mut report = accelerator_area(config);
+    report.components.push(AreaComponent {
+        name: format!(
+            "CPU ({}, 1 core)",
+            match cpu {
+                CpuKind::Rocket => "Rocket",
+                CpuKind::Boom => "BOOM",
+            }
+        ),
+        area_um2: cpu.area_um2(),
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_breakdown_reproduces() {
+        let report = soc_area(&GemminiConfig::edge(), CpuKind::Rocket);
+        let total = report.total_um2();
+        // Paper total: 1,029 kµm².
+        assert!(
+            (total - 1_029_000.0).abs() / 1_029_000.0 < 0.01,
+            "total={total}"
+        );
+        // Spatial array ≈ 11.3% of system area.
+        assert!((report.fraction("Spatial Array") - 0.113).abs() < 0.01);
+        // Scratchpad ≈ 52.9%.
+        assert!((report.fraction("Scratchpad") - 0.529).abs() < 0.01);
+        // Accumulator ≈ 14.2%.
+        assert!((report.fraction("Accumulator") - 0.142).abs() < 0.01);
+        // CPU ≈ 16.6%.
+        assert!((report.fraction("CPU") - 0.166).abs() < 0.01);
+    }
+
+    #[test]
+    fn srams_dominate_accelerator_area() {
+        let report = soc_area(&GemminiConfig::edge(), CpuKind::Rocket);
+        // Paper: 67.1% of the accelerator (excluding CPU).
+        assert!((report.sram_fraction() - 0.671).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig3_area_ratio_reproduces() {
+        let pipe = spatial_array_area_um2(&GemminiConfig::tpu_like_256());
+        let comb = spatial_array_area_um2(&GemminiConfig::nvdla_like_256());
+        let ratio = pipe / comb;
+        assert!((ratio - 1.8).abs() < 0.1, "area ratio = {ratio}");
+    }
+
+    #[test]
+    fn fp32_arrays_are_bigger() {
+        let int8 = spatial_array_area_um2(&GemminiConfig::edge());
+        let fp32 = spatial_array_area_um2(&GemminiConfig {
+            dtype: DataType::Fp32,
+            ..GemminiConfig::edge()
+        });
+        assert!((fp32 / int8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boom_is_larger_than_rocket() {
+        assert!(CpuKind::Boom.area_um2() > 3.0 * CpuKind::Rocket.area_um2());
+    }
+
+    #[test]
+    fn bigger_scratchpad_bigger_area() {
+        let base = accelerator_area(&GemminiConfig::edge()).total_um2();
+        let big = accelerator_area(&GemminiConfig {
+            sp_capacity_kb: 512,
+            ..GemminiConfig::edge()
+        })
+        .total_um2();
+        assert!(big > base);
+        // Doubling the scratchpad adds exactly 256 KiB of SRAM area.
+        assert!((big - base - 256.0 * AREA_SRAM_SP_UM2_PER_KB).abs() < 1.0);
+    }
+
+    use crate::tech::AREA_SRAM_SP_UM2_PER_KB;
+}

@@ -1,0 +1,174 @@
+//! Per-inference energy estimation — an extension the paper's
+//! infrastructure enables (its evaluation reports performance and area;
+//! energy efficiency is the natural third axis, and the simulator already
+//! counts every event the model needs).
+//!
+//! Energy = MAC switching + local SRAM accesses + DRAM traffic + leakage
+//! over the run's wall-clock. Constants are representative 22 nm-class
+//! figures, documented per constant; as with the rest of `gemmini-synth`,
+//! ratios between design points are the meaningful output.
+
+use crate::area::accelerator_area;
+use crate::tech::{ENERGY_SRAM_PJ_PER_BYTE, LEAKAGE_UW_PER_KUM2};
+use gemmini_core::config::{DataType, GemminiConfig};
+
+/// Energy of one int8 MAC (multiplier + adder switching), in picojoules.
+/// Representative of 22 nm-class datapaths (Horowitz, ISSCC'14 scaled).
+pub const ENERGY_MAC_INT8_PJ: f64 = 0.1;
+
+/// fp32 MAC energy multiplier relative to int8.
+pub const FP32_MAC_ENERGY_FACTOR: f64 = 9.0;
+
+/// Energy per byte moved over the DRAM channel, in picojoules (LPDDR4-class
+/// interface + core).
+pub const ENERGY_DRAM_PJ_PER_BYTE: f64 = 15.0;
+
+/// One run's energy breakdown, in microjoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Arithmetic switching energy.
+    pub mac_uj: f64,
+    /// Local scratchpad/accumulator access energy.
+    pub sram_uj: f64,
+    /// DRAM interface energy.
+    pub dram_uj: f64,
+    /// Leakage integrated over the run.
+    pub leakage_uj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.mac_uj + self.sram_uj + self.dram_uj + self.leakage_uj
+    }
+
+    /// Energy efficiency in TOPS/W (int8 ops = 2·MACs), given the MACs the
+    /// run performed.
+    pub fn tops_per_watt(&self, macs: u64, cycles: u64, clock_ghz: f64) -> f64 {
+        if cycles == 0 || self.total_uj() == 0.0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / (clock_ghz * 1e9);
+        let watts = self.total_uj() * 1e-6 / seconds;
+        let tops = 2.0 * macs as f64 / seconds / 1e12;
+        tops / watts
+    }
+}
+
+/// Activity counters the simulator produces for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunActivity {
+    /// MACs performed.
+    pub macs: u64,
+    /// Bytes moved into/out of the local memories by the DMA.
+    pub local_bytes: u64,
+    /// Bytes moved over the DRAM channel.
+    pub dram_bytes: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// Estimates one run's energy on a given accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_synth::energy::{inference_energy, RunActivity};
+/// use gemmini_core::config::GemminiConfig;
+/// let act = RunActivity { macs: 4_089_000_000, local_bytes: 90_000_000, dram_bytes: 69_000_000, cycles: 44_300_000 };
+/// let e = inference_energy(&GemminiConfig::edge(), act, 1.0);
+/// // An edge int8 inference lands in the single-digit millijoule range.
+/// assert!(e.total_uj() > 100.0 && e.total_uj() < 10_000.0);
+/// ```
+pub fn inference_energy(
+    config: &GemminiConfig,
+    activity: RunActivity,
+    clock_ghz: f64,
+) -> EnergyReport {
+    let mac_pj = match config.dtype {
+        DataType::Int8 => ENERGY_MAC_INT8_PJ,
+        DataType::Fp32 => ENERGY_MAC_INT8_PJ * FP32_MAC_ENERGY_FACTOR,
+    };
+    // Every DMA byte is written to and later read from a local SRAM, and
+    // each MAC operand row passes through the scratchpad once more on its
+    // way into the array; 2x the DMA bytes is the simulator-visible proxy.
+    let sram_bytes = 2.0 * activity.local_bytes as f64;
+    let seconds = if clock_ghz > 0.0 {
+        activity.cycles as f64 / (clock_ghz * 1e9)
+    } else {
+        0.0
+    };
+    let leak_uw = accelerator_area(config).total_um2() / 1000.0 * LEAKAGE_UW_PER_KUM2;
+    EnergyReport {
+        mac_uj: activity.macs as f64 * mac_pj * 1e-6,
+        sram_uj: sram_bytes * ENERGY_SRAM_PJ_PER_BYTE * 1e-6,
+        dram_uj: activity.dram_bytes as f64 * ENERGY_DRAM_PJ_PER_BYTE * 1e-6,
+        leakage_uj: leak_uw * seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet_activity() -> RunActivity {
+        RunActivity {
+            macs: 4_089_000_000,
+            local_bytes: 90_000_000,
+            dram_bytes: 69_000_000,
+            cycles: 44_300_000,
+        }
+    }
+
+    #[test]
+    fn resnet_scale_energy_is_millijoules() {
+        let e = inference_energy(&GemminiConfig::edge(), resnet_activity(), 1.0);
+        let mj = e.total_uj() / 1000.0;
+        assert!(mj > 0.3 && mj < 10.0, "ResNet50 inference = {mj:.2} mJ");
+    }
+
+    #[test]
+    fn dram_traffic_dominates_sram_traffic_per_byte() {
+        let e = inference_energy(&GemminiConfig::edge(), resnet_activity(), 1.0);
+        // 15 pJ/B vs 0.8 pJ/B: DRAM energy per byte is ~19x.
+        assert!(e.dram_uj > e.sram_uj * 3.0);
+    }
+
+    #[test]
+    fn fp32_macs_cost_more() {
+        let int8 = inference_energy(&GemminiConfig::edge(), resnet_activity(), 1.0);
+        let fp32_cfg = GemminiConfig {
+            dtype: DataType::Fp32,
+            ..GemminiConfig::edge()
+        };
+        let fp32 = inference_energy(&fp32_cfg, resnet_activity(), 1.0);
+        assert!((fp32.mac_uj / int8.mac_uj - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_scales_with_time_not_work() {
+        let mut slow = resnet_activity();
+        slow.cycles *= 2;
+        let fast = inference_energy(&GemminiConfig::edge(), resnet_activity(), 1.0);
+        let lazy = inference_energy(&GemminiConfig::edge(), slow, 1.0);
+        assert!((lazy.leakage_uj / fast.leakage_uj - 2.0).abs() < 1e-9);
+        assert_eq!(lazy.mac_uj, fast.mac_uj);
+    }
+
+    #[test]
+    fn tops_per_watt_is_plausible_for_edge_int8() {
+        let act = resnet_activity();
+        let e = inference_energy(&GemminiConfig::edge(), act, 1.0);
+        let tpw = e.tops_per_watt(act.macs, act.cycles, 1.0);
+        // Edge int8 accelerators land in the 0.5–20 TOPS/W range.
+        assert!(tpw > 0.5 && tpw < 20.0, "TOPS/W = {tpw:.2}");
+    }
+
+    #[test]
+    fn zero_run_is_zero_energy_dynamic() {
+        let e = inference_energy(&GemminiConfig::edge(), RunActivity::default(), 1.0);
+        assert_eq!(e.mac_uj, 0.0);
+        assert_eq!(e.total_uj(), 0.0);
+        assert_eq!(e.tops_per_watt(0, 0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A toy slicing floorplan, standing in for the paper's Fig. 6b layout
+//! plot: components become rectangles packed into a near-square die.
+
+use crate::area::AreaReport;
+
+/// One placed block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Component name.
+    pub name: String,
+    /// Left edge, in µm.
+    pub x: f64,
+    /// Bottom edge, in µm.
+    pub y: f64,
+    /// Width, in µm.
+    pub w: f64,
+    /// Height, in µm.
+    pub h: f64,
+}
+
+/// A placed floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Placed blocks.
+    pub blocks: Vec<Block>,
+    /// Die width, in µm.
+    pub die_w: f64,
+    /// Die height, in µm.
+    pub die_h: f64,
+}
+
+impl Floorplan {
+    /// Packs an area report into horizontal slices of a near-square die,
+    /// largest component at the bottom.
+    pub fn from_area(report: &AreaReport) -> Self {
+        let total = report.total_um2();
+        let die_w = total.sqrt();
+        let mut comps: Vec<_> = report.components.clone();
+        comps.sort_by(|a, b| b.area_um2.total_cmp(&a.area_um2));
+        let mut y = 0.0;
+        let blocks = comps
+            .into_iter()
+            .map(|c| {
+                let h = c.area_um2 / die_w;
+                let b = Block {
+                    name: c.name,
+                    x: 0.0,
+                    y,
+                    w: die_w,
+                    h,
+                };
+                y += h;
+                b
+            })
+            .collect();
+        Self {
+            blocks,
+            die_w,
+            die_h: y,
+        }
+    }
+
+    /// Renders the floorplan as ASCII art, `cols`×`rows` characters.
+    pub fn render(&self, cols: usize, rows: usize) -> String {
+        let mut grid = vec![vec![' '; cols]; rows];
+        for (i, b) in self.blocks.iter().enumerate() {
+            let tag = b.name.chars().next().unwrap_or('?').to_ascii_uppercase();
+            let y0 = ((b.y / self.die_h) * rows as f64) as usize;
+            let y1 = (((b.y + b.h) / self.die_h) * rows as f64).ceil() as usize;
+            for row in grid.iter_mut().take(y1.min(rows)).skip(y0) {
+                for cell in row.iter_mut() {
+                    *cell = tag;
+                }
+            }
+            let _ = i;
+        }
+        let mut out = String::new();
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        for row in grid.iter().rev() {
+            out.push('|');
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::{soc_area, CpuKind};
+    use gemmini_core::config::GemminiConfig;
+
+    fn plan() -> Floorplan {
+        Floorplan::from_area(&soc_area(&GemminiConfig::edge(), CpuKind::Rocket))
+    }
+
+    #[test]
+    fn blocks_tile_the_die_exactly() {
+        let p = plan();
+        let total_block_area: f64 = p.blocks.iter().map(|b| b.w * b.h).sum();
+        assert!((total_block_area - p.die_w * p.die_h).abs() / total_block_area < 1e-9);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let p = plan();
+        for w in p.blocks.windows(2) {
+            assert!((w[0].y + w[0].h - w[1].y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn die_is_near_square() {
+        let p = plan();
+        let aspect = p.die_w / p.die_h;
+        assert!(aspect > 0.9 && aspect < 1.1, "aspect = {aspect}");
+    }
+
+    #[test]
+    fn scratchpad_is_the_biggest_block() {
+        let p = plan();
+        assert!(p.blocks[0].name.contains("Scratchpad"));
+    }
+
+    #[test]
+    fn render_produces_a_bordered_grid() {
+        let art = plan().render(40, 12);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 14);
+        assert!(lines[0].starts_with('+'));
+        assert!(art.contains('S'), "scratchpad rows present");
+    }
+}

@@ -1,0 +1,68 @@
+//! Table formatting for synthesis reports (the Fig. 6a presentation).
+
+use crate::area::AreaReport;
+
+/// Formats an area report as the Fig. 6a table: component, µm², and % of
+/// system area.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_synth::area::{soc_area, CpuKind};
+/// use gemmini_synth::report::area_table;
+/// use gemmini_core::config::GemminiConfig;
+/// let t = area_table(&soc_area(&GemminiConfig::edge(), CpuKind::Rocket));
+/// assert!(t.contains("Total"));
+/// ```
+pub fn area_table(report: &AreaReport) -> String {
+    let total = report.total_um2();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<30} {:>12} {:>10}\n",
+        "Component", "Area (um^2)", "% of area"
+    ));
+    out.push_str(&"-".repeat(54));
+    out.push('\n');
+    for c in &report.components {
+        out.push_str(&format!(
+            "{:<30} {:>12.0} {:>9.1}%\n",
+            c.name,
+            c.area_um2,
+            100.0 * c.area_um2 / total
+        ));
+    }
+    out.push_str(&"-".repeat(54));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<30} {:>12.0} {:>9.1}%\n",
+        "Total", total, 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::{soc_area, CpuKind};
+    use gemmini_core::config::GemminiConfig;
+
+    #[test]
+    fn table_lists_every_component_and_total() {
+        let report = soc_area(&GemminiConfig::edge(), CpuKind::Rocket);
+        let t = area_table(&report);
+        for c in &report.components {
+            assert!(t.contains(c.name.as_str()), "missing {}", c.name);
+        }
+        assert!(t.contains("Total"));
+        assert!(t.contains("100.0%"));
+    }
+
+    #[test]
+    fn percentages_match_fig6a() {
+        let t = area_table(&soc_area(&GemminiConfig::edge(), CpuKind::Rocket));
+        assert!(
+            t.contains("52.9%") || t.contains("52.8%") || t.contains("53.0%"),
+            "{t}"
+        );
+    }
+}

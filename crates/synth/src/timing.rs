@@ -1,0 +1,88 @@
+//! Critical-path and fmax model of the spatial array.
+//!
+//! The two-level hierarchy determines the combinational depth: PEs within a
+//! tile chain their accumulate adders combinationally, and a pipeline
+//! register closes the path at each tile boundary. The paper: the TPU-like
+//! design "achieves a 2.7x higher maximum frequency, due to its shorter MAC
+//! chains".
+
+use crate::tech::{T_ADD_PS, T_MUL_PS, T_REG_PS};
+use gemmini_core::config::GemminiConfig;
+
+/// Timing analysis of one spatial-array configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialArrayTiming {
+    /// Critical path in picoseconds.
+    pub critical_path_ps: f64,
+    /// Maximum clock frequency in GHz.
+    pub fmax_ghz: f64,
+    /// Combinational MAC-chain depth (PEs per tile column).
+    pub chain_depth: usize,
+}
+
+impl SpatialArrayTiming {
+    /// Analyzes a configuration: the critical path is one multiplier, a
+    /// chain of `tile_rows` accumulate adders, and the closing register.
+    pub fn from_config(config: &GemminiConfig) -> Self {
+        let depth = config.tile_rows;
+        let critical_path_ps = T_MUL_PS + depth as f64 * T_ADD_PS + T_REG_PS;
+        Self {
+            critical_path_ps,
+            fmax_ghz: 1000.0 / critical_path_ps,
+            chain_depth: depth,
+        }
+    }
+}
+
+/// Maximum clock frequency of a configuration, in GHz.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_synth::timing::fmax_ghz;
+/// use gemmini_core::config::GemminiConfig;
+/// let f_pipe = fmax_ghz(&GemminiConfig::tpu_like_256());
+/// let f_comb = fmax_ghz(&GemminiConfig::nvdla_like_256());
+/// assert!(f_pipe / f_comb > 2.5); // the paper's 2.7x
+/// ```
+pub fn fmax_ghz(config: &GemminiConfig) -> f64 {
+    SpatialArrayTiming::from_config(config).fmax_ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_vs_combinational_matches_fig3() {
+        let pipe = SpatialArrayTiming::from_config(&GemminiConfig::tpu_like_256());
+        let comb = SpatialArrayTiming::from_config(&GemminiConfig::nvdla_like_256());
+        let ratio = pipe.fmax_ghz / comb.fmax_ghz;
+        assert!((ratio - 2.7).abs() < 0.05, "fmax ratio = {ratio}");
+        assert_eq!(pipe.chain_depth, 1);
+        assert_eq!(comb.chain_depth, 16);
+    }
+
+    #[test]
+    fn fmax_is_monotonic_in_tile_depth() {
+        let mut last = f64::INFINITY;
+        for tile in [1usize, 2, 4, 8, 16] {
+            let cfg = GemminiConfig {
+                mesh_rows: 16 / tile,
+                mesh_cols: 16 / tile,
+                tile_rows: tile,
+                tile_cols: tile,
+                ..GemminiConfig::edge()
+            };
+            let f = fmax_ghz(&cfg);
+            assert!(f < last, "fmax must fall as chains lengthen");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn pipelined_clock_is_plausible_for_22ffl() {
+        let f = fmax_ghz(&GemminiConfig::tpu_like_256());
+        assert!(f > 1.5 && f < 3.0, "fmax = {f} GHz");
+    }
+}

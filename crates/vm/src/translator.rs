@@ -1,0 +1,621 @@
+//! The composed virtual-address translation system.
+//!
+//! [`TranslationSystem`] chains the Section V-A hardware:
+//! filter registers → private TLB → shared L2 TLB → shared page-table
+//! walker. Every knob the paper sweeps in Fig. 8 is a field of
+//! [`TranslationConfig`]: private TLB entries, shared L2 TLB entries
+//! (including zero), and whether the filter registers exist.
+
+use crate::filter::FilterPair;
+use crate::page::{Frame, Vpn};
+use crate::page_table::AddressSpace;
+use crate::ptw::{PageTableWalker, PtwConfig};
+use crate::tlb::{Tlb, TlbConfig};
+use gemmini_mem::addr::{PhysAddr, VirtAddr};
+use gemmini_mem::stats::WindowedRate;
+use gemmini_mem::{Cycle, MemorySystem};
+use std::error::Error;
+use std::fmt;
+
+/// Direction of the access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// DMA read (mvin) stream.
+    Read,
+    /// DMA write (mvout) stream.
+    Write,
+}
+
+/// Where in the hierarchy a translation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Filter-register hit: zero cycles.
+    Filter,
+    /// Private TLB hit.
+    Private,
+    /// Shared L2 TLB hit.
+    Shared,
+    /// Full page-table walk.
+    Walk,
+}
+
+/// A failed translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The page is not mapped in the address space.
+    PageFault {
+        /// The faulting page.
+        vpn: Vpn,
+    },
+    /// The page is mapped but does not permit this access — the class of bug
+    /// the paper says only surfaced when running under a real OS.
+    PermissionDenied {
+        /// The offending page.
+        vpn: Vpn,
+        /// Whether the denied access was a write.
+        write: bool,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PageFault { vpn } => write!(f, "page fault at {vpn}"),
+            Self::PermissionDenied { vpn, write } => write!(
+                f,
+                "permission denied for {} at {vpn}",
+                if *write { "write" } else { "read" }
+            ),
+        }
+    }
+}
+
+impl Error for TranslateError {}
+
+/// Configuration of the full translation system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationConfig {
+    /// The accelerator's private TLB.
+    pub private: TlbConfig,
+    /// The shared L2 TLB the private TLB falls back on (0 entries = absent).
+    pub shared: TlbConfig,
+    /// Whether the read/write filter registers exist.
+    pub filter_registers: bool,
+    /// Page-table walker parameters.
+    pub ptw: PtwConfig,
+    /// Window width (cycles) for the miss-rate time series (Fig. 4).
+    pub stats_window: Cycle,
+}
+
+impl Default for TranslationConfig {
+    /// The paper's baseline co-design point: 4-entry private TLB, no shared
+    /// L2 TLB, no filter registers.
+    fn default() -> Self {
+        Self {
+            private: TlbConfig::private(4),
+            shared: TlbConfig::shared(0),
+            filter_registers: false,
+            ptw: PtwConfig::default(),
+            stats_window: 100_000,
+        }
+    }
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The translated physical address.
+    pub paddr: PhysAddr,
+    /// Cycles spent translating (0 for a filter hit).
+    pub latency: u64,
+    /// Where the translation was satisfied.
+    pub level: HitLevel,
+}
+
+/// Per-stream tracker for the paper's consecutive-same-page statistic
+/// (87% of consecutive reads / 83% of consecutive writes hit the same page).
+#[derive(Debug, Clone, Copy, Default)]
+struct SamePageTracker {
+    last: Option<Vpn>,
+    same: u64,
+    total: u64,
+}
+
+impl SamePageTracker {
+    fn record(&mut self, vpn: Vpn) {
+        if self.total > 0 || self.last.is_some() {
+            // Only count transitions (i.e. requests after the first).
+        }
+        if let Some(last) = self.last {
+            self.total += 1;
+            if last == vpn {
+                self.same += 1;
+            }
+        }
+        self.last = Some(vpn);
+    }
+
+    fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.same as f64 / self.total as f64
+        }
+    }
+}
+
+/// The composed filter → private TLB → shared TLB → PTW pipeline.
+///
+/// # Example
+///
+/// ```
+/// use gemmini_vm::translator::{TranslationSystem, TranslationConfig, Access};
+/// use gemmini_vm::page_table::AddressSpace;
+/// use gemmini_vm::page::FrameAllocator;
+/// use gemmini_mem::MemorySystem;
+///
+/// let mut frames = FrameAllocator::new();
+/// let mut space = AddressSpace::new(&mut frames);
+/// let va = space.alloc(&mut frames, 4096);
+/// let mut mem = MemorySystem::default();
+/// let mut tsys = TranslationSystem::new(TranslationConfig::default());
+///
+/// let cold = tsys.translate(&space, &mut mem, 0, va, Access::Read)?;
+/// let warm = tsys.translate(&space, &mut mem, cold.latency, va, Access::Read)?;
+/// assert!(warm.latency < cold.latency);
+/// # Ok::<(), gemmini_vm::TranslateError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslationSystem {
+    config: TranslationConfig,
+    private: Tlb,
+    shared: Tlb,
+    filters: FilterPair,
+    ptw: PageTableWalker,
+    window: WindowedRate,
+    read_tracker: SamePageTracker,
+    write_tracker: SamePageTracker,
+    requests: u64,
+    filter_hits: u64,
+    walks_taken: u64,
+}
+
+impl TranslationSystem {
+    /// Creates a cold translation system.
+    pub fn new(config: TranslationConfig) -> Self {
+        Self {
+            private: Tlb::new(config.private),
+            shared: Tlb::new(config.shared),
+            filters: FilterPair::new(),
+            ptw: PageTableWalker::new(config.ptw),
+            window: WindowedRate::new(config.stats_window),
+            read_tracker: SamePageTracker::default(),
+            write_tracker: SamePageTracker::default(),
+            requests: 0,
+            filter_hits: 0,
+            walks_taken: 0,
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &TranslationConfig {
+        &self.config
+    }
+
+    /// Translates `va` for an access of direction `access` starting at `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TranslateError::PageFault`] if the page is unmapped (discovered by
+    ///   the walk, whose latency has already been paid).
+    /// * [`TranslateError::PermissionDenied`] if the mapping forbids the
+    ///   access direction.
+    pub fn translate(
+        &mut self,
+        space: &AddressSpace,
+        mem: &mut MemorySystem,
+        now: Cycle,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<Translation, TranslateError> {
+        let vpn = Vpn::of(va);
+        self.requests += 1;
+        match access {
+            Access::Read => self.read_tracker.record(vpn),
+            Access::Write => self.write_tracker.record(vpn),
+        }
+
+        // Permission check against the authoritative mapping. Hardware
+        // caches permission bits in each TLB entry; since our entries come
+        // from the same mapping, checking the mapping is equivalent.
+        if let Some((_, perms)) = space.lookup(vpn) {
+            if !perms.allows(access == Access::Write) {
+                return Err(TranslateError::PermissionDenied {
+                    vpn,
+                    write: access == Access::Write,
+                });
+            }
+        }
+
+        // 1. Filter registers: 0-cycle hit.
+        if self.config.filter_registers {
+            let reg = match access {
+                Access::Read => &mut self.filters.read,
+                Access::Write => &mut self.filters.write,
+            };
+            if let Some(frame) = reg.lookup(vpn) {
+                self.filter_hits += 1;
+                self.window.record(now, true);
+                return Ok(Translation {
+                    paddr: frame.base().add(va.offset_in_page()),
+                    latency: 0,
+                    level: HitLevel::Filter,
+                });
+            }
+        }
+
+        // 2. Private TLB.
+        if let Some(frame) = self.private.lookup(vpn) {
+            self.window.record(now, true);
+            self.update_filter(access, vpn, frame);
+            return Ok(Translation {
+                paddr: frame.base().add(va.offset_in_page()),
+                latency: self.config.private.hit_latency,
+                level: HitLevel::Private,
+            });
+        }
+        self.window.record(now, false);
+        let mut latency = self.config.private.hit_latency;
+
+        // 3. Shared L2 TLB (if present).
+        if self.config.shared.entries > 0 {
+            if let Some(frame) = self.shared.lookup(vpn) {
+                latency += self.config.shared.hit_latency;
+                self.private.insert(vpn, frame);
+                self.update_filter(access, vpn, frame);
+                return Ok(Translation {
+                    paddr: frame.base().add(va.offset_in_page()),
+                    latency,
+                    level: HitLevel::Shared,
+                });
+            }
+            latency += self.config.shared.hit_latency;
+        }
+
+        // 4. Full walk.
+        self.walks_taken += 1;
+        let outcome = self.ptw.walk(space, mem, now + latency, vpn);
+        let total_latency = outcome.done.saturating_sub(now);
+        if !outcome.mapped {
+            return Err(TranslateError::PageFault { vpn });
+        }
+        let (frame, _) = space.lookup(vpn).expect("walk said mapped");
+        self.private.insert(vpn, frame);
+        self.shared.insert(vpn, frame);
+        self.update_filter(access, vpn, frame);
+        Ok(Translation {
+            paddr: frame.base().add(va.offset_in_page()),
+            latency: total_latency,
+            level: HitLevel::Walk,
+        })
+    }
+
+    fn update_filter(&mut self, access: Access, vpn: Vpn, frame: Frame) {
+        if self.config.filter_registers {
+            match access {
+                Access::Read => self.filters.read.update(vpn, frame),
+                Access::Write => self.filters.write.update(vpn, frame),
+            }
+        }
+    }
+
+    /// Flushes all cached translation state (context switch / sfence.vma).
+    pub fn flush(&mut self) {
+        self.private.flush();
+        self.shared.flush();
+        self.filters.flush();
+    }
+
+    /// Invalidates one page everywhere (single-page shootdown).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        self.private.invalidate(vpn);
+        self.shared.invalidate(vpn);
+        self.filters.invalidate(vpn);
+    }
+
+    /// The private TLB (for its hit/miss statistics).
+    pub fn private_tlb(&self) -> &Tlb {
+        &self.private
+    }
+
+    /// The shared L2 TLB (for its hit/miss statistics).
+    pub fn shared_tlb(&self) -> &Tlb {
+        &self.shared
+    }
+
+    /// The filter-register pair (for per-stream hit rates).
+    pub fn filters(&self) -> &FilterPair {
+        &self.filters
+    }
+
+    /// The page-table walker (for walk counts and mean latency).
+    pub fn ptw(&self) -> &PageTableWalker {
+        &self.ptw
+    }
+
+    /// Total translation requests.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests satisfied by the filter registers.
+    pub fn filter_hits(&self) -> u64 {
+        self.filter_hits
+    }
+
+    /// Requests that required a full walk.
+    pub fn walks_taken(&self) -> u64 {
+        self.walks_taken
+    }
+
+    /// Hit rate *including* filter hits — the paper's "private TLB hit rate
+    /// (including hits on the filter registers) reached 90%" metric.
+    pub fn effective_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let hits = self.filter_hits + self.private.stats().hits();
+        hits as f64 / self.requests as f64
+    }
+
+    /// Fraction of consecutive read requests to the same page (paper: 87%).
+    pub fn consecutive_read_same_page_rate(&self) -> f64 {
+        self.read_tracker.rate()
+    }
+
+    /// Fraction of consecutive write requests to the same page (paper: 83%).
+    pub fn consecutive_write_same_page_rate(&self) -> f64 {
+        self.write_tracker.rate()
+    }
+
+    /// The windowed miss-rate series (Fig. 4). A "miss" is a request that
+    /// left the filter/private level.
+    pub fn miss_rate_series(&self) -> &WindowedRate {
+        &self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::FrameAllocator;
+    use gemmini_mem::addr::PAGE_SIZE;
+
+    fn setup(
+        config: TranslationConfig,
+    ) -> (AddressSpace, MemorySystem, TranslationSystem, VirtAddr) {
+        let mut fa = FrameAllocator::new();
+        let mut sp = AddressSpace::new(&mut fa);
+        let va = sp.alloc(&mut fa, 64 * PAGE_SIZE);
+        (
+            sp,
+            MemorySystem::default(),
+            TranslationSystem::new(config),
+            va,
+        )
+    }
+
+    #[test]
+    fn cold_miss_walks_then_private_hits() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        let cold = t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        assert_eq!(cold.level, HitLevel::Walk);
+        let warm = t.translate(&sp, &mut mem, 1000, va, Access::Read).unwrap();
+        assert_eq!(warm.level, HitLevel::Private);
+        assert_eq!(warm.latency, 2);
+        assert!(cold.latency > warm.latency);
+    }
+
+    #[test]
+    fn translation_is_functionally_correct() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        let addr = va.add(PAGE_SIZE + 17);
+        let out = t.translate(&sp, &mut mem, 0, addr, Access::Read).unwrap();
+        assert_eq!(Some(out.paddr), sp.translate(addr));
+    }
+
+    #[test]
+    fn filter_registers_give_zero_cycle_hits() {
+        let cfg = TranslationConfig {
+            filter_registers: true,
+            ..TranslationConfig::default()
+        };
+        let (sp, mut mem, mut t, va) = setup(cfg);
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        let second = t
+            .translate(&sp, &mut mem, 10, va.add(64), Access::Read)
+            .unwrap();
+        assert_eq!(second.level, HitLevel::Filter);
+        assert_eq!(second.latency, 0);
+        assert_eq!(t.filter_hits(), 1);
+    }
+
+    #[test]
+    fn filters_decouple_read_and_write_streams() {
+        // 1-entry private TLB: interleaved read/write to two pages would
+        // thrash it, but the per-stream filters keep hitting.
+        let cfg = TranslationConfig {
+            private: TlbConfig {
+                entries: 1,
+                hit_latency: 2,
+            },
+            filter_registers: true,
+            ..TranslationConfig::default()
+        };
+        let (sp, mut mem, mut t, va) = setup(cfg);
+        let rd = va;
+        let wr = va.add(PAGE_SIZE);
+        // Prime both streams.
+        t.translate(&sp, &mut mem, 0, rd, Access::Read).unwrap();
+        t.translate(&sp, &mut mem, 0, wr, Access::Write).unwrap();
+        // Now interleave: every access is a filter hit despite TLB thrash.
+        for i in 0..10 {
+            let r = t
+                .translate(&sp, &mut mem, 100 + i, rd, Access::Read)
+                .unwrap();
+            let w = t
+                .translate(&sp, &mut mem, 100 + i, wr, Access::Write)
+                .unwrap();
+            assert_eq!(r.level, HitLevel::Filter);
+            assert_eq!(w.level, HitLevel::Filter);
+        }
+    }
+
+    #[test]
+    fn without_filters_interleaved_streams_thrash_a_tiny_tlb() {
+        let cfg = TranslationConfig {
+            private: TlbConfig {
+                entries: 1,
+                hit_latency: 2,
+            },
+            ..TranslationConfig::default()
+        };
+        let (sp, mut mem, mut t, va) = setup(cfg);
+        let rd = va;
+        let wr = va.add(PAGE_SIZE);
+        let mut now = 0;
+        for _ in 0..5 {
+            now = now
+                + t.translate(&sp, &mut mem, now, rd, Access::Read)
+                    .unwrap()
+                    .latency;
+            now = now
+                + t.translate(&sp, &mut mem, now, wr, Access::Write)
+                    .unwrap()
+                    .latency;
+        }
+        // Every access after the first pair still misses: reads and writes
+        // evict each other's entry, the paper's observed contention.
+        assert_eq!(t.private_tlb().stats().hits(), 0);
+    }
+
+    #[test]
+    fn shared_tlb_catches_private_evictions() {
+        let cfg = TranslationConfig {
+            private: TlbConfig {
+                entries: 1,
+                hit_latency: 2,
+            },
+            shared: TlbConfig::shared(128),
+            ..TranslationConfig::default()
+        };
+        let (sp, mut mem, mut t, va) = setup(cfg);
+        let a = va;
+        let b = va.add(PAGE_SIZE);
+        t.translate(&sp, &mut mem, 0, a, Access::Read).unwrap(); // walk
+        t.translate(&sp, &mut mem, 0, b, Access::Read).unwrap(); // walk, evicts a from private
+        let again = t.translate(&sp, &mut mem, 0, a, Access::Read).unwrap();
+        assert_eq!(again.level, HitLevel::Shared);
+        assert_eq!(t.walks_taken(), 2);
+    }
+
+    #[test]
+    fn page_fault_on_unmapped_page() {
+        let (sp, mut mem, mut t, _va) = setup(TranslationConfig::default());
+        let err = t
+            .translate(&sp, &mut mem, 0, VirtAddr::new(0xdead_0000), Access::Read)
+            .unwrap_err();
+        assert!(matches!(err, TranslateError::PageFault { .. }));
+    }
+
+    #[test]
+    fn permission_denied_on_readonly_write() {
+        let mut fa = FrameAllocator::new();
+        let mut sp = AddressSpace::new(&mut fa);
+        let va = sp.alloc_readonly(&mut fa, PAGE_SIZE);
+        let mut mem = MemorySystem::default();
+        let mut t = TranslationSystem::new(TranslationConfig::default());
+        assert!(t.translate(&sp, &mut mem, 0, va, Access::Read).is_ok());
+        let err = t
+            .translate(&sp, &mut mem, 0, va, Access::Write)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TranslateError::PermissionDenied { write: true, .. }
+        ));
+        assert_eq!(
+            err.to_string(),
+            format!("permission denied for write at {}", Vpn::of(va))
+        );
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        t.flush();
+        let after = t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        assert_eq!(after.level, HitLevel::Walk);
+        assert_eq!(t.walks_taken(), 2);
+    }
+
+    #[test]
+    fn invalidate_single_page_only() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        let b = va.add(PAGE_SIZE);
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        t.translate(&sp, &mut mem, 0, b, Access::Read).unwrap();
+        t.invalidate(Vpn::of(va));
+        assert_eq!(
+            t.translate(&sp, &mut mem, 0, va, Access::Read)
+                .unwrap()
+                .level,
+            HitLevel::Walk
+        );
+        assert_eq!(
+            t.translate(&sp, &mut mem, 0, b, Access::Read)
+                .unwrap()
+                .level,
+            HitLevel::Private
+        );
+    }
+
+    #[test]
+    fn consecutive_same_page_rates() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        // 4 reads: same, same, different -> 2/3 same.
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        t.translate(&sp, &mut mem, 0, va.add(8), Access::Read)
+            .unwrap();
+        t.translate(&sp, &mut mem, 0, va.add(16), Access::Read)
+            .unwrap();
+        t.translate(&sp, &mut mem, 0, va.add(PAGE_SIZE), Access::Read)
+            .unwrap();
+        assert!((t.consecutive_read_same_page_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.consecutive_write_same_page_rate(), 0.0);
+    }
+
+    #[test]
+    fn effective_hit_rate_includes_filters() {
+        let cfg = TranslationConfig {
+            filter_registers: true,
+            ..TranslationConfig::default()
+        };
+        let (sp, mut mem, mut t, va) = setup(cfg);
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap(); // walk
+        for _ in 0..9 {
+            t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap(); // filter hits
+        }
+        assert!((t.effective_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_series_records_requests() {
+        let (sp, mut mem, mut t, va) = setup(TranslationConfig::default());
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        t.translate(&sp, &mut mem, 0, va, Access::Read).unwrap();
+        let series = t.miss_rate_series().series();
+        assert_eq!(series[0].hits + series[0].misses, 2);
+    }
+}

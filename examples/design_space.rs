@@ -1,0 +1,59 @@
+//! Design-space exploration: sweep the generator's spatial-array hierarchy
+//! and local-memory sizes, and report PPA (from the synthesis model) next
+//! to achieved performance (from the simulator) — the workflow Section III
+//! motivates.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use gemmini_repro::core::config::GemminiConfig;
+use gemmini_repro::dnn::zoo;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::SocConfig;
+use gemmini_repro::synth::area::accelerator_area;
+use gemmini_repro::synth::power::spatial_array_power;
+use gemmini_repro::synth::timing::fmax_ghz;
+
+fn main() {
+    let net = zoo::squeezenet_v11();
+    println!(
+        "{:<30} {:>9} {:>10} {:>9} {:>12} {:>10}",
+        "design point", "fmax GHz", "area kum2", "mW @fmax", "cycles", "inf/s @fmax"
+    );
+
+    // Sweep the tile hierarchy at 256 PEs and two scratchpad sizes.
+    for (tile, sp_kb) in [(1usize, 256usize), (1, 512), (4, 256), (16, 256)] {
+        let accel = GemminiConfig {
+            mesh_rows: 16 / tile,
+            mesh_cols: 16 / tile,
+            tile_rows: tile,
+            tile_cols: tile,
+            sp_capacity_kb: sp_kb,
+            ..GemminiConfig::edge()
+        };
+        let fmax = fmax_ghz(&accel);
+        let area = accelerator_area(&accel).total_um2() / 1000.0;
+        let power = spatial_array_power(&accel, fmax, 0.5).total_mw();
+
+        let mut soc = SocConfig::edge_single_core();
+        soc.cores[0].accel = accel.clone();
+        let report = run_networks(&soc, std::slice::from_ref(&net), &RunOptions::timing())
+            .expect("simulation succeeds");
+        let cycles = report.cores[0].total_cycles;
+        let inf_per_s = fmax * 1e9 / cycles as f64;
+
+        println!(
+            "{:<30} {:>9.2} {:>10.0} {:>9.1} {:>12} {:>10.1}",
+            format!("{}x{} tiles, {} KiB sp", tile, tile, sp_kb),
+            fmax,
+            area,
+            power,
+            cycles,
+            inf_per_s
+        );
+    }
+
+    println!();
+    println!("The trade Fig. 3 quantifies: deeper combinational tiles shrink");
+    println!("area and power but cost clock rate; cycle counts barely move, so");
+    println!("end-to-end inferences/second track fmax.");
+}

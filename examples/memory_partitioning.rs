@@ -1,0 +1,51 @@
+//! SoC memory partitioning (the Section V-B workflow): given 1 MiB of spare
+//! SRAM, decide between bigger private scratchpads and a bigger shared L2,
+//! for single- and dual-core SoCs running ResNet50.
+//!
+//! Run with: `cargo run --release --example memory_partitioning`
+
+use gemmini_repro::dnn::graph::LayerClass;
+use gemmini_repro::dnn::zoo;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::SocConfig;
+
+fn main() {
+    let net = zoo::resnet50();
+    for cores in [1usize, 2] {
+        println!("=== {cores}-core SoC, ResNet50 per core ===");
+        let mut base_total = 0.0;
+        for (name, cfg) in [
+            ("Base ", SocConfig::partition_base(cores)),
+            ("BigSP", SocConfig::partition_big_sp(cores)),
+            ("BigL2", SocConfig::partition_big_l2(cores)),
+        ] {
+            let nets = vec![net.clone(); cores];
+            let report =
+                run_networks(&cfg, &nets, &RunOptions::timing()).expect("simulation succeeds");
+            let total: u64 = report
+                .cores
+                .iter()
+                .map(|c| c.total_cycles)
+                .max()
+                .unwrap_or(0);
+            if name == "Base " {
+                base_total = total as f64;
+            }
+            let class =
+                |c: LayerClass| -> u64 { report.cores.iter().map(|r| r.class_cycles(c)).sum() };
+            println!(
+                "{name}: {total:>10} cycles ({:+.1}% vs Base) | conv {:>10} matmul {:>9} resadd {:>9} | L2 miss {:>4.1}%",
+                100.0 * (base_total / total as f64 - 1.0),
+                class(LayerClass::Conv),
+                class(LayerClass::Matmul),
+                class(LayerClass::ResAdd),
+                report.l2.miss_rate * 100.0,
+            );
+        }
+        println!();
+    }
+    println!("Decision rule from the paper: single-process SoCs favor private");
+    println!("scratchpad; multi-process SoCs favor the shared L2, because each");
+    println!("core's residual additions evict the activations the other core");
+    println!("is about to re-read.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate an accelerator, run a small CNN through the full
+//! stack (instruction-level simulation, virtual memory, shared L2), and
+//! check the output against the golden model.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gemmini_repro::core::config::GemminiConfig;
+use gemmini_repro::dnn::zoo;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::runtime::reference_forward;
+use gemmini_repro::soc::SocConfig;
+
+fn main() {
+    // 1. Pick a point in the generator's design space — here the paper's
+    //    edge configuration — and look at the header it hands the software
+    //    stack.
+    let accel = GemminiConfig::edge();
+    println!("Generated accelerator: {accel}");
+    println!("{}", accel.header());
+
+    // 2. Build a single-core SoC around it and run a small CNN,
+    //    functionally (real bytes move through scratchpads and TLBs).
+    let net = zoo::tiny_cnn();
+    let options = RunOptions::functional();
+    let report = run_networks(
+        &SocConfig::edge_single_core(),
+        std::slice::from_ref(&net),
+        &options,
+    )
+    .expect("simulation succeeds");
+    let core = &report.cores[0];
+
+    println!("=== run report: {} ===", core.network);
+    println!("total cycles      : {}", core.total_cycles);
+    println!("MACs performed    : {}", core.macs);
+    println!(
+        "DMA traffic       : {} B in, {} B out",
+        core.dma.bytes_in, core.dma.bytes_out
+    );
+    println!(
+        "TLB               : {} requests, {:.1}% private hit rate, {} walks",
+        core.translation.requests,
+        core.translation.private_hit_rate * 100.0,
+        core.translation.walks
+    );
+    println!(
+        "shared L2         : {} accesses, {:.1}% miss rate",
+        report.l2.accesses,
+        report.l2.miss_rate * 100.0
+    );
+    for layer in &core.layers {
+        println!(
+            "  {:<8} {:<7} {:>9} cycles",
+            layer.name,
+            layer.class.to_string(),
+            layer.cycles
+        );
+    }
+
+    // 3. The whole point of the reproduction: the simulated accelerator's
+    //    output is bit-identical to the reference operators.
+    let golden = reference_forward(&net, options.seed);
+    assert_eq!(
+        core.output
+            .as_ref()
+            .expect("functional run captures output"),
+        &golden
+    );
+    println!(
+        "\noutput matches the golden model bit-for-bit ({} values)",
+        golden.len()
+    );
+}

@@ -1,0 +1,32 @@
+//! The `.gnn` model files shipped in `models/` must parse and run.
+
+use gemmini_repro::dnn::loader::parse_network;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::SocConfig;
+
+#[test]
+fn shipped_model_files_parse_and_run() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("models");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).expect("models/ exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("gnn") {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let net = parse_network(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(!net.is_empty(), "{path:?} has layers");
+        let report = run_networks(
+            &SocConfig::edge_single_core(),
+            std::slice::from_ref(&net),
+            &RunOptions::timing(),
+        )
+        .unwrap_or_else(|e| panic!("{path:?} failed to run: {e}"));
+        assert!(report.cores[0].total_cycles > 0);
+    }
+    assert!(
+        found >= 3,
+        "expected at least three shipped models, found {found}"
+    );
+}

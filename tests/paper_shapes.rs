@@ -1,0 +1,199 @@
+//! Shape tests: fast, scaled-down versions of every paper claim the bench
+//! harness regenerates in full. These run in `cargo test` and guard the
+//! reproduction's qualitative results against regressions.
+
+use gemmini_bench::quick_resnet;
+use gemmini_repro::core::config::GemminiConfig;
+use gemmini_repro::cpu::kernels::network_cpu_cycles;
+use gemmini_repro::cpu::{CpuKind, CpuModel};
+use gemmini_repro::dnn::graph::LayerClass;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::SocConfig;
+use gemmini_repro::synth::area::{soc_area, spatial_array_area_um2, CpuKind as SynthCpu};
+use gemmini_repro::synth::power::spatial_array_power;
+use gemmini_repro::synth::timing::fmax_ghz;
+use gemmini_repro::vm::tlb::TlbConfig;
+
+fn run_quick(cfg: &SocConfig) -> gemmini_repro::soc::run::SocReport {
+    run_networks(cfg, &[quick_resnet()], &RunOptions::timing()).expect("run succeeds")
+}
+
+/// Fig. 3: ≈2.7x fmax, ≈1.8x area, ≈3.0x power between the extremes.
+#[test]
+fn fig3_ratios() {
+    let pipe = GemminiConfig::tpu_like_256();
+    let comb = GemminiConfig::nvdla_like_256();
+    let fmax = fmax_ghz(&pipe) / fmax_ghz(&comb);
+    assert!((fmax - 2.7).abs() < 0.1, "fmax ratio {fmax}");
+    let area = spatial_array_area_um2(&pipe) / spatial_array_area_um2(&comb);
+    assert!((area - 1.8).abs() < 0.15, "area ratio {area}");
+    let p_pipe = spatial_array_power(&pipe, 1.0, 1.0);
+    let p_comb = spatial_array_power(&comb, 1.0, 1.0);
+    let power = (p_pipe.pe_dynamic_mw + p_pipe.reg_dynamic_mw)
+        / (p_comb.pe_dynamic_mw + p_comb.reg_dynamic_mw);
+    assert!((power - 3.0).abs() < 0.1, "power ratio {power}");
+}
+
+/// Fig. 4: DNN TLB miss rates spike far above CPU-workload levels, and
+/// consecutive requests show the high page locality the paper reports.
+#[test]
+fn fig4_tlb_profile_shape() {
+    let mut cfg = SocConfig::edge_single_core();
+    cfg.cores[0].translation.private = TlbConfig::private(4);
+    cfg.cores[0].translation.stats_window = 20_000;
+    let report = run_quick(&cfg);
+    let t = &report.cores[0].translation;
+    let peak = t
+        .miss_rate_series
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(0.0f64, f64::max);
+    assert!(peak > 0.02, "miss-rate spikes exist (peak {peak})");
+    assert!(
+        t.consecutive_read_same_page > 0.7,
+        "high read page locality"
+    );
+    assert!(
+        t.consecutive_write_same_page > 0.7,
+        "high write page locality"
+    );
+    assert!(
+        t.private_hit_rate > 0.84,
+        "paper: hit rate stayed above 84%"
+    );
+}
+
+/// Fig. 6a: SRAMs dominate; component percentages within a point of the
+/// published table.
+#[test]
+fn fig6_area_breakdown_shape() {
+    let report = soc_area(&GemminiConfig::edge(), SynthCpu::Rocket);
+    assert!((report.sram_fraction() - 0.671).abs() < 0.02);
+    assert!((report.fraction("Spatial Array") - 0.113).abs() < 0.01);
+    assert!((report.total_um2() - 1_029_000.0).abs() / 1_029_000.0 < 0.01);
+}
+
+/// Fig. 7's three headline shapes, at quick scale:
+/// accelerator >> CPU; BOOM helps ~2x only when im2col is on the CPU.
+#[test]
+fn fig7_speedup_shape() {
+    let net = quick_resnet();
+    let rocket_baseline = network_cpu_cycles(&CpuModel::new(CpuKind::Rocket), &net);
+
+    let accel = |cpu: CpuKind, unit: bool| {
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].cpu = cpu;
+        cfg.cores[0].accel.has_im2col = unit;
+        run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing())
+            .unwrap()
+            .cores[0]
+            .total_cycles
+    };
+
+    let with_unit = accel(CpuKind::Rocket, true);
+    assert!(
+        rocket_baseline / with_unit > 300,
+        "accelerator speedup is orders of magnitude ({}x)",
+        rocket_baseline / with_unit
+    );
+
+    let no_unit_rocket = accel(CpuKind::Rocket, false);
+    let no_unit_boom = accel(CpuKind::Boom, false);
+    let host_effect = no_unit_rocket as f64 / no_unit_boom as f64;
+    assert!(
+        host_effect > 1.3,
+        "BOOM should matter when the CPU does im2col ({host_effect:.2}x)"
+    );
+    assert_eq!(
+        accel(CpuKind::Rocket, true),
+        accel(CpuKind::Boom, true),
+        "host choice is irrelevant with the on-accelerator im2col block"
+    );
+    assert!(
+        no_unit_rocket > with_unit,
+        "removing the im2col block must cost performance"
+    );
+}
+
+/// Fig. 8: filter registers recover most of what a tiny TLB loses.
+#[test]
+fn fig8_filter_register_shape() {
+    let run_tlb = |filters: bool| {
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].translation.private = TlbConfig::private(4);
+        cfg.cores[0].translation.shared = TlbConfig::shared(0);
+        cfg.cores[0].translation.filter_registers = filters;
+        run_quick(&cfg).cores[0].total_cycles
+    };
+    let without = run_tlb(false);
+    let with = run_tlb(true);
+    assert!(
+        with < without,
+        "filter registers must help a 4-entry TLB: {with} vs {without}"
+    );
+}
+
+/// Fig. 9's two regimes, at quick scale (cache/scratchpad sizes scaled by
+/// the same ~8x factor as the 32x32 workload; the full-scale experiment is
+/// `cargo run -p gemmini-bench --bin fig9_mem_partition`):
+///
+/// * when the private scratchpad binds the conv working set, doubling it
+///   wins (the paper's single-core BigSP result);
+/// * when the shared L2 binds under dual-core contention, doubling *it*
+///   wins, and residual additions are the main beneficiary (the paper's
+///   dual-core BigL2 result).
+#[test]
+fn fig9_partitioning_regimes() {
+    use gemmini_mem::cache::CacheConfig;
+    let net = quick_resnet();
+    let make = |sp_kb: usize, l2_kb: u64| {
+        let mut cfg = SocConfig::edge_dual_core().with_partition(sp_kb, sp_kb, 1);
+        cfg.mem.l2 = CacheConfig {
+            size_bytes: l2_kb << 10,
+            ways: 8,
+            hit_latency: 16,
+        };
+        cfg
+    };
+    let run2 = |cfg: SocConfig| {
+        let r = run_networks(&cfg, &[net.clone(), net.clone()], &RunOptions::timing()).unwrap();
+        let total = r.cores.iter().map(|c| c.total_cycles).max().unwrap();
+        let resadd: u64 = r
+            .cores
+            .iter()
+            .map(|c| c.class_cycles(LayerClass::ResAdd))
+            .sum();
+        let conv: u64 = r
+            .cores
+            .iter()
+            .map(|c| c.class_cycles(LayerClass::Conv))
+            .sum();
+        (total, conv, resadd, r.l2.miss_rate)
+    };
+
+    // Regime 1: scratchpad-bound (64 KiB sp). Doubling the scratchpad wins.
+    let (base_t, base_conv, _, _) = run2(make(64, 128));
+    let (sp_t, sp_conv, _, _) = run2(make(128, 128));
+    assert!(
+        sp_t < base_t,
+        "BigSP wins when the scratchpad binds: {sp_t} vs {base_t}"
+    );
+    assert!(sp_conv < base_conv, "the gain comes from conv layers");
+
+    // Regime 2: L2-bound under contention (ample scratchpad, small L2).
+    // Doubling the shared L2 wins, resadd benefits, miss rate drops.
+    let (l2base_t, _, l2base_res, l2base_miss) = run2(make(256, 128));
+    let (l2big_t, _, l2big_res, l2big_miss) = run2(make(256, 256));
+    assert!(
+        l2big_t < l2base_t,
+        "BigL2 wins when the L2 binds: {l2big_t} vs {l2base_t}"
+    );
+    assert!(
+        l2big_res <= l2base_res,
+        "residual adds benefit from the bigger L2"
+    );
+    assert!(
+        l2big_miss < l2base_miss,
+        "L2 miss rate drops with the bigger cache"
+    );
+}

@@ -1,0 +1,47 @@
+//! Timing-model self-validation: no simulated layer may complete faster
+//! than its roofline lower bound (arithmetic peak / compulsory traffic).
+
+use gemmini_bench::quick_resnet;
+use gemmini_repro::soc::roofline::layer_roofline;
+use gemmini_repro::soc::run::{run_networks, RunOptions};
+use gemmini_repro::soc::SocConfig;
+
+#[test]
+fn no_layer_beats_the_roofline() {
+    let net = quick_resnet();
+    let cfg = SocConfig::edge_single_core();
+    let accel = cfg.cores[0].accel.clone();
+    let report = run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).unwrap();
+    for (sim, spec) in report.cores[0].layers.iter().zip(net.layers()) {
+        let bound = layer_roofline(&accel, &spec.layer).cycles();
+        assert!(
+            sim.cycles >= bound,
+            "{} simulated {} cycles, below its roofline bound of {}",
+            sim.name,
+            sim.cycles,
+            bound
+        );
+    }
+}
+
+#[test]
+fn roofline_is_not_vacuous() {
+    // The bounds should be within an order of magnitude of the simulation
+    // for the big compute-bound layers (i.e. a meaningful check, not 0).
+    let net = quick_resnet();
+    let cfg = SocConfig::edge_single_core();
+    let accel = cfg.cores[0].accel.clone();
+    let report = run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).unwrap();
+    let mut meaningful = 0;
+    for (sim, spec) in report.cores[0].layers.iter().zip(net.layers()) {
+        let bound = layer_roofline(&accel, &spec.layer).cycles();
+        if bound > 0 && sim.cycles <= bound * 10 {
+            meaningful += 1;
+        }
+    }
+    assert!(
+        meaningful >= net.len() / 2,
+        "at least half the layers should sit within 10x of their bound ({meaningful}/{})",
+        net.len()
+    );
+}
