@@ -9,6 +9,7 @@
 //! must stream B every compute.
 
 use gemmini_bench::section;
+use gemmini_bench::sweep::{sweep_map, SweepOptions};
 use gemmini_core::config::{Dataflow, GemminiConfig};
 use gemmini_core::isa::{Instruction, LocalAddr};
 use gemmini_core::{Accelerator, MemCtx};
@@ -149,9 +150,22 @@ fn main() {
         "{:>6} {:>6} {:>12} {:>12} {:>10}",
         "m blks", "k blks", "WS cycles", "OS cycles", "OS/WS"
     );
-    for (mb, kb) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1), (16, 16)] {
-        let ws = run(Dataflow::WeightStationary, mb, kb);
-        let os = run(Dataflow::OutputStationary, mb, kb);
+    let shapes = [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1), (16, 16)];
+    // One sweep task per (shape, dataflow), WS/OS adjacent per shape.
+    let tasks = shapes
+        .iter()
+        .flat_map(|&(mb, kb)| {
+            [Dataflow::WeightStationary, Dataflow::OutputStationary]
+                .into_iter()
+                .map(move |df| (format!("{df:?} m={mb} k={kb}"), (df, mb, kb)))
+        })
+        .collect();
+    let results = sweep_map(tasks, SweepOptions::default(), |(df, mb, kb)| {
+        Ok(run(df, mb, kb))
+    });
+    for (&(mb, kb), pair) in shapes.iter().zip(results.chunks(2)) {
+        let ws = *pair[0].expect_ok();
+        let os = *pair[1].expect_ok();
         println!(
             "{:>6} {:>6} {:>12} {:>12} {:>10.3}",
             mb,

@@ -5,10 +5,20 @@
 
 use gemmini_bench::{quick_mode, quick_resnet, section};
 use gemmini_dnn::zoo;
-use gemmini_soc::run::{run_networks, RunOptions};
-use gemmini_soc::soc::SocConfig;
+use gemmini_soc::run::{CoreReport, SocReport};
+use gemmini_soc::sweep::{run_sweep, DesignPoint};
+use gemmini_soc::SocConfig;
 use gemmini_synth::energy::{inference_energy, RunActivity};
 use gemmini_synth::timing::fmax_ghz;
+
+fn activity(report: &SocReport, core: &CoreReport) -> RunActivity {
+    RunActivity {
+        macs: core.macs,
+        local_bytes: core.dma.bytes_in + core.dma.bytes_out,
+        dram_bytes: report.dram_bytes,
+        cycles: core.total_cycles,
+    }
+}
 
 fn main() {
     let nets = if quick_mode() {
@@ -16,26 +26,45 @@ fn main() {
     } else {
         zoo::all()
     };
+    let extreme_net = if quick_mode() {
+        quick_resnet()
+    } else {
+        zoo::resnet50()
+    };
+    let extremes = [
+        (
+            "TPU-like (pipelined)",
+            gemmini_core::config::GemminiConfig::tpu_like_256(),
+        ),
+        (
+            "NVDLA-like (combinational)",
+            gemmini_core::config::GemminiConfig::nvdla_like_256(),
+        ),
+    ];
+
+    // One sweep: every network on the edge configuration, then the two
+    // Fig. 3 spatial-array extremes on the ResNet-style network.
+    let mut sweep: Vec<DesignPoint> = nets
+        .iter()
+        .map(|net| DesignPoint::timing(net.name(), SocConfig::edge_single_core(), net))
+        .collect();
+    for (name, accel) in &extremes {
+        let mut cfg = SocConfig::edge_single_core();
+        cfg.cores[0].accel = accel.clone();
+        sweep.push(DesignPoint::timing(*name, cfg, &extreme_net));
+    }
+    let results = run_sweep(sweep);
 
     section("Per-inference energy on the edge configuration (1 GHz)");
     println!(
         "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
         "network", "cycles", "mac uJ", "sram uJ", "dram uJ", "leak uJ", "total mJ", "TOPS/W"
     );
-    for net in &nets {
-        eprintln!("running {} ...", net.name());
-        let cfg = SocConfig::edge_single_core();
-        let report =
-            run_networks(&cfg, std::slice::from_ref(net), &RunOptions::timing()).expect("runs");
+    let edge_accel = &SocConfig::edge_single_core().cores[0].accel.clone();
+    for (net, r) in nets.iter().zip(&results) {
+        let report = r.expect_ok();
         let core = &report.cores[0];
-        let accel = &cfg.cores[0].accel;
-        let activity = RunActivity {
-            macs: core.macs,
-            local_bytes: core.dma.bytes_in + core.dma.bytes_out,
-            dram_bytes: report.dram_bytes,
-            cycles: core.total_cycles,
-        };
-        let e = inference_energy(accel, activity, accel.clock_ghz);
+        let e = inference_energy(edge_accel, activity(report, core), edge_accel.clock_ghz);
         println!(
             "{:<18} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.3} {:>8.2}",
             net.name(),
@@ -45,39 +74,16 @@ fn main() {
             e.dram_uj,
             e.leakage_uj,
             e.total_uj() / 1000.0,
-            e.tops_per_watt(core.macs, core.total_cycles, accel.clock_ghz),
+            e.tops_per_watt(core.macs, core.total_cycles, edge_accel.clock_ghz),
         );
     }
 
     section("Fig. 3 extremes at their own fmax: energy per ResNet-style inference");
-    let net = if quick_mode() {
-        quick_resnet()
-    } else {
-        zoo::resnet50()
-    };
-    for (name, accel) in [
-        (
-            "TPU-like (pipelined)",
-            gemmini_core::config::GemminiConfig::tpu_like_256(),
-        ),
-        (
-            "NVDLA-like (combinational)",
-            gemmini_core::config::GemminiConfig::nvdla_like_256(),
-        ),
-    ] {
-        let clock = fmax_ghz(&accel);
-        let mut cfg = SocConfig::edge_single_core();
-        cfg.cores[0].accel = accel.clone();
-        let report =
-            run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).expect("runs");
+    for ((name, accel), r) in extremes.iter().zip(&results[nets.len()..]) {
+        let clock = fmax_ghz(accel);
+        let report = r.expect_ok();
         let core = &report.cores[0];
-        let activity = RunActivity {
-            macs: core.macs,
-            local_bytes: core.dma.bytes_in + core.dma.bytes_out,
-            dram_bytes: report.dram_bytes,
-            cycles: core.total_cycles,
-        };
-        let e = inference_energy(&accel, activity, clock);
+        let e = inference_energy(accel, activity(report, core), clock);
         println!(
             "{name}: {:.2} GHz, {:.1} ms/inf, {:.2} mJ/inf, {:.2} TOPS/W",
             clock,

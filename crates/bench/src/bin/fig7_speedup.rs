@@ -14,8 +14,8 @@ use gemmini_cpu::kernels::network_cpu_cycles;
 use gemmini_cpu::{CpuKind, CpuModel};
 use gemmini_dnn::graph::Network;
 use gemmini_dnn::zoo;
-use gemmini_soc::run::{run_networks, RunOptions};
-use gemmini_soc::soc::SocConfig;
+use gemmini_soc::sweep::{run_sweep, DesignPoint};
+use gemmini_soc::SocConfig;
 
 struct Row {
     net: String,
@@ -24,14 +24,13 @@ struct Row {
     accel: Vec<(String, u64)>, // (variant, cycles)
 }
 
-fn accel_cycles(net: &Network, cpu: CpuKind, im2col: bool) -> u64 {
-    let mut cfg = SocConfig::edge_single_core();
-    cfg.cores[0].cpu = cpu;
-    cfg.cores[0].accel.has_im2col = im2col;
-    let report =
-        run_networks(&cfg, std::slice::from_ref(net), &RunOptions::timing()).expect("run succeeds");
-    report.cores[0].total_cycles
-}
+/// The four accelerator variants per network: (label, host CPU, im2col unit).
+const VARIANTS: [(&str, CpuKind, bool); 4] = [
+    ("Rocket host, im2col on CPU", CpuKind::Rocket, false),
+    ("BOOM host, im2col on CPU", CpuKind::Boom, false),
+    ("Rocket host, im2col on accel", CpuKind::Rocket, true),
+    ("BOOM host, im2col on accel", CpuKind::Boom, true),
+];
 
 fn main() {
     let nets: Vec<Network> = if quick_mode() {
@@ -49,34 +48,34 @@ fn main() {
     let boom = CpuModel::new(CpuKind::Boom);
     let clock = 1.0; // GHz, as in the paper's FPS numbers
 
-    let mut rows = Vec::new();
-    for net in &nets {
-        eprintln!("running {} ...", net.name());
-        let variants = vec![
-            (
-                "Rocket host, im2col on CPU".to_string(),
-                accel_cycles(net, CpuKind::Rocket, false),
-            ),
-            (
-                "BOOM host, im2col on CPU".to_string(),
-                accel_cycles(net, CpuKind::Boom, false),
-            ),
-            (
-                "Rocket host, im2col on accel".to_string(),
-                accel_cycles(net, CpuKind::Rocket, true),
-            ),
-            (
-                "BOOM host, im2col on accel".to_string(),
-                accel_cycles(net, CpuKind::Boom, true),
-            ),
-        ];
-        rows.push(Row {
+    // One sweep point per (network, variant), in row-major order.
+    let sweep = nets
+        .iter()
+        .flat_map(|net| {
+            VARIANTS.iter().map(|&(label, cpu, im2col)| {
+                let mut cfg = SocConfig::edge_single_core();
+                cfg.cores[0].cpu = cpu;
+                cfg.cores[0].accel.has_im2col = im2col;
+                DesignPoint::timing(format!("{} / {label}", net.name()), cfg, net)
+            })
+        })
+        .collect();
+    let results = run_sweep(sweep);
+
+    let rows: Vec<Row> = nets
+        .iter()
+        .zip(results.chunks(VARIANTS.len()))
+        .map(|(net, chunk)| Row {
             net: net.name().to_string(),
             rocket_baseline: network_cpu_cycles(&rocket, net),
             boom_baseline: network_cpu_cycles(&boom, net),
-            accel: variants,
-        });
-    }
+            accel: VARIANTS
+                .iter()
+                .zip(chunk)
+                .map(|(&(label, _, _), r)| (label.to_string(), r.expect_ok().cores[0].total_cycles))
+                .collect(),
+        })
+        .collect();
 
     section("Fig. 7: speedup over the in-order (Rocket) CPU baseline");
     for r in &rows {

@@ -11,10 +11,9 @@
 //!   ≈87% (reads) / ≈83% (writes).
 
 use gemmini_bench::{quick_mode, quick_resnet, section};
-use gemmini_dnn::graph::Network;
 use gemmini_dnn::zoo;
-use gemmini_soc::run::{run_networks, RunOptions};
-use gemmini_soc::soc::SocConfig;
+use gemmini_soc::sweep::{merge_memory_stats, run_sweep, DesignPoint};
+use gemmini_soc::SocConfig;
 use gemmini_vm::tlb::TlbConfig;
 
 struct Point {
@@ -27,25 +26,6 @@ struct Point {
     wr_same: f64,
 }
 
-fn run_point(net: &Network, private: u32, shared: u32, filters: bool) -> Point {
-    let mut cfg = SocConfig::edge_single_core();
-    cfg.cores[0].translation.private = TlbConfig::private(private);
-    cfg.cores[0].translation.shared = TlbConfig::shared(shared);
-    cfg.cores[0].translation.filter_registers = filters;
-    let report =
-        run_networks(&cfg, std::slice::from_ref(net), &RunOptions::timing()).expect("run succeeds");
-    let c = &report.cores[0];
-    Point {
-        private,
-        shared,
-        filters,
-        cycles: c.total_cycles,
-        eff_hit: c.translation.effective_hit_rate,
-        rd_same: c.translation.consecutive_read_same_page,
-        wr_same: c.translation.consecutive_write_same_page,
-    }
-}
-
 fn main() {
     let net = if quick_mode() {
         quick_resnet()
@@ -55,15 +35,50 @@ fn main() {
     let privates = [4u32, 8, 16, 32];
     let shareds = [0u32, 128, 256, 512];
 
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
+    let mut sweep = Vec::new();
     for &filters in &[false, true] {
         for &p in &privates {
             for &s in &shareds {
-                eprintln!("running private={p} shared={s} filters={filters} ...");
-                points.push(run_point(&net, p, s, filters));
+                let mut cfg = SocConfig::edge_single_core();
+                cfg.cores[0].translation.private = TlbConfig::private(p);
+                cfg.cores[0].translation.shared = TlbConfig::shared(s);
+                cfg.cores[0].translation.filter_registers = filters;
+                grid.push((p, s, filters));
+                sweep.push(DesignPoint::timing(
+                    format!("private={p} shared={s} filters={filters}"),
+                    cfg,
+                    &net,
+                ));
             }
         }
     }
+
+    let results = run_sweep(sweep);
+    let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
+    let points: Vec<Point> = grid
+        .iter()
+        .zip(&results)
+        .map(|(&(private, shared, filters), r)| {
+            let c = &r.expect_ok().cores[0];
+            Point {
+                private,
+                shared,
+                filters,
+                cycles: c.total_cycles,
+                eff_hit: c.translation.effective_hit_rate,
+                rd_same: c.translation.consecutive_read_same_page,
+                wr_same: c.translation.consecutive_write_same_page,
+            }
+        })
+        .collect();
+    eprintln!(
+        "sweep totals: {} points, L2 {} accesses ({:.1}% miss), DRAM {:.1} MB",
+        rollup.reports,
+        rollup.l2.accesses(),
+        rollup.l2.miss_rate() * 100.0,
+        rollup.dram.total_bytes() as f64 / 1e6
+    );
     let best = points.iter().map(|p| p.cycles).min().expect("points exist") as f64;
 
     for &filters in &[false, true] {

@@ -11,21 +11,15 @@
 //!   (resadd ≈+22% on BigL2; L2 miss rate drops ≈7 points).
 
 use gemmini_bench::{quick_mode, quick_resnet, section};
-use gemmini_dnn::graph::{LayerClass, Network};
+use gemmini_dnn::graph::LayerClass;
 use gemmini_dnn::zoo;
-use gemmini_soc::run::{run_networks, RunOptions, SocReport};
-use gemmini_soc::soc::SocConfig;
+use gemmini_soc::run::SocReport;
+use gemmini_soc::sweep::{merge_memory_stats, run_sweep, DesignPoint};
+use gemmini_soc::SocConfig;
 
 struct Outcome {
     name: &'static str,
     report: SocReport,
-}
-
-fn run_cfg(name: &'static str, cfg: SocConfig, net: &Network, cores: usize) -> Outcome {
-    eprintln!("running {name} x{cores} ...");
-    let nets = vec![net.clone(); cores];
-    let report = run_networks(&cfg, &nets, &RunOptions::timing()).expect("run succeeds");
-    Outcome { name, report }
 }
 
 fn class_cycles(o: &Outcome, class: LayerClass) -> f64 {
@@ -57,12 +51,39 @@ fn main() {
     println!("BigSP: 512 KB scratchpad + 512 KB accumulator per core, 1 MB L2");
     println!("BigL2: 256 KB scratchpad + 256 KB accumulator per core, 2 MB L2");
 
-    for cores in [1usize, 2] {
-        let outcomes = vec![
-            run_cfg("Base", SocConfig::partition_base(cores), &net, cores),
-            run_cfg("BigSP", SocConfig::partition_big_sp(cores), &net, cores),
-            run_cfg("BigL2", SocConfig::partition_big_l2(cores), &net, cores),
-        ];
+    // All six (configuration, core-count) points run in one sweep.
+    type ConfigMaker = fn(usize) -> SocConfig;
+    let configs: [(&str, ConfigMaker); 3] = [
+        ("Base", SocConfig::partition_base),
+        ("BigSP", SocConfig::partition_big_sp),
+        ("BigL2", SocConfig::partition_big_l2),
+    ];
+    let sweep = [1usize, 2]
+        .iter()
+        .flat_map(|&cores| configs.iter().map(move |&(name, make)| (cores, name, make)))
+        .map(|(cores, name, make)| {
+            DesignPoint::timing(format!("{name} x{cores}"), make(cores), &net)
+        })
+        .collect();
+    let results = run_sweep(sweep);
+    let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
+    eprintln!(
+        "sweep totals: {} points, L2 {} accesses ({:.1}% miss), DRAM {:.1} MB",
+        rollup.reports,
+        rollup.l2.accesses(),
+        rollup.l2.miss_rate() * 100.0,
+        rollup.dram.total_bytes() as f64 / 1e6
+    );
+
+    for (i, cores) in [1usize, 2].into_iter().enumerate() {
+        let outcomes: Vec<Outcome> = configs
+            .iter()
+            .zip(&results[i * configs.len()..(i + 1) * configs.len()])
+            .map(|(&(name, _), r)| Outcome {
+                name,
+                report: r.expect_ok().clone(),
+            })
+            .collect();
         let base = &outcomes[0];
 
         section(&format!(

@@ -8,6 +8,11 @@
 
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
 
+/// The shared design-space sweep executor (re-exported so the figure
+/// binaries have one import path for both printing helpers and sweeps).
+pub use gemmini_soc::sweep;
+pub use gemmini_soc::sweep::{run_sweep, DesignPoint, SweepOptions, SweepResult};
+
 /// Prints a named section header.
 pub fn section(title: &str) {
     println!();

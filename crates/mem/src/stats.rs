@@ -178,6 +178,39 @@ impl WindowedRate {
         &self.points
     }
 
+    /// Merges another series into this one, window by window.
+    ///
+    /// The merged series is exactly what a single collector observing
+    /// both event streams would have recorded: per-window hit and miss
+    /// counts add, and the merged length is the longer of the two. This
+    /// is the windowed-series analogue of [`HitMissStats::merge`] —
+    /// without it, sharded sweeps could sum scalar counters but silently
+    /// drop the rate-over-time series (and with it `peak_miss_rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ — pointwise addition of
+    /// differently-bucketed series would be meaningless.
+    pub fn merge(&mut self, other: &WindowedRate) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge windowed series with different window widths"
+        );
+        if other.points.len() > self.points.len() {
+            let base = self.points.len();
+            self.points
+                .extend((base..other.points.len()).map(|i| WindowPoint {
+                    start_cycle: i as Cycle * self.window,
+                    hits: 0,
+                    misses: 0,
+                }));
+        }
+        for (mine, theirs) in self.points.iter_mut().zip(&other.points) {
+            mine.hits += theirs.hits;
+            mine.misses += theirs.misses;
+        }
+    }
+
     /// The maximum per-window miss rate observed (ignoring empty windows).
     pub fn peak_miss_rate(&self) -> f64 {
         self.points
@@ -302,6 +335,47 @@ mod tests {
     #[should_panic(expected = "window width")]
     fn zero_window_panics() {
         let _ = WindowedRate::new(0);
+    }
+
+    #[test]
+    fn windowed_merge_equals_serial_collection() {
+        // Split one event stream across two shards; the merged series
+        // must equal what a single collector would have recorded.
+        let events = [
+            (3u64, true),
+            (12, false),
+            (17, true),
+            (44, false),
+            (45, false),
+            (90, true),
+        ];
+        let mut serial = WindowedRate::new(10);
+        let mut shard_a = WindowedRate::new(10);
+        let mut shard_b = WindowedRate::new(10);
+        for (i, &(cycle, hit)) in events.iter().enumerate() {
+            serial.record(cycle, hit);
+            if i % 2 == 0 {
+                shard_a.record(cycle, hit);
+            } else {
+                shard_b.record(cycle, hit);
+            }
+        }
+        let mut merged = shard_a.clone();
+        merged.merge(&shard_b);
+        assert_eq!(merged.series(), serial.series());
+        assert_eq!(merged.peak_miss_rate(), serial.peak_miss_rate());
+        // Merge is symmetric in content.
+        let mut merged_rev = shard_b;
+        merged_rev.merge(&shard_a);
+        assert_eq!(merged_rev.series(), serial.series());
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn windowed_merge_rejects_mismatched_windows() {
+        let mut a = WindowedRate::new(10);
+        let b = WindowedRate::new(20);
+        a.merge(&b);
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`run`] — the experiment driver: runs one network per core to
 //!   completion and produces the per-layer / per-class / translation /
 //!   cache reports every figure of the evaluation consumes.
+//! * [`sweep`] — the parallel design-space sweep executor: runs a batch
+//!   of named [`soc::SocConfig`] points across a worker pool with
+//!   per-point fault isolation and deterministic result ordering; every
+//!   figure binary drives its sweep through this.
 //!
 //! # Example
 //!
@@ -51,8 +55,10 @@ pub mod roofline;
 pub mod run;
 pub mod runtime;
 pub mod soc;
+pub mod sweep;
 pub mod tiling;
 
 pub use run::{run_networks, CoreReport, RunOptions, SocReport};
 pub use soc::{CoreConfig, SocConfig};
+pub use sweep::{run_sweep, run_sweep_with, DesignPoint, SweepError, SweepOptions, SweepResult};
 pub use tiling::TilePlan;

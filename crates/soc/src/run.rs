@@ -8,6 +8,7 @@ use crate::soc::{Soc, SocConfig};
 use gemmini_core::dma::DmaStats;
 use gemmini_core::{AccelError, MemCtx};
 use gemmini_dnn::graph::{LayerClass, Network};
+use gemmini_mem::stats::{HitMissStats, TrafficStats};
 use gemmini_mem::Cycle;
 
 /// Options for one run.
@@ -136,6 +137,12 @@ pub struct SocReport {
     pub l2: L2Report,
     /// Bytes moved over the DRAM channel.
     pub dram_bytes: u64,
+    /// Exact shared-L2 hit/miss counters; merge-able across sweep points
+    /// via [`HitMissStats::merge`].
+    pub l2_stats: HitMissStats,
+    /// Exact DRAM-channel traffic counters; merge-able across sweep
+    /// points via [`TrafficStats::merge`].
+    pub dram_traffic: TrafficStats,
 }
 
 fn layer_reports(timings: &[LayerTiming]) -> Vec<LayerReport> {
@@ -274,11 +281,14 @@ pub fn run_networks(
         .collect();
 
     let l2 = soc_l2_report(&soc);
-    let dram_bytes = soc.mem.dram().stats().total_bytes();
+    let l2_stats = *soc.mem.l2().stats();
+    let dram_traffic = *soc.mem.dram().stats();
     Ok(SocReport {
         cores: core_reports,
         l2,
-        dram_bytes,
+        dram_bytes: dram_traffic.total_bytes(),
+        l2_stats,
+        dram_traffic,
     })
 }
 

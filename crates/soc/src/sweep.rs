@@ -1,0 +1,417 @@
+//! Parallel design-space sweep executor with per-point fault isolation.
+//!
+//! The paper's whole evaluation is a design-space sweep: many
+//! [`SocConfig`] points, each simulated independently (Figs. 3–4, 7–9,
+//! Table 1). Every point owns its SoC, memory system and address space,
+//! so points are embarrassingly parallel — this module executes a batch
+//! of named points across a [`std::thread::scope`] worker pool and
+//! returns results in deterministic submission order regardless of
+//! scheduling.
+//!
+//! Properties:
+//!
+//! * **Worker count** comes from the `GEMMINI_THREADS` environment
+//!   variable; unset (or `0`) defaults to
+//!   [`std::thread::available_parallelism`]. `GEMMINI_THREADS=1` forces
+//!   fully serial execution on the caller's thread — bit-identical to
+//!   the pre-sweep per-binary loops.
+//! * **Fault isolation**: a panic or [`AccelError`] inside one point
+//!   becomes an `Err` entry carrying the point's label; the other
+//!   points still complete.
+//! * **Observability**: each completion emits one progress line to
+//!   stderr (`[12/32] private=16 shared=256 4.1s`) so long sweeps show
+//!   liveness.
+//! * **Exact aggregation**: [`merge_memory_stats`] folds per-point
+//!   memory counters through [`HitMissStats::merge`] and
+//!   [`TrafficStats::merge`], so totals across N parallel shards equal
+//!   the serial run's totals exactly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::run::{run_networks, RunOptions, SocReport};
+use crate::soc::SocConfig;
+use gemmini_core::AccelError;
+use gemmini_dnn::graph::Network;
+use gemmini_mem::stats::{HitMissStats, TrafficStats};
+
+/// Environment variable naming the worker count (`0`/unset = all cores).
+pub const THREADS_ENV: &str = "GEMMINI_THREADS";
+
+/// One named point of a design-space sweep: an SoC configuration, the
+/// networks to run on it (one per core), and the run options.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Human-readable label, used in progress lines and error entries.
+    pub label: String,
+    /// The SoC to build.
+    pub config: SocConfig,
+    /// One network per configured core.
+    pub networks: Vec<Network>,
+    /// Functional/timing switch and seed.
+    pub options: RunOptions,
+}
+
+impl DesignPoint {
+    /// Creates a point running one network per core of `config`.
+    pub fn new(
+        label: impl Into<String>,
+        config: SocConfig,
+        networks: Vec<Network>,
+        options: RunOptions,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            networks,
+            options,
+        }
+    }
+
+    /// Creates a timing-mode point replicating `net` across every core
+    /// of `config` — the common shape of the figure sweeps.
+    pub fn timing(label: impl Into<String>, config: SocConfig, net: &Network) -> Self {
+        let nets = vec![net.clone(); config.cores.len()];
+        Self::new(label, config, nets, RunOptions::timing())
+    }
+}
+
+/// Why one sweep point failed. The rest of the sweep is unaffected.
+#[derive(Debug, Clone)]
+pub enum SweepError {
+    /// The simulation returned a typed accelerator error.
+    Accel(AccelError),
+    /// The point panicked; the payload's message is preserved.
+    Panicked(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Accel(e) => write!(f, "accelerator error: {e}"),
+            Self::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Outcome of one sweep point, in submission order.
+#[derive(Debug, Clone)]
+pub struct SweepResult<T> {
+    /// The submitting point's label.
+    pub label: String,
+    /// The point's report, or why it failed.
+    pub outcome: Result<T, SweepError>,
+    /// Wall-clock time the point took on its worker.
+    pub wall: Duration,
+}
+
+impl<T> SweepResult<T> {
+    /// The successful report, if any.
+    pub fn ok(&self) -> Option<&T> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// Unwraps the report, panicking with the point's label on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point failed.
+    pub fn expect_ok(&self) -> &T {
+        match &self.outcome {
+            Ok(t) => t,
+            Err(e) => panic!("sweep point '{}' failed: {e}", self.label),
+        }
+    }
+}
+
+/// Execution knobs for a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means "resolve from `GEMMINI_THREADS`, then
+    /// available parallelism".
+    pub threads: usize,
+    /// Whether to emit per-point progress lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            progress: true,
+        }
+    }
+}
+
+/// Resolves the worker count for `n_points` work items: an explicit
+/// `threads` wins, then `GEMMINI_THREADS`, then available parallelism —
+/// always clamped to `[1, n_points]`.
+pub fn worker_count(threads: usize, n_points: usize) -> usize {
+    let configured = if threads > 0 {
+        threads
+    } else {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    };
+    configured.clamp(1, n_points.max(1))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The generic executor: applies `f` to every `(label, item)` pair on a
+/// worker pool, isolating failures per item, and returns the results in
+/// submission order. [`run_sweep`] is the [`DesignPoint`] instantiation;
+/// binaries with bespoke per-point work (e.g. instruction-level
+/// ablations) can call this directly.
+pub fn sweep_map<I, T, F>(items: Vec<(String, I)>, opts: SweepOptions, f: F) -> Vec<SweepResult<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> Result<T, AccelError> + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(opts.threads, total);
+
+    let run_one = |label: &str, item: I, done: &AtomicUsize| -> SweepResult<T> {
+        let start = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(Ok(t)) => Ok(t),
+            Ok(Err(e)) => Err(SweepError::Accel(e)),
+            Err(payload) => Err(SweepError::Panicked(panic_message(payload))),
+        };
+        let wall = start.elapsed();
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if opts.progress {
+            let status = if outcome.is_ok() { "" } else { "FAILED " };
+            eprintln!(
+                "[{finished}/{total}] {label} {status}{:.1}s",
+                wall.as_secs_f64()
+            );
+        }
+        SweepResult {
+            label: label.to_string(),
+            outcome,
+            wall,
+        }
+    };
+
+    let done = AtomicUsize::new(0);
+    if workers == 1 {
+        // Fully serial on the caller's thread: identical scheduling to
+        // the historical per-binary loops.
+        return items
+            .into_iter()
+            .map(|(label, item)| run_one(&label, item, &done))
+            .collect();
+    }
+
+    // Workers claim items by atomic index and write results into the
+    // matching slot, so output order is submission order regardless of
+    // which thread finishes when.
+    let work: Vec<Mutex<Option<(String, I)>>> = items
+        .into_iter()
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
+    let slots: Vec<Mutex<Option<SweepResult<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let (label, item) = work[idx]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = run_one(&label, item, &done);
+                *slots[idx].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Runs a batch of [`DesignPoint`]s with default options (worker count
+/// from `GEMMINI_THREADS`, progress lines on).
+pub fn run_sweep(points: Vec<DesignPoint>) -> Vec<SweepResult<SocReport>> {
+    run_sweep_with(points, SweepOptions::default())
+}
+
+/// Runs a batch of [`DesignPoint`]s with explicit options.
+pub fn run_sweep_with(points: Vec<DesignPoint>, opts: SweepOptions) -> Vec<SweepResult<SocReport>> {
+    let items = points
+        .into_iter()
+        .map(|p| (p.label.clone(), p))
+        .collect::<Vec<_>>();
+    sweep_map(items, opts, |p| {
+        run_networks(&p.config, &p.networks, &p.options)
+    })
+}
+
+/// Exact cross-point rollup of the memory-system counters, folded
+/// through the substrate's own `merge` operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryRollup {
+    /// Shared-L2 hit/miss counters summed over every report.
+    pub l2: HitMissStats,
+    /// Dirty L2 writebacks summed over every report.
+    pub l2_writebacks: u64,
+    /// DRAM-channel traffic summed over every report.
+    pub dram: TrafficStats,
+    /// Reports folded in.
+    pub reports: usize,
+}
+
+/// Merges the memory statistics of every successful report. Because the
+/// fold uses [`HitMissStats::merge`]/[`TrafficStats::merge`], the result
+/// over N parallel shards is bit-equal to a serial accumulation.
+pub fn merge_memory_stats<'a, I>(reports: I) -> MemoryRollup
+where
+    I: IntoIterator<Item = &'a SocReport>,
+{
+    let mut rollup = MemoryRollup::default();
+    for r in reports {
+        rollup.l2.merge(&r.l2_stats);
+        rollup.l2_writebacks += r.l2.writebacks;
+        rollup.dram.merge(&r.dram_traffic);
+        rollup.reports += 1;
+    }
+    rollup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Explicit thread count so these tests never read GEMMINI_THREADS
+    // (env mutation would race with parallel test execution).
+    fn quiet() -> SweepOptions {
+        SweepOptions {
+            threads: 2,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let items: Vec<(String, u64)> = (0..16).map(|i| (format!("p{i}"), i)).collect();
+        let results = sweep_map(
+            items,
+            SweepOptions {
+                threads: 4,
+                progress: false,
+            },
+            |i| {
+                // Earlier items sleep longer, so completion order is the
+                // reverse of submission order.
+                std::thread::sleep(Duration::from_millis(2 * (16 - i)));
+                Ok(i * 10)
+            },
+        );
+        let got: Vec<u64> = results.iter().map(|r| *r.expect_ok()).collect();
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(results[3].label, "p3");
+    }
+
+    #[test]
+    fn panicking_item_is_isolated() {
+        let items: Vec<(String, u64)> = (0..6).map(|i| (format!("p{i}"), i)).collect();
+        let results = sweep_map(
+            items,
+            SweepOptions {
+                threads: 3,
+                progress: false,
+            },
+            |i| {
+                if i == 2 {
+                    panic!("deliberate failure at point {i}");
+                }
+                Ok(i)
+            },
+        );
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                match &r.outcome {
+                    Err(SweepError::Panicked(msg)) => {
+                        assert!(msg.contains("deliberate failure"), "got: {msg}");
+                    }
+                    other => panic!("expected panic entry, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.expect_ok(), i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn accel_error_is_isolated() {
+        let items = vec![
+            ("ok".to_string(), 1u32),
+            ("bad".to_string(), 2),
+            ("ok2".to_string(), 3),
+        ];
+        let results = sweep_map(items, quiet(), |i| {
+            if i == 2 {
+                Err(AccelError::NoPreload)
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(results[0].outcome.is_ok());
+        assert!(matches!(
+            results[1].outcome,
+            Err(SweepError::Accel(AccelError::NoPreload))
+        ));
+        assert!(results[2].outcome.is_ok());
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        // Explicit threads win and are clamped to the point count.
+        assert_eq!(worker_count(8, 3), 3);
+        assert_eq!(worker_count(2, 100), 2);
+        // Zero points still yields a sane value.
+        assert_eq!(worker_count(4, 0), 1);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let results = sweep_map(Vec::<(String, ())>::new(), quiet(), |_| Ok(0u8));
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the parallel design-space sweep executor:
+//! scheduling must never change results (bit-identical reports between
+//! serial and parallel execution), one point's failure must never take
+//! down the sweep, and worker overlap must actually happen.
+
+use std::time::{Duration, Instant};
+
+use gemmini_dnn::graph::{Activation, Layer, Network};
+use gemmini_soc::run::{RunOptions, SocReport};
+use gemmini_soc::sweep::{
+    merge_memory_stats, run_sweep_with, sweep_map, DesignPoint, SweepError, SweepOptions,
+};
+use gemmini_soc::SocConfig;
+use gemmini_vm::tlb::TlbConfig;
+
+fn small_net(m: usize, k: usize, n: usize) -> Network {
+    let mut net = Network::new(format!("mm_{m}x{k}x{n}"));
+    net.push(
+        "fc1",
+        Layer::Matmul {
+            m,
+            k,
+            n,
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "fc2",
+        Layer::Matmul {
+            m,
+            k: n,
+            n: 8,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+/// An 8-point sweep shaped like the figure sweeps: varying network
+/// dimensions and private-TLB sizes on the edge SoC.
+fn eight_points() -> Vec<DesignPoint> {
+    let dims = [(16, 32, 16), (24, 16, 8), (8, 48, 24), (32, 32, 32)];
+    let tlbs = [4u32, 16];
+    let mut points = Vec::new();
+    for &(m, k, n) in &dims {
+        for &entries in &tlbs {
+            let mut cfg = SocConfig::edge_single_core();
+            cfg.cores[0].translation.private = TlbConfig::private(entries);
+            points.push(DesignPoint::new(
+                format!("mm {m}x{k}x{n} tlb={entries}"),
+                cfg,
+                vec![small_net(m, k, n)],
+                RunOptions::timing(),
+            ));
+        }
+    }
+    points
+}
+
+fn opts(threads: usize) -> SweepOptions {
+    SweepOptions {
+        threads,
+        progress: false,
+    }
+}
+
+fn assert_reports_identical(a: &SocReport, b: &SocReport) {
+    assert_eq!(a.cores.len(), b.cores.len());
+    for (ca, cb) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(
+            ca.total_cycles, cb.total_cycles,
+            "cycles must not depend on scheduling"
+        );
+        assert_eq!(ca.macs, cb.macs);
+        assert_eq!(ca.translation.requests, cb.translation.requests);
+        assert_eq!(ca.translation.walks, cb.translation.walks);
+        assert_eq!(ca.translation.filter_hits, cb.translation.filter_hits);
+        let la: Vec<_> = ca.layers.iter().map(|l| (&l.name, l.cycles)).collect();
+        let lb: Vec<_> = cb.layers.iter().map(|l| (&l.name, l.cycles)).collect();
+        assert_eq!(la, lb);
+    }
+    assert_eq!(a.l2_stats, b.l2_stats, "L2 counters must be bit-identical");
+    assert_eq!(
+        a.dram_traffic, b.dram_traffic,
+        "DRAM counters must be bit-identical"
+    );
+    assert_eq!(a.dram_bytes, b.dram_bytes);
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = run_sweep_with(eight_points(), opts(1));
+    let parallel = run_sweep_with(eight_points(), opts(4));
+    assert_eq!(serial.len(), 8);
+    assert_eq!(parallel.len(), 8);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label, "results must keep submission order");
+        assert_reports_identical(s.expect_ok(), p.expect_ok());
+    }
+    // The exact cross-point rollup is scheduling-independent too.
+    let rs = merge_memory_stats(serial.iter().filter_map(|r| r.ok()));
+    let rp = merge_memory_stats(parallel.iter().filter_map(|r| r.ok()));
+    assert_eq!(rs.l2, rp.l2);
+    assert_eq!(rs.dram, rp.dram);
+    assert_eq!(rs.reports, 8);
+}
+
+#[test]
+fn panicking_point_is_an_err_entry_and_others_complete() {
+    let mut points = eight_points();
+    // run_networks panics when the network count does not match the
+    // core count — a realistic misconfigured design point.
+    points[3] = DesignPoint::new(
+        "misconfigured",
+        SocConfig::edge_single_core(),
+        vec![small_net(8, 8, 8), small_net(8, 8, 8)],
+        RunOptions::timing(),
+    );
+    let results = run_sweep_with(points, opts(4));
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        if i == 3 {
+            assert_eq!(r.label, "misconfigured");
+            match &r.outcome {
+                Err(SweepError::Panicked(msg)) => {
+                    assert!(
+                        msg.contains("one network per core"),
+                        "panic message should survive: {msg}"
+                    );
+                }
+                other => panic!("expected panicked entry, got {other:?}"),
+            }
+        } else {
+            assert!(
+                r.outcome.is_ok(),
+                "point {} must complete despite the failure: {:?}",
+                r.label,
+                r.outcome
+            );
+        }
+    }
+}
+
+#[test]
+fn workers_overlap_waiting_points() {
+    // Sleep-based tasks prove the pool genuinely overlaps work even on
+    // a single-CPU host (sleeps need no core to overlap): 8 x 50 ms
+    // serially is 400 ms, but four workers finish in ~100 ms.
+    let items: Vec<(String, u64)> = (0..8).map(|i| (format!("p{i}"), i)).collect();
+    let start = Instant::now();
+    let results = sweep_map(items, opts(4), |i| {
+        std::thread::sleep(Duration::from_millis(50));
+        Ok(i)
+    });
+    let wall = start.elapsed();
+    assert_eq!(results.len(), 8);
+    assert!(
+        wall < Duration::from_millis(300),
+        "4 workers over 8 x 50ms points must beat 300ms, took {wall:?}"
+    );
+}
+
+#[test]
+fn serial_mode_runs_on_caller_thread() {
+    // threads=1 must not spawn: the closure observes the caller's
+    // thread id for every point.
+    let caller = std::thread::current().id();
+    let items: Vec<(String, ())> = (0..4).map(|i| (format!("p{i}"), ())).collect();
+    let results = sweep_map(items, opts(1), |_| {
+        assert_eq!(std::thread::current().id(), caller);
+        Ok(())
+    });
+    assert!(results.iter().all(|r| r.outcome.is_ok()));
+}
+
+#[test]
+fn env_var_resolves_worker_count() {
+    use gemmini_soc::sweep::{worker_count, THREADS_ENV};
+    // This test owns the env var; explicit `threads` arguments elsewhere
+    // bypass it, so the mutation cannot race with the other tests.
+    std::env::set_var(THREADS_ENV, "3");
+    assert_eq!(worker_count(0, 8), 3);
+    std::env::set_var(THREADS_ENV, "1");
+    assert_eq!(worker_count(0, 8), 1);
+    std::env::set_var(THREADS_ENV, "not-a-number");
+    let fallback = worker_count(0, 64);
+    assert!(fallback >= 1);
+    std::env::remove_var(THREADS_ENV);
+    assert!(worker_count(0, 64) >= 1);
+    // Explicit argument always wins over the environment.
+    std::env::set_var(THREADS_ENV, "7");
+    assert_eq!(worker_count(2, 64), 2);
+    std::env::remove_var(THREADS_ENV);
+}
