@@ -8,8 +8,10 @@
 //! keeps the output resident in the PEs across the whole K reduction but
 //! must stream B every compute.
 
-use gemmini_bench::section;
-use gemmini_bench::sweep::{sweep_map, SweepOptions};
+use gemmini_bench::{section, sweep_cli_options};
+use gemmini_soc::checkpoint::debug_fingerprint;
+use gemmini_soc::sweep::sweep_map_checkpointed;
+
 use gemmini_core::config::{Dataflow, GemminiConfig};
 use gemmini_core::isa::{Instruction, LocalAddr};
 use gemmini_core::{Accelerator, MemCtx};
@@ -152,15 +154,23 @@ fn main() {
     );
     let shapes = [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1), (16, 16)];
     // One sweep task per (shape, dataflow), WS/OS adjacent per shape.
+    // Each task carries its own fingerprint so `--json`/`--resume`
+    // checkpointing can tell the points apart across restarts.
     let tasks = shapes
         .iter()
         .flat_map(|&(mb, kb)| {
             [Dataflow::WeightStationary, Dataflow::OutputStationary]
                 .into_iter()
-                .map(move |df| (format!("{df:?} m={mb} k={kb}"), (df, mb, kb)))
+                .map(move |df| {
+                    (
+                        format!("{df:?} m={mb} k={kb}"),
+                        debug_fingerprint(&(df, mb, kb)),
+                        (df, mb, kb),
+                    )
+                })
         })
         .collect();
-    let results = sweep_map(tasks, SweepOptions::default(), |(df, mb, kb)| {
+    let results = sweep_map_checkpointed(tasks, sweep_cli_options(), |(df, mb, kb)| {
         Ok(run(df, mb, kb))
     });
     for (&(mb, kb), pair) in shapes.iter().zip(results.chunks(2)) {

@@ -3,10 +3,10 @@
 //! array extremes, combining the simulator's activity counters with the
 //! synthesis model's energy constants.
 
-use gemmini_bench::{quick_mode, quick_resnet, section};
+use gemmini_bench::{quick_mode, quick_resnet, resnet_workload, section, sweep_cli_options};
 use gemmini_dnn::zoo;
 use gemmini_soc::run::{CoreReport, SocReport};
-use gemmini_soc::sweep::{run_sweep, DesignPoint};
+use gemmini_soc::sweep::{run_sweep_with, DesignPoint};
 use gemmini_soc::SocConfig;
 use gemmini_synth::energy::{inference_energy, RunActivity};
 use gemmini_synth::timing::fmax_ghz;
@@ -26,11 +26,7 @@ fn main() {
     } else {
         zoo::all()
     };
-    let extreme_net = if quick_mode() {
-        quick_resnet()
-    } else {
-        zoo::resnet50()
-    };
+    let extreme_net = resnet_workload();
     let extremes = [
         (
             "TPU-like (pipelined)",
@@ -53,7 +49,7 @@ fn main() {
         cfg.cores[0].accel = accel.clone();
         sweep.push(DesignPoint::timing(*name, cfg, &extreme_net));
     }
-    let results = run_sweep(sweep);
+    let results = run_sweep_with(sweep, sweep_cli_options());
 
     section("Per-inference energy on the edge configuration (1 GHz)");
     println!(

@@ -5,49 +5,26 @@
 //! Paper claims to hold: the fully-pipelined (TPU-like) design achieves
 //! ≈2.7× the fmax of the fully-combinational (NVDLA-like) design, at ≈1.8×
 //! the area and ≈3.0× the power.
+//!
+//! `--json <path>` writes the same rows as a machine-readable document
+//! (the exact document the golden regression test checks in).
 
-use gemmini_bench::section;
-use gemmini_core::config::GemminiConfig;
-use gemmini_synth::area::spatial_array_area_um2;
-use gemmini_synth::power::spatial_array_power;
-use gemmini_synth::timing::SpatialArrayTiming;
-
-fn config_with_tile(tile: usize) -> GemminiConfig {
-    GemminiConfig {
-        mesh_rows: 16 / tile,
-        mesh_cols: 16 / tile,
-        tile_rows: tile,
-        tile_cols: tile,
-        ..GemminiConfig::edge()
-    }
-}
+use gemmini_bench::figures::{fig3_json, fig3_rows};
+use gemmini_bench::{json_path, section, write_json_doc};
 
 fn main() {
+    let rows = fig3_rows();
+
     section("Fig. 3: 256-PE spatial-array design space (16x16 total PEs)");
     println!(
         "{:<28} {:>10} {:>10} {:>12} {:>12}",
         "Design point", "fmax(GHz)", "area(kum2)", "power(mW)@1G", "chain depth"
     );
-    let mut rows = Vec::new();
-    for tile in [1usize, 2, 4, 8, 16] {
-        let cfg = config_with_tile(tile);
-        let t = SpatialArrayTiming::from_config(&cfg);
-        let area = spatial_array_area_um2(&cfg) / 1000.0;
-        let p = spatial_array_power(&cfg, 1.0, 1.0);
-        let name = match tile {
-            1 => "TPU-like (fully pipelined)".to_string(),
-            16 => "NVDLA-like (combinational)".to_string(),
-            _ => format!("hybrid ({tile}x{tile} tiles)"),
-        };
+    for r in &rows {
         println!(
             "{:<28} {:>10.2} {:>10.1} {:>12.2} {:>12}",
-            name,
-            t.fmax_ghz,
-            area,
-            p.total_mw(),
-            t.chain_depth
+            r.name, r.fmax_ghz, r.area_kum2, r.power_mw, r.chain_depth
         );
-        rows.push((tile, t.fmax_ghz, area, p.total_mw()));
     }
 
     let pipe = rows.first().expect("tile=1 present");
@@ -55,24 +32,30 @@ fn main() {
     section("Headline ratios (paper: 2.7x fmax, 1.8x area, 3.0x power)");
     println!(
         "fmax ratio  (pipelined / combinational): {:.2}x",
-        pipe.1 / comb.1
+        pipe.fmax_ghz / comb.fmax_ghz
     );
     println!(
         "area ratio  (pipelined / combinational): {:.2}x",
-        pipe.2 / comb.2
+        pipe.area_kum2 / comb.area_kum2
     );
     println!(
         "power ratio (pipelined / combinational): {:.2}x",
-        pipe.3 / comb.3
+        pipe.power_mw / comb.power_mw
     );
 
     section("Throughput-per-area at each design's own fmax");
-    for (tile, fmax, area, _) in &rows {
-        let peak_gmacs = 256.0 * fmax; // GMAC/s at fmax
+    for r in &rows {
+        let peak_gmacs = 256.0 * r.fmax_ghz; // GMAC/s at fmax
         println!(
-            "tile {tile:>2}: {:.0} GMAC/s peak, {:.2} GMAC/s per kum2",
+            "tile {:>2}: {:.0} GMAC/s peak, {:.2} GMAC/s per kum2",
+            r.tile,
             peak_gmacs,
-            peak_gmacs / area
+            peak_gmacs / r.area_kum2
         );
+    }
+
+    if let Some(path) = json_path() {
+        write_json_doc(&path, &fig3_json());
+        eprintln!("fig3: wrote {}", path.display());
     }
 }

@@ -5,17 +5,12 @@
 //! 20–30% around layer transitions (tiled workloads touch fresh pages in
 //! bursts), orders of magnitude above classic CPU workload TLB miss rates.
 
-use gemmini_bench::{bar, quick_mode, quick_resnet, section};
-use gemmini_dnn::zoo;
+use gemmini_bench::{bar, quick_mode, resnet_workload, section};
 use gemmini_soc::run::{run_networks, RunOptions};
 use gemmini_soc::soc::SocConfig;
 
 fn main() {
-    let net = if quick_mode() {
-        quick_resnet()
-    } else {
-        zoo::resnet50()
-    };
+    let net = resnet_workload();
     let mut cfg = SocConfig::edge_single_core();
     // Fig. 4 profiles the small private TLB of the edge co-design study.
     cfg.cores[0].translation.private.entries = 4;

@@ -8,14 +8,18 @@
 //!   SqueezeNet ≈1,760×; BERT ≈144×;
 //! * without the im2col block, a BOOM host roughly doubles CNN performance
 //!   over a Rocket host; with it, the host choice barely matters.
+//!
+//! `--json <path>` persists every design point as one JSON line (the
+//! sweep checkpoint format); `--resume` skips points already in that
+//! file. `tests/golden_figures.rs` guards the quick-mode numbers.
 
-use gemmini_bench::{arg_value, quick_mode, quick_resnet, section};
+use gemmini_bench::figures::{fig7_points, FIG7_VARIANTS};
+use gemmini_bench::{arg_value, quick_mode, quick_resnet, section, sweep_cli_options};
 use gemmini_cpu::kernels::network_cpu_cycles;
 use gemmini_cpu::{CpuKind, CpuModel};
 use gemmini_dnn::graph::Network;
 use gemmini_dnn::zoo;
-use gemmini_soc::sweep::{run_sweep, DesignPoint};
-use gemmini_soc::SocConfig;
+use gemmini_soc::sweep::run_sweep_with;
 
 struct Row {
     net: String,
@@ -23,14 +27,6 @@ struct Row {
     boom_baseline: u64,
     accel: Vec<(String, u64)>, // (variant, cycles)
 }
-
-/// The four accelerator variants per network: (label, host CPU, im2col unit).
-const VARIANTS: [(&str, CpuKind, bool); 4] = [
-    ("Rocket host, im2col on CPU", CpuKind::Rocket, false),
-    ("BOOM host, im2col on CPU", CpuKind::Boom, false),
-    ("Rocket host, im2col on accel", CpuKind::Rocket, true),
-    ("BOOM host, im2col on accel", CpuKind::Boom, true),
-];
 
 fn main() {
     let nets: Vec<Network> = if quick_mode() {
@@ -49,27 +45,16 @@ fn main() {
     let clock = 1.0; // GHz, as in the paper's FPS numbers
 
     // One sweep point per (network, variant), in row-major order.
-    let sweep = nets
-        .iter()
-        .flat_map(|net| {
-            VARIANTS.iter().map(|&(label, cpu, im2col)| {
-                let mut cfg = SocConfig::edge_single_core();
-                cfg.cores[0].cpu = cpu;
-                cfg.cores[0].accel.has_im2col = im2col;
-                DesignPoint::timing(format!("{} / {label}", net.name()), cfg, net)
-            })
-        })
-        .collect();
-    let results = run_sweep(sweep);
+    let results = run_sweep_with(fig7_points(&nets), sweep_cli_options());
 
     let rows: Vec<Row> = nets
         .iter()
-        .zip(results.chunks(VARIANTS.len()))
+        .zip(results.chunks(FIG7_VARIANTS.len()))
         .map(|(net, chunk)| Row {
             net: net.name().to_string(),
             rocket_baseline: network_cpu_cycles(&rocket, net),
             boom_baseline: network_cpu_cycles(&boom, net),
-            accel: VARIANTS
+            accel: FIG7_VARIANTS
                 .iter()
                 .zip(chunk)
                 .map(|(&(label, _, _), r)| (label.to_string(), r.expect_ok().cores[0].total_cycles))

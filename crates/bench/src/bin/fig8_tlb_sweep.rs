@@ -10,9 +10,13 @@
 //! * effective hit rate (incl. filters) ≈90%; consecutive same-page rates
 //!   ≈87% (reads) / ≈83% (writes).
 
-use gemmini_bench::{quick_mode, quick_resnet, section};
-use gemmini_dnn::zoo;
-use gemmini_soc::sweep::{merge_memory_stats, run_sweep, DesignPoint};
+//!
+//! `--json <path>` persists every design point as one JSON line (the
+//! sweep checkpoint format); `--resume` skips points already present in
+//! that file — CI exercises exactly this interrupt/resume path.
+
+use gemmini_bench::{resnet_workload, section, sweep_cli_options};
+use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
 use gemmini_soc::SocConfig;
 use gemmini_vm::tlb::TlbConfig;
 
@@ -27,11 +31,7 @@ struct Point {
 }
 
 fn main() {
-    let net = if quick_mode() {
-        quick_resnet()
-    } else {
-        zoo::resnet50()
-    };
+    let net = resnet_workload();
     let privates = [4u32, 8, 16, 32];
     let shareds = [0u32, 128, 256, 512];
 
@@ -54,7 +54,7 @@ fn main() {
         }
     }
 
-    let results = run_sweep(sweep);
+    let results = run_sweep_with(sweep, sweep_cli_options());
     let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
     let points: Vec<Point> = grid
         .iter()

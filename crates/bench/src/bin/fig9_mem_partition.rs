@@ -10,11 +10,10 @@
 //!   core's residual additions evict the other's data from the shared L2
 //!   (resadd ≈+22% on BigL2; L2 miss rate drops ≈7 points).
 
-use gemmini_bench::{quick_mode, quick_resnet, section};
+use gemmini_bench::{resnet_workload, section, sweep_cli_options};
 use gemmini_dnn::graph::LayerClass;
-use gemmini_dnn::zoo;
 use gemmini_soc::run::SocReport;
-use gemmini_soc::sweep::{merge_memory_stats, run_sweep, DesignPoint};
+use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
 use gemmini_soc::SocConfig;
 
 struct Outcome {
@@ -40,11 +39,7 @@ fn total_cycles(o: &Outcome) -> f64 {
 }
 
 fn main() {
-    let net = if quick_mode() {
-        quick_resnet()
-    } else {
-        zoo::resnet50()
-    };
+    let net = resnet_workload();
 
     section("Fig. 9a: resource-contention SoC configurations");
     println!("Base : 256 KB scratchpad + 256 KB accumulator per core, 1 MB L2");
@@ -65,7 +60,7 @@ fn main() {
             DesignPoint::timing(format!("{name} x{cores}"), make(cores), &net)
         })
         .collect();
-    let results = run_sweep(sweep);
+    let results = run_sweep_with(sweep, sweep_cli_options());
     let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
     eprintln!(
         "sweep totals: {} points, L2 {} accesses ({:.1}% miss), DRAM {:.1} MB",

@@ -6,7 +6,14 @@
 //! command-line conventions (`--quick` runs a scaled-down workload so the
 //! binary finishes in seconds; the default reproduces the full experiment).
 
+use std::path::{Path, PathBuf};
+
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
+use gemmini_mem::json::Json;
+use gemmini_soc::run::{run_networks, RunOptions, SocReport};
+use gemmini_soc::SocConfig;
+
+pub mod figures;
 
 /// The shared design-space sweep executor (re-exported so the figure
 /// binaries have one import path for both printing helpers and sweeps).
@@ -55,6 +62,72 @@ pub fn arg_value(flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The `--json <path>` argument: where to persist machine-readable
+/// per-point results (the sweep checkpoint file).
+pub fn json_path() -> Option<PathBuf> {
+    arg_value("--json").map(PathBuf::from)
+}
+
+/// Whether `--resume` was passed (skip points already completed in the
+/// `--json` checkpoint file).
+pub fn resume_flag() -> bool {
+    std::env::args().any(|a| a == "--resume")
+}
+
+/// Sweep options resolved from the shared CLI conventions: `--json`
+/// wires the checkpoint path, `--resume` enables skip-completed mode.
+pub fn sweep_cli_options() -> SweepOptions {
+    let checkpoint = json_path();
+    let resume = resume_flag();
+    if resume && checkpoint.is_none() {
+        eprintln!("warning: --resume has no effect without --json <path>");
+    }
+    SweepOptions {
+        checkpoint,
+        resume,
+        ..SweepOptions::default()
+    }
+}
+
+/// Writes one JSON document as a single line to `path` (the non-sweep
+/// figures' `--json` output; sweep binaries persist per-point lines via
+/// the checkpoint instead).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a figure run asked to persist
+/// results must not silently drop them.
+pub fn write_json_doc(path: &Path, doc: &Json) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(path, format!("{}\n", doc.encode()))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Runs the quick ResNet-style workload on `cfg` in timing mode — the
+/// shared helper behind the shape tests and quick-mode figure paths.
+///
+/// # Panics
+///
+/// Panics if the simulation reports an accelerator error.
+pub fn run_quick(cfg: &SocConfig) -> SocReport {
+    run_networks(cfg, &[quick_resnet()], &RunOptions::timing()).expect("quick run succeeds")
+}
+
+/// The ResNet-class workload for the current mode: full ResNet50, or
+/// the reduced [`quick_resnet`] under `--quick`.
+pub fn resnet_workload() -> Network {
+    if quick_mode() {
+        quick_resnet()
+    } else {
+        gemmini_dnn::zoo::resnet50()
+    }
 }
 
 /// A reduced-resolution ResNet-style network for `--quick` runs: the same

@@ -1,0 +1,652 @@
+//! A miniature hand-rolled JSON value model, encoder and parser.
+//!
+//! The sweep checkpoint files and the figure binaries' `--json` output
+//! need machine-readable persistence, but the build environment has no
+//! crates.io access, so serde is unavailable. This module is the shared
+//! substitute: a small [`Json`] value enum, a compact single-line
+//! encoder, a recursive-descent parser, and the [`ToJson`] / [`FromJson`]
+//! conversion traits the stat and report types implement.
+//!
+//! Scope and guarantees:
+//!
+//! * integers are kept exact — `u64` / `i64` are distinct variants, never
+//!   routed through `f64` (cycle and byte counters exceed 2^53);
+//! * `f64` values are emitted with Rust's shortest round-trip formatting
+//!   (`{:?}`), so `decode(encode(x)) == x` bit-for-bit for finite values;
+//!   non-finite values are rejected at encode time;
+//! * object key order is preserved (encode is deterministic), and the
+//!   encoder always emits one line — newline-delimited JSON files get one
+//!   record per line by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use gemmini_mem::json::Json;
+//! let v = Json::obj([("label", Json::from("p0")), ("cycles", Json::from(123u64))]);
+//! let text = v.encode();
+//! assert_eq!(text, r#"{"label":"p0","cycles":123}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (kept exact; counters routinely exceed 2^53).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A non-integral number (finite only).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a parse or a typed field access failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description, including position for parse errors.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Json::U64(v as u64)
+        } else {
+            Json::I64(v)
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, failing with a named error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the missing key.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field '{key}'")))
+    }
+
+    /// The value as a `u64` (accepts only exact non-negative integers).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::U64(v) => Ok(*v),
+            other => Err(JsonError::new(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly where possible).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not numeric.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::F64(v) => Ok(*v),
+            Json::U64(v) => Ok(*v as f64),
+            Json::I64(v) => Ok(*v as f64),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(v) => Ok(*v),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Encodes the value as compact single-line JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite `f64` values (JSON has no representation for
+    /// them, and every serialized statistic is finite by construction).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                assert!(v.is_finite(), "cannot encode non-finite f64 as JSON");
+                // Debug formatting is Rust's shortest round-trip form.
+                out.push_str(&format!("{v:?}"));
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value from `text` (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with byte position on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes, then handle the interesting one.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our own
+                            // encoder (it only \u-escapes control chars).
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        if fractional {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(&format!("bad number '{text}'")))?;
+            Ok(Json::F64(v))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let v: i64 = format!("-{stripped}")
+                .parse()
+                .map_err(|_| self.err(&format!("bad integer '{text}'")))?;
+            Ok(Json::I64(v))
+        } else {
+            let v: u64 = text
+                .parse()
+                .map_err(|_| self.err(&format!("bad integer '{text}'")))?;
+            Ok(Json::U64(v))
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first shape mismatch.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_u64()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_f64()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_str().map(str::to_string)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::U64(0),
+            Json::U64(u64::MAX),
+            Json::I64(-42),
+            Json::I64(i64::MIN),
+            Json::F64(0.25),
+            Json::F64(-1.5e-9),
+            Json::Str("hello \"quoted\" \\ path\nline".to_string()),
+        ] {
+            let text = v.encode();
+            assert_eq!(Json::parse(&text).unwrap(), v, "from {text}");
+        }
+    }
+
+    #[test]
+    fn u64_beyond_f64_precision_is_exact() {
+        let v = Json::U64((1 << 53) + 1);
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("label", Json::from("private=4 shared=0")),
+            (
+                "series",
+                Json::Arr(vec![
+                    Json::obj([("start", Json::from(0u64)), ("rate", Json::from(0.125))]),
+                    Json::obj([("start", Json::from(20_000u64)), ("rate", Json::from(0.5))]),
+                ]),
+            ),
+            ("output", Json::Null),
+            ("ok", Json::from(true)),
+        ]);
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode() {
+        let v = Json::parse(" { \"k\" : [ 1 , -2 , 3.5 ] , \"s\" : \"π → µm²\" } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "π → µm²");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}garbage",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn field_accessors_report_shape_errors() {
+        let v = Json::parse(r#"{"n": 3, "neg": -1, "s": "x"}"#).unwrap();
+        assert_eq!(v.field("n").unwrap().as_u64().unwrap(), 3);
+        assert!(v.field("missing").is_err());
+        assert!(v.field("neg").unwrap().as_u64().is_err());
+        assert!(v.field("s").unwrap().as_f64().is_err());
+        assert_eq!(v.field("neg").unwrap().as_f64().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn control_characters_escape_and_return() {
+        let v = Json::Str("a\u{1}b".to_string());
+        let text = v.encode();
+        assert!(text.contains("\\u0001"));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_round_trip_via_traits() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&xs.to_json()).unwrap(), xs);
+    }
+}

@@ -16,6 +16,9 @@
 //!   bus → L2 → DRAM pipeline that the rest of the stack talks to.
 //! * [`stats`] — counters and windowed time series used to regenerate the
 //!   paper's profile figures.
+//! * [`json`] — a hand-rolled serde-free JSON value model shared by the
+//!   sweep checkpoint files and the figure binaries' machine-readable
+//!   output (the build environment has no crates.io access).
 //!
 //! Timing and data are deliberately decoupled: the cache and DRAM models track
 //! only tags and busy-times, while [`dram::MainMemory`] holds actual bytes.
@@ -39,6 +42,7 @@ pub mod bus;
 pub mod cache;
 pub mod dram;
 pub mod hierarchy;
+pub mod json;
 pub mod sram;
 pub mod stats;
 

@@ -5,6 +5,7 @@
 //! (cycle, hit/miss) events into fixed-width windows so the benchmark harness
 //! can print the same series.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::Cycle;
 
 /// Hit/miss counters for any cache-like structure.
@@ -83,6 +84,29 @@ impl HitMissStats {
     /// Resets both counters to zero.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Reconstructs counters from raw hit/miss counts (checkpoint decode).
+    pub fn from_counts(hits: u64, misses: u64) -> Self {
+        Self { hits, misses }
+    }
+}
+
+impl ToJson for HitMissStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+        ])
+    }
+}
+
+impl FromJson for HitMissStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self::from_counts(
+            value.field("hits")?.as_u64()?,
+            value.field("misses")?.as_u64()?,
+        ))
     }
 }
 
@@ -221,6 +245,54 @@ impl WindowedRate {
     }
 }
 
+impl PartialEq for WindowedRate {
+    fn eq(&self, other: &Self) -> bool {
+        self.window == other.window && self.points == other.points
+    }
+}
+
+impl ToJson for WindowPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("start_cycle", Json::from(self.start_cycle)),
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+        ])
+    }
+}
+
+impl FromJson for WindowPoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            start_cycle: value.field("start_cycle")?.as_u64()?,
+            hits: value.field("hits")?.as_u64()?,
+            misses: value.field("misses")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for WindowedRate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window", Json::from(self.window)),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WindowedRate {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let window = value.field("window")?.as_u64()?;
+        if window == 0 {
+            return Err(JsonError::new("windowed series with zero window width"));
+        }
+        Ok(Self {
+            window,
+            points: Vec::<WindowPoint>::from_json(value.field("points")?)?,
+        })
+    }
+}
+
 /// Traffic counters for a memory component: bytes moved and transactions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
@@ -265,6 +337,28 @@ impl TrafficStats {
         self.bytes_written += other.bytes_written;
         self.reads += other.reads;
         self.writes += other.writes;
+    }
+}
+
+impl ToJson for TrafficStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bytes_read", Json::from(self.bytes_read)),
+            ("bytes_written", Json::from(self.bytes_written)),
+            ("reads", Json::from(self.reads)),
+            ("writes", Json::from(self.writes)),
+        ])
+    }
+}
+
+impl FromJson for TrafficStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bytes_read: value.field("bytes_read")?.as_u64()?,
+            bytes_written: value.field("bytes_written")?.as_u64()?,
+            reads: value.field("reads")?.as_u64()?,
+            writes: value.field("writes")?.as_u64()?,
+        })
     }
 }
 

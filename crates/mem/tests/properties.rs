@@ -4,7 +4,32 @@ use gemmini_mem::addr::{line_count, lines_in_range, pages_in_range, PhysAddr, Vi
 use gemmini_mem::cache::{AccessKind, Cache, CacheConfig};
 use gemmini_mem::dram::{DramConfig, DramModel, MainMemory};
 use gemmini_mem::hierarchy::{MemorySystem, MemorySystemConfig};
+use gemmini_mem::json::{FromJson, ToJson};
+use gemmini_mem::stats::{HitMissStats, TrafficStats, WindowedRate};
 use proptest::prelude::*;
+
+/// Builds a windowed series by replaying `events` (cycle, hit) into a
+/// fresh collector with the given window width.
+fn windowed(window: u64, events: &[(u64, bool)]) -> WindowedRate {
+    let mut w = WindowedRate::new(window);
+    for &(cycle, hit) in events {
+        w.record(cycle, hit);
+    }
+    w
+}
+
+/// Replays `(read, bytes)` transfers into fresh traffic counters.
+fn traffic(events: &[(bool, u64)]) -> TrafficStats {
+    let mut t = TrafficStats::new();
+    for &(read, bytes) in events {
+        if read {
+            t.record_read(bytes);
+        } else {
+            t.record_write(bytes);
+        }
+    }
+    t
+}
 
 proptest! {
     /// The line iterator and the count agree, and every yielded line is
@@ -127,5 +152,131 @@ proptest! {
         let cold_done = mem.read(0, 0, aligned, 64);
         let warm_done = mem.read(0, cold_done, aligned, 64);
         prop_assert!(warm_done - cold_done <= cold_done);
+    }
+
+    /// Scalar hit/miss merging is a commutative monoid: order never
+    /// matters, grouping never matters, and the zeroed counters are the
+    /// identity. This is what makes sharded sweep rollups well-defined
+    /// regardless of completion order.
+    #[test]
+    fn hit_miss_merge_is_commutative_monoid(
+        a in (0u64..1_000_000, 0u64..1_000_000),
+        b in (0u64..1_000_000, 0u64..1_000_000),
+        c in (0u64..1_000_000, 0u64..1_000_000),
+    ) {
+        let (sa, sb, sc) = (
+            HitMissStats::from_counts(a.0, a.1),
+            HitMissStats::from_counts(b.0, b.1),
+            HitMissStats::from_counts(c.0, c.1),
+        );
+        // Commutativity: a+b == b+a.
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut ab_c = ab;
+        ab_c.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut a_bc = sa;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        // Identity: a + 0 == a.
+        let mut a_zero = sa;
+        a_zero.merge(&HitMissStats::new());
+        prop_assert_eq!(a_zero, sa);
+    }
+
+    /// Traffic counters form the same commutative monoid under merge.
+    #[test]
+    fn traffic_merge_is_commutative_monoid(
+        ea in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 0..20),
+        eb in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 0..20),
+        ec in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 0..20),
+    ) {
+        let (ta, tb, tc) = (traffic(&ea), traffic(&eb), traffic(&ec));
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        prop_assert_eq!(ab, ba);
+        let mut ab_c = ab;
+        ab_c.merge(&tc);
+        let mut bc = tb;
+        bc.merge(&tc);
+        let mut a_bc = ta;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        let mut a_zero = ta;
+        a_zero.merge(&TrafficStats::new());
+        prop_assert_eq!(a_zero, ta);
+    }
+
+    /// Windowed-series merging is commutative, associative, has the
+    /// empty series as identity, and — the defining property — equals
+    /// what one collector observing the interleaved event stream would
+    /// have recorded.
+    #[test]
+    fn windowed_rate_merge_is_commutative_monoid(
+        window in prop::sample::select(vec![64u64, 100, 1000]),
+        ea in proptest::collection::vec((0u64..50_000, any::<bool>()), 0..60),
+        eb in proptest::collection::vec((0u64..50_000, any::<bool>()), 0..60),
+        ec in proptest::collection::vec((0u64..50_000, any::<bool>()), 0..60),
+    ) {
+        let (wa, wb, wc) = (
+            windowed(window, &ea),
+            windowed(window, &eb),
+            windowed(window, &ec),
+        );
+        // Commutativity.
+        let mut ab = wa.clone();
+        ab.merge(&wb);
+        let mut ba = wb.clone();
+        ba.merge(&wa);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&wc);
+        let mut bc = wb.clone();
+        bc.merge(&wc);
+        let mut a_bc = wa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Identity: merging an empty series changes nothing.
+        let mut a_zero = wa.clone();
+        a_zero.merge(&WindowedRate::new(window));
+        prop_assert_eq!(&a_zero, &wa);
+        // Merge == single collector over the concatenated event stream.
+        let mut all = ea.clone();
+        all.extend(&eb);
+        all.extend(&ec);
+        prop_assert_eq!(&ab_c, &windowed(window, &all));
+    }
+
+    /// JSON round-trip: decode(encode(x)) == x for every stats type, for
+    /// arbitrary recorded contents, including through a text re-parse.
+    #[test]
+    fn stats_json_round_trip(
+        hits in 0u64..u64::MAX / 2,
+        misses in 0u64..u64::MAX / 2,
+        tr in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 0..20),
+        window in prop::sample::select(vec![64u64, 1000]),
+        events in proptest::collection::vec((0u64..50_000, any::<bool>()), 0..60),
+    ) {
+        let hm = HitMissStats::from_counts(hits, misses);
+        prop_assert_eq!(HitMissStats::from_json(&hm.to_json()).unwrap(), hm);
+
+        let t = traffic(&tr);
+        prop_assert_eq!(TrafficStats::from_json(&t.to_json()).unwrap(), t);
+
+        let w = windowed(window, &events);
+        prop_assert_eq!(&WindowedRate::from_json(&w.to_json()).unwrap(), &w);
+
+        // And through the full text encoding, as the checkpoint file does.
+        let text = w.to_json().encode();
+        let reparsed = gemmini_mem::json::Json::parse(&text).unwrap();
+        prop_assert_eq!(&WindowedRate::from_json(&reparsed).unwrap(), &w);
     }
 }

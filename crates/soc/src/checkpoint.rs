@@ -1,0 +1,370 @@
+//! Sweep checkpoint persistence: newline-delimited JSON, one completed
+//! point per line.
+//!
+//! The figure sweeps (Figs. 7–9) are grids of full-SoC simulations; a
+//! killed or extended sweep should not pay for points it already
+//! finished. This module persists every completed [`SweepResult`] as one
+//! JSON line — label, a fingerprint of the design point, wall-clock, and
+//! the full payload — flushed as the point completes, so an interrupted
+//! sweep loses at most the points that were in flight. On resume the
+//! loader keeps the last entry per label, and a point is skipped only
+//! when both its label *and* fingerprint match, so edited design points
+//! (or a changed payload schema) re-run instead of serving stale data.
+//!
+//! The same files double as the figure binaries' `--json` output and as
+//! the shard inputs for multi-host sweeps: merging N shards is "load N
+//! checkpoint files, fold reports through `merge_memory_stats`".
+//!
+//! File format (version 1), one object per line:
+//!
+//! ```json
+//! {"v":1,"label":"private=4 shared=0","fingerprint":1234,"wall_nanos":512000,"payload":{...}}
+//! ```
+//!
+//! [`SweepResult`]: crate::sweep::SweepResult
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
+
+/// Current checkpoint line format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a over a byte string: a small, stable, dependency-free hash for
+/// design-point fingerprints (not cryptographic; collision odds over a
+/// sweep grid of thousands of points are negligible).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprints any `Debug`-renderable value. The figure sweeps hash the
+/// full `(SocConfig, networks, RunOptions)` debug rendering, so any edit
+/// to a design point — a cache size, a layer shape, the seed — changes
+/// the fingerprint and forces a re-run on resume.
+pub fn debug_fingerprint<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// One persisted sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry<T> {
+    /// The design point's label (the lookup key on resume).
+    pub label: String,
+    /// Fingerprint of the point's full configuration.
+    pub fingerprint: u64,
+    /// Wall-clock the point took when it actually ran.
+    pub wall: Duration,
+    /// The point's result payload (a `SocReport` for the figure sweeps).
+    pub payload: T,
+}
+
+impl<T: ToJson> CheckpointEntry<T> {
+    /// Encodes the entry as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        Json::obj([
+            ("v", Json::from(FORMAT_VERSION)),
+            ("label", Json::from(self.label.clone())),
+            ("fingerprint", Json::from(self.fingerprint)),
+            ("wall_nanos", Json::from(self.wall.as_nanos() as u64)),
+            ("payload", self.payload.to_json()),
+        ])
+        .encode()
+    }
+}
+
+impl<T: FromJson> CheckpointEntry<T> {
+    /// Decodes one checkpoint line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON, an unknown format
+    /// version, or a payload that no longer matches `T`'s schema.
+    pub fn decode(line: &str) -> Result<Self, JsonError> {
+        let value = Json::parse(line)?;
+        let version = value.field("v")?.as_u64()?;
+        if version != FORMAT_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        Ok(Self {
+            label: value.field("label")?.as_str()?.to_string(),
+            fingerprint: value.field("fingerprint")?.as_u64()?,
+            wall: Duration::from_nanos(value.field("wall_nanos")?.as_u64()?),
+            payload: T::from_json(value.field("payload")?)?,
+        })
+    }
+}
+
+/// An in-memory view of a checkpoint file, ready for resume lookups.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<T> {
+    entries: Vec<CheckpointEntry<T>>,
+    /// Lines that failed to decode (truncated in-flight write at kill
+    /// time, or a schema change); the points they named simply re-run.
+    pub stale_lines: usize,
+}
+
+impl<T> Default for Checkpoint<T> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            stale_lines: 0,
+        }
+    }
+}
+
+impl<T: FromJson> Checkpoint<T> {
+    /// Loads a checkpoint file. A missing file is an empty checkpoint;
+    /// undecodable lines are counted in `stale_lines` and skipped (their
+    /// points re-run — the safe direction). When a label appears more
+    /// than once (a re-run appended over a stale entry), the last
+    /// occurrence wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for anything other than a
+    /// missing file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut checkpoint = Self {
+            entries: Vec::new(),
+            stale_lines: 0,
+        };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match CheckpointEntry::decode(line) {
+                Ok(entry) => checkpoint.entries.push(entry),
+                Err(_) => checkpoint.stale_lines += 1,
+            }
+        }
+        Ok(checkpoint)
+    }
+}
+
+impl<T> Checkpoint<T> {
+    /// The completed entry for `label`, if present with a matching
+    /// fingerprint (later entries shadow earlier ones).
+    pub fn lookup(&self, label: &str, fingerprint: u64) -> Option<&CheckpointEntry<T>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.label == label)
+            .filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Removes and returns the entry [`lookup`](Self::lookup) would have
+    /// found, handing the payload over without a clone.
+    pub fn take(&mut self, label: &str, fingerprint: u64) -> Option<CheckpointEntry<T>> {
+        let idx = self.entries.iter().rposition(|e| e.label == label)?;
+        if self.entries[idx].fingerprint == fingerprint {
+            Some(self.entries.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Number of decoded entries (including shadowed duplicates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint holds no decoded entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All decoded entries, in file order.
+    pub fn entries(&self) -> &[CheckpointEntry<T>] {
+        &self.entries
+    }
+}
+
+/// An append-only, line-buffered checkpoint writer shared across sweep
+/// workers. Every [`append`](Self::append) writes one full line and
+/// flushes, so a kill between points loses nothing already completed.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint file, making parent directories
+    /// as needed — the fresh-sweep mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Self::open(path, false)
+    }
+
+    /// Opens a checkpoint file for appending (creating it if missing) —
+    /// the resume mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        Self::open(path, true)
+    }
+
+    fn open(path: &Path, append: bool) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(append)
+            .truncate(!append)
+            .open(path)?;
+        Ok(Self {
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one entry as a flushed JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous writer thread panicked while holding the
+    /// file lock (the sweep executor catches per-point panics before
+    /// they can reach the writer, so this is unreachable in practice).
+    pub fn append<T: ToJson>(&self, entry: &CheckpointEntry<T>) -> io::Result<()> {
+        let mut file = self.file.lock().expect("checkpoint writer lock");
+        writeln!(file, "{}", entry.encode())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, fingerprint: u64, payload: u64) -> CheckpointEntry<u64> {
+        CheckpointEntry {
+            label: label.to_string(),
+            fingerprint,
+            wall: Duration::from_micros(payload),
+            payload,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gemmini_ckpt_{}_{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let e = entry("private=4 shared=0", 0xDEAD_BEEF, 42);
+        let line = e.encode();
+        assert!(!line.contains('\n'), "entries must be single lines");
+        assert_eq!(CheckpointEntry::<u64>::decode(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let line = r#"{"v":99,"label":"x","fingerprint":1,"wall_nanos":0,"payload":0}"#;
+        assert!(CheckpointEntry::<u64>::decode(line).is_err());
+    }
+
+    #[test]
+    fn write_load_lookup() {
+        let path = temp_path("write_load");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("a", 1, 10)).unwrap();
+        writer.append(&entry("b", 2, 20)).unwrap();
+        drop(writer);
+
+        let ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(ckpt.lookup("a", 1).unwrap().payload, 10);
+        // Fingerprint mismatch means the point config changed: no hit.
+        assert!(ckpt.lookup("a", 999).is_none());
+        assert!(ckpt.lookup("missing", 1).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_stale_not_fatal() {
+        let path = temp_path("truncated");
+        let full = entry("done", 7, 70).encode();
+        let partial = &full[..full.len() / 2];
+        std::fs::write(&path, format!("{full}\n{partial}")).unwrap();
+
+        let ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(ckpt.stale_lines, 1);
+        assert_eq!(ckpt.lookup("done", 7).unwrap().payload, 70);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let ckpt = Checkpoint::<u64>::load(&temp_path("never_written")).unwrap();
+        assert!(ckpt.is_empty());
+        assert_eq!(ckpt.stale_lines, 0);
+    }
+
+    #[test]
+    fn later_entries_shadow_earlier_ones() {
+        let path = temp_path("shadow");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("p", 1, 10)).unwrap();
+        writer.append(&entry("p", 2, 20)).unwrap();
+        drop(writer);
+        let ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        // The re-run (new fingerprint) wins; the stale one no longer hits.
+        assert_eq!(ckpt.lookup("p", 2).unwrap().payload, 20);
+        assert!(ckpt.lookup("p", 1).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_mode_preserves_existing_entries() {
+        let path = temp_path("append");
+        CheckpointWriter::create(&path)
+            .unwrap()
+            .append(&entry("a", 1, 10))
+            .unwrap();
+        CheckpointWriter::append_to(&path)
+            .unwrap()
+            .append(&entry("b", 2, 20))
+            .unwrap();
+        let ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(
+            debug_fingerprint(&(1u32, 2u32)),
+            debug_fingerprint(&(2u32, 1u32))
+        );
+        assert_eq!(debug_fingerprint(&"x"), debug_fingerprint(&"x"));
+    }
+}

@@ -49,6 +49,7 @@
 //! println!("ResNet50: {} cycles", report.cores[0].total_cycles);
 //! ```
 
+pub mod checkpoint;
 pub mod kernel;
 pub mod os;
 pub mod roofline;

@@ -8,6 +8,7 @@ use crate::soc::{Soc, SocConfig};
 use gemmini_core::dma::DmaStats;
 use gemmini_core::{AccelError, MemCtx};
 use gemmini_dnn::graph::{LayerClass, Network};
+use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
 use gemmini_mem::stats::{HitMissStats, TrafficStats};
 use gemmini_mem::Cycle;
 
@@ -39,7 +40,7 @@ impl RunOptions {
 }
 
 /// Per-layer cycle report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer name.
     pub name: String,
@@ -50,7 +51,7 @@ pub struct LayerReport {
 }
 
 /// Snapshot of one core's translation-system statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TranslationReport {
     /// Total translation requests.
     pub requests: u64,
@@ -75,7 +76,7 @@ pub struct TranslationReport {
 }
 
 /// One core's report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreReport {
     /// Which network ran.
     pub network: String,
@@ -116,7 +117,7 @@ impl CoreReport {
 }
 
 /// Shared-L2 statistics for the whole run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct L2Report {
     /// Total L2 accesses.
     pub accesses: u64,
@@ -129,7 +130,7 @@ pub struct L2Report {
 }
 
 /// Whole-SoC report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocReport {
     /// Per-core reports, in core order.
     pub cores: Vec<CoreReport>,
@@ -143,6 +144,242 @@ pub struct SocReport {
     /// Exact DRAM-channel traffic counters; merge-able across sweep
     /// points via [`TrafficStats::merge`].
     pub dram_traffic: TrafficStats,
+}
+
+// --- JSON round-trip -------------------------------------------------------
+//
+// `SocReport` is the unit persisted per sweep point (checkpoint files,
+// `--json` figure output), so every field — including nested reports —
+// encodes losslessly: counters stay exact u64s, rates use shortest
+// round-trip floats. `decode(encode(x)) == x` holds bit-for-bit; the
+// property tests in `crates/soc/tests/properties.rs` enforce it.
+
+fn class_name(class: LayerClass) -> &'static str {
+    match class {
+        LayerClass::Conv => "conv",
+        LayerClass::Matmul => "matmul",
+        LayerClass::ResAdd => "resadd",
+        LayerClass::Pool => "pool",
+        LayerClass::Norm => "norm",
+    }
+}
+
+fn class_from_name(name: &str) -> Result<LayerClass, JsonError> {
+    Ok(match name {
+        "conv" => LayerClass::Conv,
+        "matmul" => LayerClass::Matmul,
+        "resadd" => LayerClass::ResAdd,
+        "pool" => LayerClass::Pool,
+        "norm" => LayerClass::Norm,
+        other => return Err(JsonError::new(format!("unknown layer class '{other}'"))),
+    })
+}
+
+impl ToJson for LayerReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("class", Json::from(class_name(self.class))),
+            ("cycles", Json::from(self.cycles)),
+        ])
+    }
+}
+
+impl FromJson for LayerReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: value.field("name")?.as_str()?.to_string(),
+            class: class_from_name(value.field("class")?.as_str()?)?,
+            cycles: value.field("cycles")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for TranslationReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("private_hit_rate", Json::from(self.private_hit_rate)),
+            ("effective_hit_rate", Json::from(self.effective_hit_rate)),
+            ("filter_hits", Json::from(self.filter_hits)),
+            ("shared_hit_rate", Json::from(self.shared_hit_rate)),
+            ("walks", Json::from(self.walks)),
+            ("mean_walk_cycles", Json::from(self.mean_walk_cycles)),
+            (
+                "consecutive_read_same_page",
+                Json::from(self.consecutive_read_same_page),
+            ),
+            (
+                "consecutive_write_same_page",
+                Json::from(self.consecutive_write_same_page),
+            ),
+            (
+                "miss_rate_series",
+                Json::Arr(
+                    self.miss_rate_series
+                        .iter()
+                        .map(|&(c, r)| Json::Arr(vec![Json::from(c), Json::from(r)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for TranslationReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let series = value
+            .field("miss_rate_series")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return Err(JsonError::new(
+                        "miss-rate point is not a [cycle, rate] pair",
+                    ));
+                }
+                Ok((pair[0].as_u64()?, pair[1].as_f64()?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            requests: value.field("requests")?.as_u64()?,
+            private_hit_rate: value.field("private_hit_rate")?.as_f64()?,
+            effective_hit_rate: value.field("effective_hit_rate")?.as_f64()?,
+            filter_hits: value.field("filter_hits")?.as_u64()?,
+            shared_hit_rate: value.field("shared_hit_rate")?.as_f64()?,
+            walks: value.field("walks")?.as_u64()?,
+            mean_walk_cycles: value.field("mean_walk_cycles")?.as_f64()?,
+            consecutive_read_same_page: value.field("consecutive_read_same_page")?.as_f64()?,
+            consecutive_write_same_page: value.field("consecutive_write_same_page")?.as_f64()?,
+            miss_rate_series: series,
+        })
+    }
+}
+
+impl ToJson for CoreReport {
+    fn to_json(&self) -> Json {
+        // DmaStats lives in `gemmini-core`, which cannot name the JSON
+        // traits (no `gemmini-mem` dependency), so its fields are
+        // flattened here.
+        Json::obj([
+            ("network", Json::from(self.network.clone())),
+            ("total_cycles", Json::from(self.total_cycles)),
+            ("layers", self.layers.to_json()),
+            ("translation", self.translation.to_json()),
+            (
+                "dma",
+                Json::obj([
+                    ("bytes_in", Json::from(self.dma.bytes_in)),
+                    ("bytes_out", Json::from(self.dma.bytes_out)),
+                    ("translations", Json::from(self.dma.translations)),
+                    (
+                        "translation_stall_cycles",
+                        Json::from(self.dma.translation_stall_cycles),
+                    ),
+                ]),
+            ),
+            ("macs", Json::from(self.macs)),
+            ("context_switches", Json::from(self.context_switches)),
+            (
+                "output",
+                match &self.output {
+                    None => Json::Null,
+                    Some(bytes) => {
+                        Json::Arr(bytes.iter().map(|&b| Json::from(i64::from(b))).collect())
+                    }
+                },
+            ),
+        ])
+    }
+}
+
+impl FromJson for CoreReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let dma = value.field("dma")?;
+        let output = match value.field("output")? {
+            Json::Null => None,
+            arr => Some(
+                arr.as_arr()?
+                    .iter()
+                    .map(|v| {
+                        let n = match v {
+                            Json::U64(n) => i64::try_from(*n)
+                                .map_err(|_| JsonError::new("output byte out of range"))?,
+                            Json::I64(n) => *n,
+                            other => {
+                                return Err(JsonError::new(format!(
+                                    "expected integer output byte, got {other:?}"
+                                )))
+                            }
+                        };
+                        i8::try_from(n).map_err(|_| JsonError::new("output byte out of i8 range"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(Self {
+            network: value.field("network")?.as_str()?.to_string(),
+            total_cycles: value.field("total_cycles")?.as_u64()?,
+            layers: Vec::<LayerReport>::from_json(value.field("layers")?)?,
+            translation: TranslationReport::from_json(value.field("translation")?)?,
+            dma: DmaStats {
+                bytes_in: dma.field("bytes_in")?.as_u64()?,
+                bytes_out: dma.field("bytes_out")?.as_u64()?,
+                translations: dma.field("translations")?.as_u64()?,
+                translation_stall_cycles: dma.field("translation_stall_cycles")?.as_u64()?,
+            },
+            macs: value.field("macs")?.as_u64()?,
+            context_switches: value.field("context_switches")?.as_u64()?,
+            output,
+        })
+    }
+}
+
+impl ToJson for L2Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accesses", Json::from(self.accesses)),
+            ("misses", Json::from(self.misses)),
+            ("miss_rate", Json::from(self.miss_rate)),
+            ("writebacks", Json::from(self.writebacks)),
+        ])
+    }
+}
+
+impl FromJson for L2Report {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            accesses: value.field("accesses")?.as_u64()?,
+            misses: value.field("misses")?.as_u64()?,
+            miss_rate: value.field("miss_rate")?.as_f64()?,
+            writebacks: value.field("writebacks")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for SocReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", self.cores.to_json()),
+            ("l2", self.l2.to_json()),
+            ("dram_bytes", Json::from(self.dram_bytes)),
+            ("l2_stats", self.l2_stats.to_json()),
+            ("dram_traffic", self.dram_traffic.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SocReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            cores: Vec::<CoreReport>::from_json(value.field("cores")?)?,
+            l2: L2Report::from_json(value.field("l2")?)?,
+            dram_bytes: value.field("dram_bytes")?.as_u64()?,
+            l2_stats: HitMissStats::from_json(value.field("l2_stats")?)?,
+            dram_traffic: TrafficStats::from_json(value.field("dram_traffic")?)?,
+        })
+    }
 }
 
 fn layer_reports(timings: &[LayerTiming]) -> Vec<LayerReport> {

@@ -27,14 +27,17 @@
 //!   the serial run's totals exactly.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter};
 use crate::run::{run_networks, RunOptions, SocReport};
 use crate::soc::SocConfig;
 use gemmini_core::AccelError;
 use gemmini_dnn::graph::Network;
+use gemmini_mem::json::{FromJson, ToJson};
 use gemmini_mem::stats::{HitMissStats, TrafficStats};
 
 /// Environment variable naming the worker count (`0`/unset = all cores).
@@ -76,6 +79,14 @@ impl DesignPoint {
         let nets = vec![net.clone(); config.cores.len()];
         Self::new(label, config, nets, RunOptions::timing())
     }
+
+    /// Stable fingerprint of the point's full configuration (SoC config,
+    /// networks, run options — everything except the label). Checkpoint
+    /// resume skips a completed point only when both its label and this
+    /// fingerprint match, so any edit to the design forces a re-run.
+    pub fn fingerprint(&self) -> u64 {
+        debug_fingerprint(&(&self.config, &self.networks, &self.options))
+    }
 }
 
 /// Why one sweep point failed. The rest of the sweep is unaffected.
@@ -105,8 +116,11 @@ pub struct SweepResult<T> {
     pub label: String,
     /// The point's report, or why it failed.
     pub outcome: Result<T, SweepError>,
-    /// Wall-clock time the point took on its worker.
+    /// Wall-clock time the point took on its worker (for cached points,
+    /// the recorded wall-clock of the run that produced the entry).
     pub wall: Duration,
+    /// Whether the result was served from a checkpoint instead of run.
+    pub cached: bool,
 }
 
 impl<T> SweepResult<T> {
@@ -129,13 +143,20 @@ impl<T> SweepResult<T> {
 }
 
 /// Execution knobs for a sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker threads; `0` means "resolve from `GEMMINI_THREADS`, then
     /// available parallelism".
     pub threads: usize,
     /// Whether to emit per-point progress lines on stderr.
     pub progress: bool,
+    /// Where to persist per-point results as newline-delimited JSON
+    /// (flushed as points complete); `None` disables persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// Whether to load `checkpoint` first and skip points it already
+    /// holds (matching label + fingerprint). Without `resume`, an
+    /// existing checkpoint file is truncated and rewritten.
+    pub resume: bool,
 }
 
 impl Default for SweepOptions {
@@ -143,6 +164,19 @@ impl Default for SweepOptions {
         Self {
             threads: 0,
             progress: true,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Default options plus a checkpoint file and resume mode.
+    pub fn checkpointed(path: impl Into<PathBuf>, resume: bool) -> Self {
+        Self {
+            checkpoint: Some(path.into()),
+            resume,
+            ..Self::default()
         }
     }
 }
@@ -214,6 +248,7 @@ where
             label: label.to_string(),
             outcome,
             wall,
+            cached: false,
         }
     };
 
@@ -265,26 +300,154 @@ where
         .collect()
 }
 
+/// The checkpointing executor: like [`sweep_map`], but each item carries
+/// a configuration fingerprint, completed results are appended to
+/// `opts.checkpoint` as flushed JSON lines, and — in resume mode —
+/// points whose `(label, fingerprint)` already appear in the file are
+/// served from it without running.
+///
+/// A killed sweep therefore loses at most its in-flight points, and a
+/// resumed sweep re-executes only stale or missing ones. With
+/// `opts.checkpoint == None` this is exactly [`sweep_map`].
+pub fn sweep_map_checkpointed<I, T, F>(
+    items: Vec<(String, u64, I)>,
+    opts: SweepOptions,
+    f: F,
+) -> Vec<SweepResult<T>>
+where
+    I: Send,
+    T: ToJson + FromJson + Send,
+    F: Fn(I) -> Result<T, AccelError> + Sync,
+{
+    let Some(path) = opts.checkpoint.clone() else {
+        let plain = items
+            .into_iter()
+            .map(|(label, _, item)| (label, item))
+            .collect();
+        return sweep_map(plain, opts, f);
+    };
+
+    let total = items.len();
+    let mut checkpoint = if opts.resume {
+        match Checkpoint::<T>::load(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "sweep: cannot read checkpoint {}: {e}; running every point",
+                    path.display()
+                );
+                Checkpoint::default()
+            }
+        }
+    } else {
+        Checkpoint::default()
+    };
+
+    // Serve completed points from the checkpoint; queue the rest.
+    let mut slots: Vec<Option<SweepResult<T>>> = (0..total).map(|_| None).collect();
+    let mut to_run: Vec<(usize, String, u64, I)> = Vec::new();
+    for (idx, (label, fingerprint, item)) in items.into_iter().enumerate() {
+        match checkpoint.take(&label, fingerprint) {
+            Some(entry) => {
+                slots[idx] = Some(SweepResult {
+                    label,
+                    outcome: Ok(entry.payload),
+                    wall: entry.wall,
+                    cached: true,
+                });
+            }
+            None => to_run.push((idx, label, fingerprint, item)),
+        }
+    }
+    let skipped = total - to_run.len();
+    if opts.resume {
+        let stale = checkpoint.stale_lines;
+        eprintln!(
+            "sweep: resume from {}: skipped {skipped}/{total} completed points{}",
+            path.display(),
+            if stale > 0 {
+                format!(" ({stale} stale/partial lines ignored)")
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    // Fresh runs truncate; resumes append (re-run entries shadow stale
+    // ones on the next load). A checkpoint the filesystem refuses to
+    // open degrades to an unpersisted sweep rather than losing the run.
+    let writer = if opts.resume {
+        CheckpointWriter::append_to(&path)
+    } else {
+        CheckpointWriter::create(&path)
+    };
+    let writer = match writer {
+        Ok(w) => Some(w),
+        Err(e) => {
+            eprintln!(
+                "sweep: cannot write checkpoint {}: {e}; results will not be persisted",
+                path.display()
+            );
+            None
+        }
+    };
+
+    let order: Vec<usize> = to_run.iter().map(|(idx, ..)| *idx).collect();
+    let work: Vec<(String, (String, u64, I))> = to_run
+        .into_iter()
+        .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
+        .collect();
+    let writer = &writer;
+    let ran = sweep_map(work, opts, move |(label, fingerprint, item)| {
+        let start = Instant::now();
+        let payload = f(item)?;
+        if let Some(w) = writer {
+            let entry = CheckpointEntry {
+                label,
+                fingerprint,
+                wall: start.elapsed(),
+                payload,
+            };
+            if let Err(e) = w.append(&entry) {
+                eprintln!("sweep: checkpoint append failed for '{}': {e}", entry.label);
+            }
+            Ok(entry.payload)
+        } else {
+            Ok(payload)
+        }
+    });
+    for (idx, result) in order.into_iter().zip(ran) {
+        slots[idx] = Some(result);
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every point is either cached or executed"))
+        .collect()
+}
+
 /// Runs a batch of [`DesignPoint`]s with default options (worker count
 /// from `GEMMINI_THREADS`, progress lines on).
 pub fn run_sweep(points: Vec<DesignPoint>) -> Vec<SweepResult<SocReport>> {
     run_sweep_with(points, SweepOptions::default())
 }
 
-/// Runs a batch of [`DesignPoint`]s with explicit options.
+/// Runs a batch of [`DesignPoint`]s with explicit options. With
+/// `opts.checkpoint` set, completed reports persist as JSON lines; with
+/// `opts.resume` as well, points already in the file are skipped.
 pub fn run_sweep_with(points: Vec<DesignPoint>, opts: SweepOptions) -> Vec<SweepResult<SocReport>> {
     let items = points
         .into_iter()
-        .map(|p| (p.label.clone(), p))
+        .map(|p| (p.label.clone(), p.fingerprint(), p))
         .collect::<Vec<_>>();
-    sweep_map(items, opts, |p| {
+    sweep_map_checkpointed(items, opts, |p| {
         run_networks(&p.config, &p.networks, &p.options)
     })
 }
 
 /// Exact cross-point rollup of the memory-system counters, folded
 /// through the substrate's own `merge` operations.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryRollup {
     /// Shared-L2 hit/miss counters summed over every report.
     pub l2: HitMissStats,
@@ -294,6 +457,21 @@ pub struct MemoryRollup {
     pub dram: TrafficStats,
     /// Reports folded in.
     pub reports: usize,
+}
+
+impl MemoryRollup {
+    /// Folds another rollup into this one — the shard-merge primitive
+    /// for multi-process sweeps: each shard computes its own rollup from
+    /// its checkpoint file, and absorbing them in any order or grouping
+    /// yields the single-process totals exactly (the property tests in
+    /// `crates/soc/tests/properties.rs` prove commutativity,
+    /// associativity, and the empty-rollup identity).
+    pub fn absorb(&mut self, other: &MemoryRollup) {
+        self.l2.merge(&other.l2);
+        self.l2_writebacks += other.l2_writebacks;
+        self.dram.merge(&other.dram);
+        self.reports += other.reports;
+    }
 }
 
 /// Merges the memory statistics of every successful report. Because the
@@ -323,6 +501,7 @@ mod tests {
         SweepOptions {
             threads: 2,
             progress: false,
+            ..SweepOptions::default()
         }
     }
 
@@ -334,6 +513,7 @@ mod tests {
             SweepOptions {
                 threads: 4,
                 progress: false,
+                ..SweepOptions::default()
             },
             |i| {
                 // Earlier items sleep longer, so completion order is the
@@ -355,6 +535,7 @@ mod tests {
             SweepOptions {
                 threads: 3,
                 progress: false,
+                ..SweepOptions::default()
             },
             |i| {
                 if i == 2 {

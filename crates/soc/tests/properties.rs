@@ -1,14 +1,118 @@
-//! Property-based tests for the software stack: tiling invariants and
+//! Property-based tests for the software stack: tiling invariants,
 //! functional equivalence of the full instruction-level path against the
-//! golden model on randomized small networks.
+//! golden model on randomized small networks, the merge algebra behind
+//! sharded sweep rollups, and lossless JSON round-tripping of the report
+//! types the checkpoint files persist.
 
 use gemmini_core::config::GemminiConfig;
-use gemmini_dnn::graph::{Activation, Layer, Network};
-use gemmini_soc::run::{run_networks, RunOptions};
+use gemmini_core::dma::DmaStats;
+use gemmini_dnn::graph::{Activation, Layer, LayerClass, Network};
+use gemmini_mem::json::{FromJson, Json, ToJson};
+use gemmini_mem::stats::{HitMissStats, TrafficStats};
+use gemmini_soc::run::{
+    run_networks, CoreReport, L2Report, LayerReport, RunOptions, SocReport, TranslationReport,
+};
 use gemmini_soc::runtime::reference_forward;
 use gemmini_soc::soc::SocConfig;
+use gemmini_soc::sweep::MemoryRollup;
 use gemmini_soc::tiling::plan_matmul;
 use proptest::prelude::*;
+
+/// A rate-like fraction derived from two counters — always finite, so
+/// the JSON encoder (which rejects NaN/inf) accepts it, and always a
+/// value the simulator could actually produce.
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / (num as f64 + den as f64)
+    }
+}
+
+fn rollup(hits: u64, misses: u64, wb: u64, rd: u64, wr: u64, reports: usize) -> MemoryRollup {
+    let mut dram = TrafficStats::new();
+    dram.record_read(rd);
+    dram.record_write(wr);
+    MemoryRollup {
+        l2: HitMissStats::from_counts(hits, misses),
+        l2_writebacks: wb,
+        dram,
+        reports,
+    }
+}
+
+/// Builds an arbitrary-but-valid `SocReport` from a flat seed tuple:
+/// every counter is exercised, rates are finite, and the optional
+/// functional output covers both `None` and negative bytes.
+#[allow(clippy::cast_possible_wrap)]
+fn report_from_seed(cores: usize, base: u64, with_output: bool) -> SocReport {
+    let classes = [
+        LayerClass::Conv,
+        LayerClass::Matmul,
+        LayerClass::ResAdd,
+        LayerClass::Pool,
+        LayerClass::Norm,
+    ];
+    let core_reports: Vec<CoreReport> = (0..cores)
+        .map(|c| {
+            let b = base.wrapping_mul(c as u64 + 1);
+            CoreReport {
+                network: format!("net_{c}"),
+                total_cycles: b.wrapping_mul(3),
+                layers: classes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &class)| LayerReport {
+                        name: format!("layer_{i}\"\\ \u{2603}"), // escapes + unicode
+                        class,
+                        cycles: b.wrapping_add(i as u64),
+                    })
+                    .collect(),
+                translation: TranslationReport {
+                    requests: b,
+                    private_hit_rate: rate(b, b / 2 + 1),
+                    effective_hit_rate: rate(b, b / 3 + 1),
+                    filter_hits: b / 7,
+                    shared_hit_rate: rate(b / 2, b + 1),
+                    walks: b / 5,
+                    mean_walk_cycles: rate(b, 13) * 100.0,
+                    consecutive_read_same_page: rate(b, 3),
+                    consecutive_write_same_page: rate(b, 11),
+                    miss_rate_series: (0..(b % 4))
+                        .map(|i| (i * 1000, rate(i, b % 17 + 1)))
+                        .collect(),
+                },
+                dma: DmaStats {
+                    bytes_in: b.wrapping_mul(64),
+                    bytes_out: b.wrapping_mul(16),
+                    translations: b / 2,
+                    translation_stall_cycles: b / 9,
+                },
+                macs: b.wrapping_mul(256),
+                context_switches: b % 5,
+                output: with_output
+                    .then(|| (0..(b % 20)).map(|i| (i as i8).wrapping_sub(10)).collect()),
+            }
+        })
+        .collect();
+    SocReport {
+        cores: core_reports,
+        l2: L2Report {
+            accesses: base,
+            misses: base / 4,
+            miss_rate: rate(base / 4, base.saturating_sub(base / 4) + 1),
+            writebacks: base / 8,
+        },
+        dram_bytes: base.wrapping_mul(4096),
+        l2_stats: HitMissStats::from_counts(base.saturating_sub(base / 4), base / 4),
+        dram_traffic: {
+            let mut t = TrafficStats::new();
+            t.record_read(base.wrapping_mul(3));
+            t.record_write(base);
+            t
+        },
+    }
+}
 
 proptest! {
     /// The tile planner always returns a plan that fits, never exceeds the
@@ -102,5 +206,63 @@ proptest! {
         let report = run_networks(&cfg, std::slice::from_ref(&net), &opts).unwrap();
         let want = reference_forward(&net, seed);
         prop_assert_eq!(report.cores[0].output.as_ref().unwrap(), &want);
+    }
+}
+
+proptest! {
+    /// `MemoryRollup::absorb` — the shard-merge primitive behind
+    /// `merge_memory_stats` — is a commutative monoid: shards can be
+    /// folded in any order or grouping and the totals match a
+    /// single-process rollup exactly; the default (empty) rollup is the
+    /// identity.
+    #[test]
+    fn memory_rollup_absorb_is_commutative_monoid(
+        a in (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0usize..1000),
+        b in (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0usize..1000),
+        c in (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0usize..1000),
+    ) {
+        let ra = rollup(a.0, a.1, a.2, a.3, a.4, a.5);
+        let rb = rollup(b.0, b.1, b.2, b.3, b.4, b.5);
+        let rc = rollup(c.0, c.1, c.2, c.3, c.4, c.5);
+        // Commutativity.
+        let mut ab = ra;
+        ab.absorb(&rb);
+        let mut ba = rb;
+        ba.absorb(&ra);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity.
+        let mut ab_c = ab;
+        ab_c.absorb(&rc);
+        let mut bc = rb;
+        bc.absorb(&rc);
+        let mut a_bc = ra;
+        a_bc.absorb(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Identity: absorbing the empty rollup changes nothing.
+        let mut a_zero = ra;
+        a_zero.absorb(&MemoryRollup::default());
+        prop_assert_eq!(&a_zero, &ra);
+    }
+
+    /// `decode(encode(x)) == x` for `SocReport` — the exact unit the
+    /// sweep checkpoint persists — over arbitrary core counts, counter
+    /// values (including > 2^53, where f64 would lose bits), escaped
+    /// strings, and present/absent functional output.
+    #[test]
+    fn soc_report_json_round_trip(
+        cores in 0usize..4,
+        base in any::<u64>(),
+        with_output in any::<bool>(),
+    ) {
+        let report = report_from_seed(cores, base, with_output);
+        // Value-level round trip.
+        prop_assert_eq!(&SocReport::from_json(&report.to_json()).unwrap(), &report);
+        // Text-level round trip, exactly as the checkpoint file stores it.
+        let text = report.to_json().encode();
+        prop_assert!(!text.contains('\n'), "checkpoint lines must be single-line");
+        let reparsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(&SocReport::from_json(&reparsed).unwrap(), &report);
+        // The canonical encoding is stable under re-encode.
+        prop_assert_eq!(reparsed.encode(), text);
     }
 }

@@ -3,12 +3,16 @@
 //! serial and parallel execution), one point's failure must never take
 //! down the sweep, and worker overlap must actually happen.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use gemmini_dnn::graph::{Activation, Layer, Network};
-use gemmini_soc::run::{RunOptions, SocReport};
+use gemmini_soc::checkpoint::Checkpoint;
+use gemmini_soc::run::{run_networks, RunOptions, SocReport};
 use gemmini_soc::sweep::{
-    merge_memory_stats, run_sweep_with, sweep_map, DesignPoint, SweepError, SweepOptions,
+    merge_memory_stats, run_sweep_with, sweep_map, sweep_map_checkpointed, DesignPoint, SweepError,
+    SweepOptions,
 };
 use gemmini_soc::SocConfig;
 use gemmini_vm::tlb::TlbConfig;
@@ -61,6 +65,7 @@ fn opts(threads: usize) -> SweepOptions {
     SweepOptions {
         threads,
         progress: false,
+        ..SweepOptions::default()
     }
 }
 
@@ -171,6 +176,162 @@ fn serial_mode_runs_on_caller_thread() {
         Ok(())
     });
     assert!(results.iter().all(|r| r.outcome.is_ok()));
+}
+
+/// A scratch checkpoint path unique to this test and process.
+fn scratch_checkpoint(test: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gemmini_ckpt_{test}_{}.jsonl", std::process::id()))
+}
+
+/// Runs `points` through the checkpointed executor with an execution
+/// counter on the side, so tests can assert exactly which points ran
+/// versus were served from the checkpoint file.
+fn run_counted(
+    points: Vec<DesignPoint>,
+    options: SweepOptions,
+    executed: &AtomicUsize,
+) -> Vec<gemmini_soc::sweep::SweepResult<SocReport>> {
+    let items = points
+        .into_iter()
+        .map(|p| (p.label.clone(), p.fingerprint(), p))
+        .collect();
+    sweep_map_checkpointed(items, options, |p| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        run_networks(&p.config, &p.networks, &p.options)
+    })
+}
+
+#[test]
+fn interrupted_sweep_resumes_bit_identically() {
+    let path = scratch_checkpoint("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // The ground truth: the same eight points, uninterrupted, serial.
+    let reference = run_sweep_with(eight_points(), opts(1));
+
+    // First attempt: point 4 is misconfigured and dies mid-sweep. The
+    // executor isolates the panic, so the other seven points complete
+    // and are flushed to the checkpoint; the failed point leaves no
+    // entry (exactly as if the process had been killed while running it).
+    let mut points = eight_points();
+    points[4] = DesignPoint::new(
+        points[4].label.clone(),
+        SocConfig::edge_single_core(),
+        vec![small_net(8, 8, 8), small_net(8, 8, 8)], // panics: 2 nets, 1 core
+        RunOptions::timing(),
+    );
+    let executed = AtomicUsize::new(0);
+    let first = run_counted(
+        points,
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            ..opts(2)
+        },
+        &executed,
+    );
+    assert_eq!(executed.load(Ordering::SeqCst), 8, "fresh run executes all");
+    assert!(matches!(first[4].outcome, Err(SweepError::Panicked(_))));
+
+    // The checkpoint holds exactly the seven completed points.
+    let on_disk: Checkpoint<SocReport> = Checkpoint::load(&path).expect("checkpoint loads");
+    assert_eq!(on_disk.len(), 7, "only completed points are persisted");
+    assert_eq!(on_disk.stale_lines, 0);
+
+    // Resume with the corrected sweep: only the missing point runs, the
+    // other seven are served from the file, and the stitched results are
+    // bit-identical to the uninterrupted reference in submission order.
+    let executed = AtomicUsize::new(0);
+    let resumed = run_counted(
+        eight_points(),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..opts(2)
+        },
+        &executed,
+    );
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        1,
+        "resume must re-run only the point missing from the checkpoint"
+    );
+    assert_eq!(resumed.len(), 8);
+    assert_eq!(
+        resumed.iter().filter(|r| r.cached).count(),
+        7,
+        "seven points come from the checkpoint"
+    );
+    assert!(!resumed[4].cached, "the re-run point is not cached");
+    for (r, s) in resumed.iter().zip(&reference) {
+        assert_eq!(r.label, s.label, "submission order survives resume");
+        assert_reports_identical(r.expect_ok(), s.expect_ok());
+    }
+
+    // A second resume finds the now-complete file: nothing executes.
+    let executed = AtomicUsize::new(0);
+    let replayed = run_counted(
+        eight_points(),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..opts(2)
+        },
+        &executed,
+    );
+    assert_eq!(executed.load(Ordering::SeqCst), 0);
+    assert!(replayed.iter().all(|r| r.cached));
+    for (r, s) in replayed.iter().zip(&reference) {
+        assert_reports_identical(r.expect_ok(), s.expect_ok());
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_reruns_points_whose_configuration_changed() {
+    let path = scratch_checkpoint("fingerprint");
+    let _ = std::fs::remove_file(&path);
+
+    let executed = AtomicUsize::new(0);
+    run_counted(
+        eight_points(),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            ..opts(1)
+        },
+        &executed,
+    );
+    assert_eq!(executed.load(Ordering::SeqCst), 8);
+
+    // Same labels, but point 2's design changed: its fingerprint no
+    // longer matches the checkpoint entry, so a stale result must never
+    // be served for it.
+    let mut points = eight_points();
+    points[2].config.cores[0].translation.private = TlbConfig::private(64);
+    let executed = AtomicUsize::new(0);
+    let results = run_counted(
+        points,
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..opts(1)
+        },
+        &executed,
+    );
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        1,
+        "only the edited point re-runs"
+    );
+    assert!(!results[2].cached);
+    assert!(results
+        .iter()
+        .enumerate()
+        .all(|(i, r)| r.cached == (i != 2)));
+
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! Golden-result regression tests: the quick-mode figure data, diffed
+//! against checked-in JSON under `tests/golden/`.
+//!
+//! These guard the *numbers*, not the formatting — any change to a cycle
+//! counter, area constant or timing model shows up as a JSON diff here
+//! instead of a silently shifted table. When a model change is
+//! intentional, regenerate the golden files with:
+//!
+//! ```text
+//! GEMMINI_BLESS=1 cargo test --test golden_figures
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+
+use gemmini_bench::figures::{fig3_json, fig6_json, fig7_json, fig7_points};
+use gemmini_bench::{quick_resnet, SweepOptions};
+use gemmini_dnn::zoo;
+use gemmini_mem::json::Json;
+use gemmini_soc::sweep::run_sweep_with;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn bless_mode() -> bool {
+    std::env::var("GEMMINI_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Compares `actual` against the checked-in golden file, or rewrites the
+/// file under `GEMMINI_BLESS=1`.
+fn check_golden(name: &str, actual: &Json) {
+    let path = golden_path(name);
+    let encoded = actual.encode();
+    if bless_mode() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, format!("{encoded}\n")).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with GEMMINI_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let golden = Json::parse(golden.trim()).expect("golden file parses");
+    assert_eq!(
+        &golden,
+        actual,
+        "{name}: figure data drifted from the golden file.\n\
+         golden: {}\n\
+         actual: {encoded}\n\
+         If the model change is intentional, regenerate with \
+         GEMMINI_BLESS=1 cargo test --test golden_figures",
+        golden.encode()
+    );
+}
+
+#[test]
+fn fig3_matches_golden() {
+    check_golden("fig3.json", &fig3_json());
+}
+
+#[test]
+fn fig6_matches_golden() {
+    check_golden("fig6.json", &fig6_json());
+}
+
+#[test]
+fn fig7_quick_matches_golden() {
+    // The same networks the binary uses under --quick, run serially so
+    // the test is deterministic regardless of GEMMINI_THREADS.
+    let nets = vec![quick_resnet(), zoo::tiny_cnn()];
+    let results = run_sweep_with(
+        fig7_points(&nets),
+        SweepOptions {
+            threads: 1,
+            progress: false,
+            ..SweepOptions::default()
+        },
+    );
+    check_golden("fig7_quick.json", &fig7_json(&nets, &results));
+}
+
+/// The golden files themselves must round-trip through the hand-rolled
+/// codec — otherwise a bless would write something the checker cannot
+/// reload.
+#[test]
+fn golden_files_round_trip() {
+    for name in ["fig3.json", "fig6.json", "fig7_quick.json"] {
+        let path = golden_path(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
+        let parsed = Json::parse(text.trim()).expect("golden parses");
+        assert_eq!(
+            parsed.encode(),
+            text.trim(),
+            "{name}: encode(parse(x)) != x — golden file not in canonical encoding"
+        );
+    }
+}

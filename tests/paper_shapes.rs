@@ -2,7 +2,7 @@
 //! harness regenerates in full. These run in `cargo test` and guard the
 //! reproduction's qualitative results against regressions.
 
-use gemmini_bench::quick_resnet;
+use gemmini_bench::{quick_resnet, run_quick};
 use gemmini_repro::core::config::GemminiConfig;
 use gemmini_repro::cpu::kernels::network_cpu_cycles;
 use gemmini_repro::cpu::{CpuKind, CpuModel};
@@ -13,10 +13,6 @@ use gemmini_repro::synth::area::{soc_area, spatial_array_area_um2, CpuKind as Sy
 use gemmini_repro::synth::power::spatial_array_power;
 use gemmini_repro::synth::timing::fmax_ghz;
 use gemmini_repro::vm::tlb::TlbConfig;
-
-fn run_quick(cfg: &SocConfig) -> gemmini_repro::soc::run::SocReport {
-    run_networks(cfg, &[quick_resnet()], &RunOptions::timing()).expect("run succeeds")
-}
 
 /// Fig. 3: ≈2.7x fmax, ≈1.8x area, ≈3.0x power between the extremes.
 #[test]
