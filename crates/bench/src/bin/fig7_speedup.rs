@@ -11,10 +11,14 @@
 //!
 //! `--json <path>` persists every design point as one JSON line (the
 //! sweep checkpoint format); `--resume` skips points already in that
-//! file. `tests/golden_figures.rs` guards the quick-mode numbers.
+//! file; `--trace <path>` writes a Chrome `trace_event` JSON timeline of
+//! the first design point. `tests/golden_figures.rs` guards the
+//! quick-mode numbers.
 
 use gemmini_bench::figures::{fig7_points, FIG7_VARIANTS};
-use gemmini_bench::{arg_value, quick_mode, quick_resnet, section, sweep_cli_options};
+use gemmini_bench::{
+    arg_value, export_trace_run, quick_mode, quick_resnet, section, sweep_cli_options, trace_path,
+};
 use gemmini_cpu::kernels::network_cpu_cycles;
 use gemmini_cpu::{CpuKind, CpuModel};
 use gemmini_dnn::graph::Network;
@@ -46,6 +50,14 @@ fn main() {
 
     // One sweep point per (network, variant), in row-major order.
     let results = run_sweep_with(fig7_points(&nets), sweep_cli_options());
+
+    if let Some(path) = trace_path() {
+        let point = fig7_points(&nets)
+            .into_iter()
+            .next()
+            .expect("fig7 has at least one point");
+        export_trace_run(&path, &point.label, &point.config, &point.networks);
+    }
 
     let rows: Vec<Row> = nets
         .iter()

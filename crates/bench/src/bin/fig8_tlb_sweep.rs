@@ -14,8 +14,10 @@
 //! `--json <path>` persists every design point as one JSON line (the
 //! sweep checkpoint format); `--resume` skips points already present in
 //! that file — CI exercises exactly this interrupt/resume path.
+//! `--trace <path>` writes a Chrome `trace_event` timeline of the first
+//! design point.
 
-use gemmini_bench::{resnet_workload, section, sweep_cli_options};
+use gemmini_bench::{export_trace_run, resnet_workload, section, sweep_cli_options, trace_path};
 use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
 use gemmini_soc::SocConfig;
 use gemmini_vm::tlb::TlbConfig;
@@ -54,7 +56,11 @@ fn main() {
         }
     }
 
+    let trace_point = trace_path().map(|path| (path, sweep[0].clone()));
     let results = run_sweep_with(sweep, sweep_cli_options());
+    if let Some((path, point)) = trace_point {
+        export_trace_run(&path, &point.label, &point.config, &point.networks);
+    }
     let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
     let points: Vec<Point> = grid
         .iter()

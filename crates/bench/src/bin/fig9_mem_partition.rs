@@ -10,7 +10,7 @@
 //!   core's residual additions evict the other's data from the shared L2
 //!   (resadd ≈+22% on BigL2; L2 miss rate drops ≈7 points).
 
-use gemmini_bench::{resnet_workload, section, sweep_cli_options};
+use gemmini_bench::{export_trace_run, resnet_workload, section, sweep_cli_options, trace_path};
 use gemmini_dnn::graph::LayerClass;
 use gemmini_soc::run::SocReport;
 use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
@@ -59,8 +59,12 @@ fn main() {
         .map(|(cores, name, make)| {
             DesignPoint::timing(format!("{name} x{cores}"), make(cores), &net)
         })
-        .collect();
+        .collect::<Vec<_>>();
+    let trace_point = trace_path().map(|path| (path, sweep[0].clone()));
     let results = run_sweep_with(sweep, sweep_cli_options());
+    if let Some((path, point)) = trace_point {
+        export_trace_run(&path, &point.label, &point.config, &point.networks);
+    }
     let rollup = merge_memory_stats(results.iter().filter_map(|r| r.ok()));
     eprintln!(
         "sweep totals: {} points, L2 {} accesses ({:.1}% miss), DRAM {:.1} MB",

@@ -17,7 +17,7 @@ use gemmini_core::config::GemminiConfig;
 use gemmini_cpu::kernels::network_cpu_cycles;
 use gemmini_cpu::{CpuKind, CpuModel};
 use gemmini_dnn::graph::Network;
-use gemmini_mem::json::Json;
+use gemmini_mem::json::{Json, ToJson};
 use gemmini_soc::run::SocReport;
 use gemmini_soc::sweep::{DesignPoint, SweepResult};
 use gemmini_soc::SocConfig;
@@ -160,6 +160,44 @@ pub fn fig7_points(nets: &[Network]) -> Vec<DesignPoint> {
             })
         })
         .collect()
+}
+
+/// Fig. 7 cycle attribution as JSON: for every (network, variant) point,
+/// core 0's attribution record — buckets that sum exactly to that
+/// point's `total_cycles`. The golden tests pin the quick-mode values so
+/// the cycle classification cannot drift silently.
+///
+/// # Panics
+///
+/// Panics if `results` does not hold one successful report per
+/// (network, variant) pair in [`fig7_points`] order.
+pub fn fig7_attribution_json(nets: &[Network], results: &[SweepResult<SocReport>]) -> Json {
+    assert_eq!(results.len(), nets.len() * FIG7_VARIANTS.len());
+    Json::obj([
+        ("figure", Json::from("fig7_attribution")),
+        (
+            "points",
+            Json::Arr(
+                nets.iter()
+                    .zip(results.chunks(FIG7_VARIANTS.len()))
+                    .flat_map(|(net, chunk)| {
+                        FIG7_VARIANTS
+                            .iter()
+                            .zip(chunk)
+                            .map(move |(&(label, _, _), r)| {
+                                let core = &r.expect_ok().cores[0];
+                                Json::obj([
+                                    ("network", Json::from(net.name())),
+                                    ("variant", Json::from(label)),
+                                    ("total_cycles", Json::from(core.total_cycles)),
+                                    ("attribution", core.attribution.to_json()),
+                                ])
+                            })
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Fig. 7 as JSON: per network, the CPU baselines and each variant's

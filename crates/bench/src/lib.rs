@@ -8,9 +8,10 @@
 
 use std::path::{Path, PathBuf};
 
+use gemmini_core::trace::{export_chrome_trace, Tracer};
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
 use gemmini_mem::json::Json;
-use gemmini_soc::run::{run_networks, RunOptions, SocReport};
+use gemmini_soc::run::{run_networks, run_networks_traced, RunOptions, SocReport};
 use gemmini_soc::SocConfig;
 
 pub mod figures;
@@ -74,6 +75,34 @@ pub fn json_path() -> Option<PathBuf> {
 /// `--json` checkpoint file).
 pub fn resume_flag() -> bool {
     std::env::args().any(|a| a == "--resume")
+}
+
+/// The `--trace <path>` argument: where to write a Chrome `trace_event`
+/// JSON file for one representative run (open it in `chrome://tracing`
+/// or Perfetto).
+pub fn trace_path() -> Option<PathBuf> {
+    arg_value("--trace").map(PathBuf::from)
+}
+
+/// Re-runs one design point in timing mode with a buffered tracer and
+/// writes the collected events to `path` as Chrome `trace_event` JSON —
+/// the shared implementation behind every figure binary's `--trace`.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the file cannot be written — a run
+/// asked to produce a trace must not silently drop it.
+pub fn export_trace_run(path: &Path, label: &str, config: &SocConfig, nets: &[Network]) {
+    let (tracer, sink) = Tracer::buffered();
+    run_networks_traced(config, nets, &RunOptions::timing(), &tracer).expect("trace run succeeds");
+    let events = sink.lock().expect("trace sink lock").take();
+    export_chrome_trace(path, &events)
+        .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+    eprintln!(
+        "trace: wrote {} events for '{label}' to {}",
+        events.len(),
+        path.display()
+    );
 }
 
 /// Sweep options resolved from the shared CLI conventions: `--json`

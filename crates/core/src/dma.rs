@@ -7,12 +7,13 @@
 //! registers exist to remove exactly those stalls), and every byte shows up
 //! as L2/DRAM traffic.
 
+use crate::trace::{AttributionKind, Component, Profiler, StallCause};
 use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
 use gemmini_mem::dram::MainMemory;
 use gemmini_mem::hierarchy::PortId;
 use gemmini_mem::{Cycle, MemorySystem};
 use gemmini_vm::page_table::AddressSpace;
-use gemmini_vm::translator::{Access, TranslateError, TranslationSystem};
+use gemmini_vm::translator::{Access, HitLevel, TranslateError, TranslationSystem};
 
 /// Everything the accelerator needs from the surrounding SoC to move data:
 /// its process's address space, its translation hardware, the shared memory
@@ -85,8 +86,10 @@ impl StreamDma {
     /// the translation system; rows before the fault have already been
     /// moved, matching hardware where the DMA raises an interrupt
     /// mid-stream.
+    #[allow(clippy::too_many_arguments)]
     pub fn mvin(
         &mut self,
+        prof: &mut Profiler,
         ctx: &mut MemCtx<'_>,
         now: Cycle,
         vaddr: VirtAddr,
@@ -94,7 +97,17 @@ impl StreamDma {
         row_bytes: u64,
         stride: u64,
     ) -> Result<DmaTransfer, TranslateError> {
-        self.transfer(ctx, now, vaddr, rows, row_bytes, stride, Access::Read, None)
+        self.transfer(
+            prof,
+            ctx,
+            now,
+            vaddr,
+            rows,
+            row_bytes,
+            stride,
+            Access::Read,
+            None,
+        )
     }
 
     /// Writes `rows` rows to virtual memory. In functional mode
@@ -110,6 +123,7 @@ impl StreamDma {
     #[allow(clippy::too_many_arguments)]
     pub fn mvout(
         &mut self,
+        prof: &mut Profiler,
         ctx: &mut MemCtx<'_>,
         now: Cycle,
         vaddr: VirtAddr,
@@ -122,6 +136,7 @@ impl StreamDma {
             assert_eq!(d.len(), rows, "row_data length must equal rows");
         }
         self.transfer(
+            prof,
             ctx,
             now,
             vaddr,
@@ -136,6 +151,7 @@ impl StreamDma {
     #[allow(clippy::too_many_arguments)]
     fn transfer(
         &mut self,
+        prof: &mut Profiler,
         ctx: &mut MemCtx<'_>,
         now: Cycle,
         vaddr: VirtAddr,
@@ -172,12 +188,28 @@ impl StreamDma {
                 self.stats.translation_stall_cycles += tr.latency;
                 // The stream cannot issue the next request until this
                 // translation resolves (single translation port).
+                let stall_start = issue;
                 issue += tr.latency;
+                // Only a page-table walk counts as a TLB *stall* for
+                // attribution; a TLB hit's small pipelined latency is
+                // part of normal streaming and stays with the enclosing
+                // load/store span.
+                if tr.level == HitLevel::Walk {
+                    prof.record(AttributionKind::TlbStall, stall_start, issue);
+                }
 
                 let seg_done = match access {
                     Access::Read => ctx.mem.read(ctx.port, issue, tr.paddr, seg),
                     Access::Write => ctx.mem.write(ctx.port, issue, tr.paddr, seg),
                 };
+                // Up to the bus's ideal service time the stream is simply
+                // moving bytes at bandwidth (charged to the enclosing
+                // load/store span); anything beyond that is a stall on
+                // the bus → L2 → DRAM path. Cycles a translation stall
+                // also covers are re-attributed to the TLB by the log's
+                // priority rules.
+                let stream_done = issue + ctx.mem.streaming_cycles(seg);
+                prof.record(AttributionKind::Dram, stream_done.min(seg_done), seg_done);
                 done = done.max(seg_done);
 
                 if let Some(data) = ctx.data.as_deref_mut() {
@@ -212,8 +244,16 @@ impl StreamDma {
             Access::Read => self.stats.bytes_in += bytes,
             Access::Write => self.stats.bytes_out += bytes,
         }
+        let finish = done.max(issue);
+        if prof.tracing() {
+            let name = match access {
+                Access::Read => "mvin",
+                Access::Write => "mvout",
+            };
+            prof.event(Component::Dma, name, now, finish, StallCause::None);
+        }
         Ok(DmaTransfer {
-            done: done.max(issue),
+            done: finish,
             bytes,
             rows: out_rows,
         })
@@ -275,7 +315,9 @@ mod tests {
         rig.write_virt(va, &[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        let t = dma.mvin(&mut ctx, 0, va, 2, 4, 4).unwrap();
+        let t = dma
+            .mvin(&mut Profiler::default(), &mut ctx, 0, va, 2, 4, 4)
+            .unwrap();
         let rows = t.rows.unwrap();
         assert_eq!(rows[0], vec![1, 2, 3, 4]);
         assert_eq!(rows[1], vec![5, 6, 7, 8]);
@@ -290,7 +332,9 @@ mod tests {
         rig.write_virt(va, &[1, 2, 9, 9, 3, 4, 9, 9]);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        let t = dma.mvin(&mut ctx, 0, va, 2, 2, 4).unwrap();
+        let t = dma
+            .mvin(&mut Profiler::default(), &mut ctx, 0, va, 2, 2, 4)
+            .unwrap();
         let rows = t.rows.unwrap();
         assert_eq!(rows[0], vec![1, 2]);
         assert_eq!(rows[1], vec![3, 4]);
@@ -304,10 +348,22 @@ mod tests {
         let payload = vec![vec![10u8, 20, 30], vec![40, 50, 60]];
         {
             let mut ctx = rig.ctx();
-            dma.mvout(&mut ctx, 0, va, 2, 3, 3, Some(&payload)).unwrap();
+            dma.mvout(
+                &mut Profiler::default(),
+                &mut ctx,
+                0,
+                va,
+                2,
+                3,
+                3,
+                Some(&payload),
+            )
+            .unwrap();
         }
         let mut ctx = rig.ctx();
-        let t = dma.mvin(&mut ctx, 100, va, 2, 3, 3).unwrap();
+        let t = dma
+            .mvin(&mut Profiler::default(), &mut ctx, 100, va, 2, 3, 3)
+            .unwrap();
         assert_eq!(t.rows.unwrap(), payload);
         assert_eq!(dma.stats().bytes_out, 6);
         assert_eq!(dma.stats().bytes_in, 6);
@@ -320,7 +376,8 @@ mod tests {
         let va = rig.base.add(PAGE_SIZE - 2);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut ctx, 0, va, 1, 4, 4).unwrap();
+        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 1, 4, 4)
+            .unwrap();
         assert_eq!(dma.stats().translations, 2);
     }
 
@@ -330,7 +387,8 @@ mod tests {
         let va = rig.base;
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut ctx, 0, va, 16, 16, 16).unwrap();
+        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 16, 16, 16)
+            .unwrap();
         assert_eq!(dma.stats().translations, 16);
         // All rows after the first hit the (4-entry) private TLB.
         assert_eq!(ctx.translation.private_tlb().stats().hits(), 15);
@@ -343,7 +401,9 @@ mod tests {
         let mut dma_f = StreamDma::new();
         let t_f = {
             let mut ctx = rig1.ctx();
-            dma_f.mvin(&mut ctx, 0, va, 8, 16, 16).unwrap()
+            dma_f
+                .mvin(&mut Profiler::default(), &mut ctx, 0, va, 8, 16, 16)
+                .unwrap()
         };
 
         // Fresh rig for identical cold state, but timing-only.
@@ -358,7 +418,9 @@ mod tests {
                 data: None,
                 port: 0,
             };
-            dma_t.mvin(&mut ctx, 0, va2, 8, 16, 16).unwrap()
+            dma_t
+                .mvin(&mut Profiler::default(), &mut ctx, 0, va2, 8, 16, 16)
+                .unwrap()
         };
         assert!(t_t.rows.is_none());
         assert!(t_f.rows.is_some());
@@ -372,7 +434,15 @@ mod tests {
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
         let err = dma
-            .mvin(&mut ctx, 0, VirtAddr::new(0xdddd_0000), 1, 16, 16)
+            .mvin(
+                &mut Profiler::default(),
+                &mut ctx,
+                0,
+                VirtAddr::new(0xdddd_0000),
+                1,
+                16,
+                16,
+            )
             .unwrap_err();
         assert!(matches!(err, TranslateError::PageFault { .. }));
     }
@@ -383,7 +453,8 @@ mod tests {
         let va = rig.base;
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut ctx, 0, va, 1, 16, 16).unwrap();
+        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 1, 16, 16)
+            .unwrap();
         // Cold access: one walk, so stall cycles are substantial.
         assert!(dma.stats().translation_stall_cycles > 0);
     }

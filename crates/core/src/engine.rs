@@ -22,6 +22,7 @@ use crate::isa::{Instruction, LocalAddr};
 use crate::mesh::{MatrixUnit, MeshTiming};
 use crate::peripherals::readout_row;
 use crate::scratchpad::{Accumulator, Scratchpad};
+use crate::trace::{AttributionKind, Component, CycleAttribution, Profiler, StallCause, Tracer};
 use gemmini_dnn::graph::Activation;
 use gemmini_mem::Cycle;
 use gemmini_vm::translator::TranslateError;
@@ -175,6 +176,7 @@ pub struct Accelerator {
     /// the accumulator by the next arming preload (or a Flush).
     os_c: Option<Vec<Vec<i32>>>,
     trace: Option<Vec<String>>,
+    profiler: Profiler,
     stats: ExecStats,
 }
 
@@ -209,9 +211,29 @@ impl Accelerator {
             b_ready: 0,
             os_c: None,
             trace: None,
+            profiler: Profiler::new(),
             config,
             stats: ExecStats::default(),
         }
+    }
+
+    /// Attaches a trace-event sink; pass a [`Tracer`] clone tagged with
+    /// this accelerator's core id. Attribution recording is always on;
+    /// this only controls span emission for the Chrome export.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.profiler.set_tracer(tracer);
+    }
+
+    /// The exact cycle-attribution of the run so far: every cycle of
+    /// `[0, finish)` classified into one bucket.
+    pub fn attribution(&self) -> CycleAttribution {
+        self.profiler.attribution(self.stats.finish)
+    }
+
+    /// The earliest cycle any future operation can start at — every
+    /// unit's next interval begins at or after its free time.
+    fn attribution_frontier(&self) -> Cycle {
+        self.load_free.min(self.ex_free).min(self.store_free)
     }
 
     /// The configuration this instance was elaborated from.
@@ -235,7 +257,16 @@ impl Accelerator {
     /// Charges `cycles` of peripheral work (pooling, transposition) on the
     /// execute unit.
     pub fn charge_execute(&mut self, cycles: u64) {
+        let start = self.ex_free;
         self.ex_free += cycles;
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::ExecuteUnit,
+            "peripheral",
+            start,
+            self.ex_free,
+            StallCause::None,
+        );
         self.stats.ex_busy += cycles;
         self.stats.finish = self.stats.finish.max(self.ex_free);
     }
@@ -244,7 +275,16 @@ impl Accelerator {
     /// (e.g. pooling that consumes a finished DMA stream). Returns the
     /// completion cycle.
     pub fn charge_execute_after(&mut self, not_before: Cycle, cycles: u64) -> Cycle {
-        self.ex_free = self.ex_free.max(not_before) + cycles;
+        let start = self.ex_free.max(not_before);
+        self.ex_free = start + cycles;
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::ExecuteUnit,
+            "peripheral",
+            start,
+            self.ex_free,
+            StallCause::None,
+        );
         self.stats.ex_busy += cycles;
         self.stats.finish = self.stats.finish.max(self.ex_free);
         self.ex_free
@@ -266,9 +306,24 @@ impl Accelerator {
         stride: u64,
     ) -> Result<Cycle, AccelError> {
         let start = self.load_free;
-        let xfer = self
-            .dma
-            .mvin(ctx, start, dram_addr, rows, row_bytes, stride)?;
+        let xfer = self.dma.mvin(
+            &mut self.profiler,
+            ctx,
+            start,
+            dram_addr,
+            rows,
+            row_bytes,
+            stride,
+        )?;
+        self.profiler.span(
+            AttributionKind::Load,
+            Component::LoadUnit,
+            "mvin-raw",
+            start,
+            xfer.done,
+            StallCause::None,
+        );
+        self.profiler.maybe_compact(self.attribution_frontier());
         self.stats.load_busy += xfer.done - start;
         self.stats.loads += 1;
         self.stats.finish = self.stats.finish.max(xfer.done);
@@ -318,11 +373,26 @@ impl Accelerator {
             patch_rows,
         ));
         let start = self.load_free.max(dep);
-        let xfer = self
-            .dma
-            .mvin(ctx, start, dram_addr, raw_rows, raw_row_bytes, raw_stride)?;
+        let xfer = self.dma.mvin(
+            &mut self.profiler,
+            ctx,
+            start,
+            dram_addr,
+            raw_rows,
+            raw_row_bytes,
+            raw_stride,
+        )?;
         // Patch generation streams at one row per cycle behind the DMA.
         let done = xfer.done + patch_rows as u64;
+        self.profiler.span(
+            AttributionKind::Load,
+            Component::LoadUnit,
+            "mvin-im2col",
+            start,
+            done,
+            StallCause::None,
+        );
+        self.profiler.maybe_compact(self.attribution_frontier());
         if ctx.data.is_some() {
             if let Some(rows) = patch_data {
                 for (i, vals) in rows.iter().enumerate() {
@@ -355,9 +425,25 @@ impl Accelerator {
         data: Option<&[Vec<u8>]>,
     ) -> Result<Cycle, AccelError> {
         let start = self.store_free.max(self.ex_free);
-        let xfer = self
-            .dma
-            .mvout(ctx, start, dram_addr, rows, row_bytes, stride, data)?;
+        let xfer = self.dma.mvout(
+            &mut self.profiler,
+            ctx,
+            start,
+            dram_addr,
+            rows,
+            row_bytes,
+            stride,
+            data,
+        )?;
+        self.profiler.span(
+            AttributionKind::Store,
+            Component::StoreUnit,
+            "mvout-raw",
+            start,
+            xfer.done,
+            StallCause::None,
+        );
+        self.profiler.maybe_compact(self.attribution_frontier());
         self.stats.store_busy += xfer.done - start;
         self.stats.stores += 1;
         self.stats.finish = self.stats.finish.max(xfer.done);
@@ -459,6 +545,7 @@ impl Accelerator {
     /// moved earlier rows).
     pub fn issue(&mut self, ctx: &mut MemCtx<'_>, instr: Instruction) -> Result<Cycle, AccelError> {
         let result = self.issue_inner(ctx, instr);
+        self.profiler.maybe_compact(self.attribution_frontier());
         if let Some(trace) = self.trace.as_mut() {
             match &result {
                 Ok(done) => trace.push(format!("[{done:>10}] {instr}")),
@@ -579,9 +666,23 @@ impl Accelerator {
             self.state.ld_stride
         };
         let start = self.load_free.max(dep_start);
-        let xfer = self
-            .dma
-            .mvin(ctx, start, dram_addr, rows as usize, row_bytes, stride)?;
+        let xfer = self.dma.mvin(
+            &mut self.profiler,
+            ctx,
+            start,
+            dram_addr,
+            rows as usize,
+            row_bytes,
+            stride,
+        )?;
+        self.profiler.span(
+            AttributionKind::Load,
+            Component::LoadUnit,
+            "mvin",
+            start,
+            xfer.done,
+            StallCause::None,
+        );
 
         // Functional: deposit rows.
         if let Some(data_rows) = xfer.rows {
@@ -651,6 +752,14 @@ impl Accelerator {
             .max(Self::range_max(&self.acc_rd, dest.row, rows));
         // Results stream out one row per cycle and drain the pipeline once.
         let done = start + rows as u64 + self.timing.drain_cycles();
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::ExecuteUnit,
+            "os-flush",
+            start,
+            done,
+            StallCause::None,
+        );
         if functional {
             for (i, row_vals) in cvals.iter().enumerate() {
                 if dest.accumulate {
@@ -722,6 +831,14 @@ impl Accelerator {
             }
         }
         let done = start + self.timing.preload_cycles(b_rows as usize);
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::ExecuteUnit,
+            "preload",
+            start,
+            done,
+            StallCause::None,
+        );
         self.b_ready = done;
         self.pending_c = Some(c_dest);
         if matches!(self.state.dataflow, Dataflow::OutputStationary) {
@@ -783,6 +900,14 @@ impl Accelerator {
             .max(Self::range_max(&self.sp_wr, b_row, a_cols.max(1)));
         // Both operands stream simultaneously; no accumulator round trip.
         let done = start + a_rows.max(a_cols).max(1) as u64 + 1;
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::Mesh,
+            "compute-os",
+            start,
+            done,
+            StallCause::None,
+        );
 
         if ctx.data.is_some() {
             let dim = self.config.dim();
@@ -888,6 +1013,14 @@ impl Accelerator {
         };
 
         let done = start + self.timing.compute_cycles(a_rows as usize);
+        self.profiler.span(
+            AttributionKind::Compute,
+            Component::Mesh,
+            "compute",
+            start,
+            done,
+            StallCause::None,
+        );
 
         // Functional compute.
         if ctx.data.is_some() {
@@ -977,6 +1110,7 @@ impl Accelerator {
         };
         let start = self.store_free.max(dep);
         let xfer = self.dma.mvout(
+            &mut self.profiler,
             ctx,
             start,
             dram_addr,
@@ -985,6 +1119,14 @@ impl Accelerator {
             stride,
             row_data.as_deref(),
         )?;
+        self.profiler.span(
+            AttributionKind::Store,
+            Component::StoreUnit,
+            "mvout",
+            start,
+            xfer.done,
+            StallCause::None,
+        );
 
         match local {
             LocalAddr::Acc { row, .. } => Self::mark(&mut self.acc_rd, row, rows, xfer.done),
@@ -1614,6 +1756,82 @@ mod tests {
 
         assert_eq!(a1.stats().finish, a2.stats().finish);
         assert_eq!(a1.stats().macs, a2.stats().macs);
+
+        // The cycle-attribution breakdown is exact in both modes: the
+        // buckets partition [0, finish) and do not depend on whether
+        // bytes actually moved.
+        let attr1 = a1.attribution();
+        let attr2 = a2.attribution();
+        assert_eq!(attr1, attr2, "attribution must not depend on mode");
+        assert_eq!(attr1.total(), a1.stats().finish);
+        assert!(
+            attr1.compute > 0 && attr1.load > 0 && attr1.store > 0,
+            "attr = {attr1:?}"
+        );
+        assert!(attr1.tlb_stall > 0, "cold TLB walks must be attributed");
+    }
+
+    #[test]
+    fn traced_run_emits_component_spans() {
+        let mut r = rig();
+        let t = Tensor::<i8>::random(&[16, 16], 5);
+        r.store_matrix(r.base, &t);
+        r.store_matrix(r.base.add(4096), &t);
+
+        let mut accel = Accelerator::new(GemminiConfig::edge());
+        let (tracer, buf) = Tracer::buffered();
+        accel.set_tracer(tracer);
+        let base = r.base;
+        let mut ctx = r.ctx();
+        for i in [
+            Instruction::Mvin {
+                dram_addr: base,
+                local: sp(0),
+                rows: 16,
+                cols: 16,
+            },
+            Instruction::Mvin {
+                dram_addr: base.add(4096),
+                local: sp(16),
+                rows: 16,
+                cols: 16,
+            },
+            Instruction::Preload {
+                b: sp(16),
+                c: acc(0, false),
+                b_rows: 16,
+                b_cols: 16,
+            },
+            Instruction::ComputePreloaded {
+                a: sp(0),
+                d: LocalAddr::None,
+                a_rows: 16,
+                a_cols: 16,
+            },
+            Instruction::Mvout {
+                dram_addr: base.add(8192),
+                local: acc(0, false),
+                rows: 16,
+                cols: 16,
+            },
+        ] {
+            accel.issue(&mut ctx, i).unwrap();
+        }
+        let events = buf.lock().unwrap().take();
+        for component in [
+            Component::LoadUnit,
+            Component::Mesh,
+            Component::StoreUnit,
+            Component::Dma,
+        ] {
+            assert!(
+                events.iter().any(|e| e.component == component),
+                "no event from {component:?}"
+            );
+        }
+        // Every span ends at or before the run's finish cycle.
+        let finish = accel.stats().finish;
+        assert!(events.iter().all(|e| e.start + e.dur <= finish));
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! * [`engine`] — [`engine::Accelerator`]: the decoupled
 //!   load / execute / store scoreboard (Gemmini's ROB) that overlaps DMA
 //!   with compute, executes instructions functionally, and accounts cycles.
+//! * [`trace`] — the profiler every timed operation reports into: the
+//!   always-on cycle-attribution log plus the optional Chrome-trace event
+//!   sink (re-exported from `gemmini_mem::trace`).
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod isa;
 pub mod mesh;
 pub mod peripherals;
 pub mod scratchpad;
+pub mod trace;
 
 pub use config::{DataType, Dataflow, GemminiConfig};
 pub use engine::{AccelError, Accelerator, ExecStats, MemCtx};

@@ -31,6 +31,13 @@ impl BusConfig {
         }
         Ok(())
     }
+
+    /// Cycles an uncontended transfer of `bytes` occupies the bus
+    /// (beats plus arbitration) — the ideal streaming time a requestor
+    /// pays even when the rest of the memory path is free.
+    pub fn service_cycles(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle).max(1) + self.arbitration_latency
+    }
 }
 
 impl Default for BusConfig {

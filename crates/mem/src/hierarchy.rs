@@ -11,6 +11,7 @@ use crate::bus::{Bus, BusConfig};
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::dram::{DramConfig, DramModel};
 use crate::stats::TrafficStats;
+use crate::trace::{Component, StallCause, Tracer};
 use crate::Cycle;
 use std::collections::HashMap;
 
@@ -65,6 +66,7 @@ pub struct MemorySystem {
     l2: Cache,
     dram: DramModel,
     port_traffic: HashMap<PortId, TrafficStats>,
+    tracer: Tracer,
 }
 
 impl MemorySystem {
@@ -83,7 +85,14 @@ impl MemorySystem {
             l2: Cache::new(config.l2),
             dram: DramModel::new(config.dram),
             port_traffic: HashMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace-event sink; L2 misses emit DRAM line-fill spans
+    /// into it. Disabled by default (one branch per access).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration this hierarchy was built with.
@@ -115,6 +124,13 @@ impl MemorySystem {
                 let fill_done = self
                     .dram
                     .transfer(bus_done + res.latency, crate::addr::LINE_SIZE);
+                self.tracer.span(
+                    Component::Dram,
+                    "line-fill",
+                    bus_done + res.latency,
+                    fill_done,
+                    StallCause::CacheMiss,
+                );
                 if res.writeback {
                     // The dirty victim's writeback occupies the DRAM channel
                     // (delaying later requests) but the demand fill does not
@@ -165,6 +181,14 @@ impl MemorySystem {
     /// The system bus model.
     pub fn bus(&self) -> &Bus {
         &self.bus
+    }
+
+    /// Ideal (uncontended, all-hits-free) streaming time for `bytes`:
+    /// the bus service time alone. Cycle-attribution uses this to split
+    /// a transfer's memory time into bandwidth-limited streaming versus
+    /// stalling on the L2/DRAM path behind it.
+    pub fn streaming_cycles(&self, bytes: u64) -> u64 {
+        self.config.bus.service_cycles(bytes)
     }
 
     /// Traffic generated by `port`, if any was recorded.

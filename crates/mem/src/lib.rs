@@ -15,7 +15,13 @@
 //! * [`hierarchy`] — [`hierarchy::MemorySystem`], the composed
 //!   bus → L2 → DRAM pipeline that the rest of the stack talks to.
 //! * [`stats`] — counters and windowed time series used to regenerate the
-//!   paper's profile figures.
+//!   paper's profile figures, including the per-run
+//!   [`stats::CycleAttribution`] breakdown.
+//! * [`trace`] — the observability substrate: a zero-overhead-when-disabled
+//!   event sink ([`trace::Tracer`]) components emit spans into, the
+//!   always-on [`trace::AttributionLog`] the cycle-attribution report is
+//!   computed from, and a Chrome `trace_event` JSON exporter for
+//!   `chrome://tracing`/Perfetto.
 //! * [`json`] — a hand-rolled serde-free JSON value model shared by the
 //!   sweep checkpoint files and the figure binaries' machine-readable
 //!   output (the build environment has no crates.io access).
@@ -45,6 +51,7 @@ pub mod hierarchy;
 pub mod json;
 pub mod sram;
 pub mod stats;
+pub mod trace;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use cache::{Cache, CacheConfig};

@@ -362,6 +362,123 @@ impl FromJson for TrafficStats {
     }
 }
 
+/// Exclusive classification of every simulated cycle of a run.
+///
+/// Produced by [`crate::trace::AttributionLog::finish`]: each cycle of
+/// `[0, total)` lands in exactly one bucket, so the buckets always sum
+/// to the run's total cycle count ([`CycleAttribution::total`]). Merging
+/// is plain field-wise addition — a commutative monoid like
+/// [`HitMissStats`] — so per-core attributions fold into an SoC-level
+/// one and sharded sweeps can roll points up in any order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// Cycles the spatial array (or an execute-unit peripheral) was busy.
+    pub compute: u64,
+    /// Cycles the load unit was streaming data in at bus bandwidth
+    /// (stall cycles are attributed to a more specific bucket below).
+    pub load: u64,
+    /// Cycles the store unit was streaming data out (same exclusion).
+    pub store: u64,
+    /// Cycles a DMA stream was stalled on the TLB hierarchy.
+    pub tlb_stall: u64,
+    /// Cycles a local-memory access waited on a busy SRAM bank.
+    pub bank_conflict: u64,
+    /// Cycles a DMA stream waited on the bus → L2 → DRAM path beyond
+    /// the ideal streaming time (contention, L2 latency, DRAM fills).
+    pub dram: u64,
+    /// Cycles no unit was doing anything the buckets above cover.
+    pub idle: u64,
+}
+
+impl CycleAttribution {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of every bucket — by construction the run's total cycles.
+    pub fn total(&self) -> u64 {
+        self.busy() + self.idle
+    }
+
+    /// Sum of the non-idle buckets.
+    pub fn busy(&self) -> u64 {
+        self.compute + self.load + self.store + self.tlb_stall + self.bank_conflict + self.dram
+    }
+
+    /// Fraction of total cycles spent in non-idle buckets; `0.0` for an
+    /// empty attribution.
+    pub fn utilization(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.busy() as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of total cycles spent waiting on the memory system
+    /// (tlb-stall + bank-conflict + dram); `0.0` for an empty attribution.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tlb_stall + self.bank_conflict + self.dram) as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another attribution into this one (field-wise addition).
+    pub fn merge(&mut self, other: &CycleAttribution) {
+        self.compute += other.compute;
+        self.load += other.load;
+        self.store += other.store;
+        self.tlb_stall += other.tlb_stall;
+        self.bank_conflict += other.bank_conflict;
+        self.dram += other.dram;
+        self.idle += other.idle;
+    }
+
+    /// The buckets as `(name, cycles)` rows in report order.
+    pub fn rows(&self) -> [(&'static str, u64); 7] {
+        [
+            ("compute", self.compute),
+            ("load", self.load),
+            ("store", self.store),
+            ("tlb-stall", self.tlb_stall),
+            ("bank-conflict", self.bank_conflict),
+            ("dram", self.dram),
+            ("idle", self.idle),
+        ]
+    }
+}
+
+impl ToJson for CycleAttribution {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("compute", Json::from(self.compute)),
+            ("load", Json::from(self.load)),
+            ("store", Json::from(self.store)),
+            ("tlb_stall", Json::from(self.tlb_stall)),
+            ("bank_conflict", Json::from(self.bank_conflict)),
+            ("dram", Json::from(self.dram)),
+            ("idle", Json::from(self.idle)),
+        ])
+    }
+}
+
+impl FromJson for CycleAttribution {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            compute: value.field("compute")?.as_u64()?,
+            load: value.field("load")?.as_u64()?,
+            store: value.field("store")?.as_u64()?,
+            tlb_stall: value.field("tlb_stall")?.as_u64()?,
+            bank_conflict: value.field("bank_conflict")?.as_u64()?,
+            dram: value.field("dram")?.as_u64()?,
+            idle: value.field("idle")?.as_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +587,34 @@ mod tests {
         let mut a = WindowedRate::new(10);
         let b = WindowedRate::new(20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn attribution_totals_and_merge() {
+        let a = CycleAttribution {
+            compute: 50,
+            load: 20,
+            store: 10,
+            tlb_stall: 5,
+            bank_conflict: 1,
+            dram: 4,
+            idle: 10,
+        };
+        assert_eq!(a.busy(), 90);
+        assert_eq!(a.total(), 100);
+        assert!((a.utilization() - 0.9).abs() < 1e-12);
+        assert!((a.memory_fraction() - 0.1).abs() < 1e-12);
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(m.total(), 200);
+        assert_eq!(m.compute, 100);
+        // Identity.
+        let mut id = a;
+        id.merge(&CycleAttribution::default());
+        assert_eq!(id, a);
+        // Round trip.
+        assert_eq!(CycleAttribution::from_json(&a.to_json()).unwrap(), a);
+        assert_eq!(a.rows().iter().map(|&(_, v)| v).sum::<u64>(), a.total());
     }
 
     #[test]

@@ -1,0 +1,677 @@
+//! The trace-event substrate behind the cycle-attribution profiler and
+//! the Chrome `trace_event` export.
+//!
+//! Two layers share this module:
+//!
+//! * [`Tracer`] — a cloneable handle to an optional, shared [`EventSink`]
+//!   trait object. The disabled handle (the default) is a `None` check on
+//!   every emission site, so instrumented components pay nothing when
+//!   tracing is off. Components across the stack (engine units, DMA,
+//!   TLB/PTW, L2/DRAM) hold clones of one handle, each tagged with a
+//!   `pid` lane, and emit spans and instant events into the same sink.
+//! * [`AttributionLog`] — the always-on, exact record of *busy intervals*
+//!   that the cycle-attribution report is computed from. Intervals carry
+//!   an [`AttributionKind`]; [`AttributionLog::finish`] partitions the
+//!   timeline by a fixed priority so every simulated cycle lands in
+//!   exactly one bucket of
+//!   [`CycleAttribution`](crate::stats::CycleAttribution). The log
+//!   coalesces adjacent same-kind intervals on insert and folds settled
+//!   prefixes into bucket counters on demand, so memory stays bounded on
+//!   full-network runs.
+//!
+//! Exported traces use the Chrome `trace_event` *array form* — a JSON
+//! array of objects with `ph`/`ts`/`dur`/`pid`/`tid` keys — loadable
+//! directly in `chrome://tracing` or Perfetto. One simulated cycle is
+//! encoded as one microsecond of trace time.
+
+use crate::json::Json;
+use crate::stats::CycleAttribution;
+use crate::Cycle;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// The `pid` lane used for shared (not per-core) SoC components such as
+/// the L2 and the DRAM channel. Per-core lanes use the core id.
+pub const SOC_TRACE_PID: u64 = 1000;
+
+/// Which component emitted an event. Becomes the Chrome trace `tid`
+/// lane (within the emitting component's `pid`) and the event category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The engine's load (mvin) unit.
+    LoadUnit,
+    /// The engine's execute unit (preloads, peripheral work).
+    ExecuteUnit,
+    /// The engine's store (mvout) unit.
+    StoreUnit,
+    /// The spatial array itself (compute occupancy).
+    Mesh,
+    /// The scratchpad's banked SRAM.
+    Scratchpad,
+    /// The stream DMA engine.
+    Dma,
+    /// The TLB hierarchy (filter registers, private/shared TLBs).
+    Tlb,
+    /// The page-table walker.
+    Ptw,
+    /// The shared L2 cache.
+    L2,
+    /// The DRAM channel.
+    Dram,
+    /// The software runtime (layer boundaries).
+    Runtime,
+}
+
+impl Component {
+    /// Stable lane number for the Chrome trace `tid` field.
+    pub fn lane(self) -> u64 {
+        match self {
+            Self::Runtime => 0,
+            Self::LoadUnit => 1,
+            Self::ExecuteUnit => 2,
+            Self::Mesh => 3,
+            Self::StoreUnit => 4,
+            Self::Dma => 5,
+            Self::Scratchpad => 6,
+            Self::Tlb => 7,
+            Self::Ptw => 8,
+            Self::L2 => 9,
+            Self::Dram => 10,
+        }
+    }
+
+    /// Short category label used in the Chrome trace `cat` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::LoadUnit => "load",
+            Self::ExecuteUnit => "execute",
+            Self::StoreUnit => "store",
+            Self::Mesh => "mesh",
+            Self::Scratchpad => "scratchpad",
+            Self::Dma => "dma",
+            Self::Tlb => "tlb",
+            Self::Ptw => "ptw",
+            Self::L2 => "l2",
+            Self::Dram => "dram",
+            Self::Runtime => "runtime",
+        }
+    }
+}
+
+/// Why a span spent time stalled, if it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StallCause {
+    /// Not a stall (plain occupancy).
+    #[default]
+    None,
+    /// Waiting on the TLB hierarchy (hit pipeline latency or a walk).
+    TlbMiss,
+    /// Waiting on a busy scratchpad bank.
+    BankConflict,
+    /// Waiting on the bus → L2 → DRAM path.
+    DramAccess,
+    /// A shared-L2 miss forced a DRAM line fill.
+    CacheMiss,
+}
+
+impl StallCause {
+    /// Short label for the Chrome trace `args.cause` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::TlbMiss => "tlb-miss",
+            Self::BankConflict => "bank-conflict",
+            Self::DramAccess => "dram-access",
+            Self::CacheMiss => "cache-miss",
+        }
+    }
+}
+
+/// One emitted event: a span (`dur > 0`) or an instant (`dur == 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Process lane: the core id, or [`SOC_TRACE_PID`] for shared state.
+    pub pid: u64,
+    /// Emitting component (becomes the thread lane and category).
+    pub component: Component,
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// First cycle covered.
+    pub start: Cycle,
+    /// Covered cycles (`0` renders as an instant event).
+    pub dur: Cycle,
+    /// Stall classification, if any.
+    pub cause: StallCause,
+}
+
+/// Destination for emitted events. The "no-op default" is simply a
+/// disabled [`Tracer`] (no sink at all); [`NullSink`] exists for callers
+/// that need an explicit do-nothing object.
+pub trait EventSink: Send + fmt::Debug {
+    /// Receives one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// An [`EventSink`] that drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// An [`EventSink`] that buffers events in memory for later export.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Vec<TraceEvent>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the buffered events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl EventSink for BufferSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Cloneable handle to an optional shared event sink.
+///
+/// The default handle is *disabled*: every emission method is a single
+/// `Option` check, which is what makes instrumentation free when tracing
+/// is off. Clones share the same sink; [`Tracer::with_pid`] re-tags a
+/// clone with a different `pid` lane so one sink collects events from
+/// every core and shared component.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<dyn EventSink>>>,
+    pid: u64,
+}
+
+impl Tracer {
+    /// The disabled handle (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `sink` in a new enabled handle with `pid` lane 0.
+    pub fn new(sink: impl EventSink + 'static) -> Self {
+        Self::from_shared(Arc::new(Mutex::new(sink)))
+    }
+
+    /// Builds a handle around an existing shared sink (the caller keeps
+    /// its typed `Arc` to read results back out).
+    pub fn from_shared(sink: Arc<Mutex<dyn EventSink>>) -> Self {
+        Self {
+            sink: Some(sink),
+            pid: 0,
+        }
+    }
+
+    /// Convenience: an enabled handle plus the typed buffer behind it.
+    pub fn buffered() -> (Self, Arc<Mutex<BufferSink>>) {
+        let buffer = Arc::new(Mutex::new(BufferSink::new()));
+        let sink: Arc<Mutex<dyn EventSink>> = buffer.clone();
+        (Self::from_shared(sink), buffer)
+    }
+
+    /// A clone of this handle tagged with a different `pid` lane.
+    pub fn with_pid(&self, pid: u64) -> Self {
+        Self {
+            sink: self.sink.clone(),
+            pid,
+        }
+    }
+
+    /// Whether a sink is attached. Emission sites that must format
+    /// dynamic names should check this first.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits a span covering `[start, end)`. No-op when disabled or when
+    /// the span is empty.
+    #[inline]
+    pub fn span(
+        &self,
+        component: Component,
+        name: &str,
+        start: Cycle,
+        end: Cycle,
+        cause: StallCause,
+    ) {
+        if let Some(sink) = &self.sink {
+            if end > start {
+                sink.lock().expect("trace sink lock").record(TraceEvent {
+                    pid: self.pid,
+                    component,
+                    name: name.to_string(),
+                    start,
+                    dur: end - start,
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Emits an instant event at `at`. No-op when disabled.
+    #[inline]
+    pub fn instant(&self, component: Component, name: &str, at: Cycle, cause: StallCause) {
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("trace sink lock").record(TraceEvent {
+                pid: self.pid,
+                component,
+                name: name.to_string(),
+                start: at,
+                dur: 0,
+                cause,
+            });
+        }
+    }
+}
+
+/// Kind of busy interval recorded into an [`AttributionLog`].
+///
+/// Declaration order is *attribution priority*: when intervals of
+/// different kinds overlap, each cycle is charged to the earliest listed
+/// kind covering it. Compute wins over everything (an overlapped stall
+/// is hidden, exactly the overlap the decoupled engine exists to
+/// create); specific stall causes win over the generic load/store
+/// occupancy that contains them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttributionKind {
+    /// The spatial array (or a peripheral on the execute unit) was busy.
+    Compute,
+    /// A DMA stream was stalled on the TLB hierarchy.
+    TlbStall,
+    /// A local-memory access waited on a busy SRAM bank.
+    BankConflict,
+    /// A DMA stream was waiting on the bus → L2 → DRAM path.
+    Dram,
+    /// The load unit was otherwise busy streaming data in.
+    Load,
+    /// The store unit was otherwise busy streaming data out.
+    Store,
+}
+
+/// The number of [`AttributionKind`] variants (sweep-line scratch size).
+const KIND_COUNT: usize = 6;
+
+/// All kinds in priority order (index = `as usize` discriminant).
+const KINDS: [AttributionKind; KIND_COUNT] = [
+    AttributionKind::Compute,
+    AttributionKind::TlbStall,
+    AttributionKind::BankConflict,
+    AttributionKind::Dram,
+    AttributionKind::Load,
+    AttributionKind::Store,
+];
+
+/// One recorded busy interval: `[start, end)` of `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttributionSpan {
+    /// Interval kind (and priority).
+    pub kind: AttributionKind,
+    /// First busy cycle.
+    pub start: Cycle,
+    /// One past the last busy cycle.
+    pub end: Cycle,
+}
+
+/// Spans kept in memory before the log folds a settled prefix.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// The always-on interval record behind the cycle-attribution report.
+///
+/// `record` is O(1) (amortized) and coalesces against the previous span;
+/// `maybe_compact` folds every interval that ends before a caller-proved
+/// *frontier* — a cycle no future interval can start before — into
+/// bucket counters, bounding memory on long runs without changing the
+/// final partition; `finish` produces the exact, exclusive
+/// [`CycleAttribution`] for `[0, total)`.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionLog {
+    spans: Vec<AttributionSpan>,
+    folded: CycleAttribution,
+    folded_until: Cycle,
+}
+
+impl AttributionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end)`. Empty intervals are
+    /// ignored; an interval overlapping or adjacent to the previous
+    /// record of the same kind extends it in place.
+    #[inline]
+    pub fn record(&mut self, kind: AttributionKind, start: Cycle, end: Cycle) {
+        if end <= start {
+            return;
+        }
+        if let Some(last) = self.spans.last_mut() {
+            if last.kind == kind && start <= last.end && end > last.start {
+                last.start = last.start.min(start);
+                last.end = last.end.max(end);
+                return;
+            }
+        }
+        self.spans.push(AttributionSpan { kind, start, end });
+    }
+
+    /// Number of spans currently held (folded prefixes excluded).
+    pub fn pending_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Folds settled intervals into bucket counters once the log grows
+    /// past an internal threshold. `frontier` must be a cycle no
+    /// *future* interval can start before (the engine passes the minimum
+    /// of its units' free times); intervals crossing it are split.
+    #[inline]
+    pub fn maybe_compact(&mut self, frontier: Cycle) {
+        if self.spans.len() >= COMPACT_THRESHOLD {
+            self.compact(frontier);
+        }
+    }
+
+    /// Unconditionally folds everything below `frontier`.
+    pub fn compact(&mut self, frontier: Cycle) {
+        if frontier <= self.folded_until {
+            return;
+        }
+        let mut settled: Vec<AttributionSpan> = Vec::new();
+        let mut kept: Vec<AttributionSpan> = Vec::with_capacity(self.spans.len() / 2);
+        for &span in &self.spans {
+            if span.end <= frontier {
+                settled.push(span);
+            } else if span.start >= frontier {
+                kept.push(span);
+            } else {
+                settled.push(AttributionSpan {
+                    end: frontier,
+                    ..span
+                });
+                kept.push(AttributionSpan {
+                    start: frontier,
+                    ..span
+                });
+            }
+        }
+        partition_into(&settled, self.folded_until, frontier, &mut self.folded);
+        self.spans = kept;
+        self.folded_until = frontier;
+    }
+
+    /// The exact attribution of `[0, total)`: folded prefixes plus a
+    /// partition of the remaining spans, with `idle` as the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded interval extends past `total` — by
+    /// construction every engine interval ends at or before the finish
+    /// cycle, so this indicates an instrumentation bug.
+    pub fn finish(&self, total: Cycle) -> CycleAttribution {
+        if let Some(span) = self.spans.iter().find(|s| s.end > total) {
+            panic!(
+                "attribution interval [{}, {}) extends past the {total}-cycle run",
+                span.start, span.end
+            );
+        }
+        let mut out = self.folded;
+        partition_into(&self.spans, self.folded_until, total, &mut out);
+        let busy = out.busy();
+        debug_assert!(busy <= total);
+        out.idle = total - busy;
+        out
+    }
+}
+
+/// Sweep-line partition of `[lo, hi)`: each cycle covered by at least
+/// one span is charged to the highest-priority covering kind; the
+/// resulting bucket cycles are added to `out`. Spans are clamped to
+/// `[lo, hi)`.
+fn partition_into(spans: &[AttributionSpan], lo: Cycle, hi: Cycle, out: &mut CycleAttribution) {
+    if spans.is_empty() || hi <= lo {
+        return;
+    }
+    // Boundary events: (position, kind, open/close).
+    let mut events: Vec<(Cycle, usize, bool)> = Vec::with_capacity(spans.len() * 2);
+    for span in spans {
+        let start = span.start.max(lo);
+        let end = span.end.min(hi);
+        if end > start {
+            events.push((start, span.kind as usize, true));
+            events.push((end, span.kind as usize, false));
+        }
+    }
+    events.sort_unstable();
+    let mut active = [0u64; KIND_COUNT];
+    let mut prev: Cycle = 0;
+    let mut have_prev = false;
+    for &(pos, kind, open) in &events {
+        if have_prev && pos > prev {
+            // Charge the elementary interval to the highest-priority
+            // active kind, if any.
+            if let Some(k) = (0..KIND_COUNT).find(|&i| active[i] > 0) {
+                *bucket_mut(out, KINDS[k]) += pos - prev;
+            }
+        }
+        if open {
+            active[kind] += 1;
+        } else {
+            active[kind] -= 1;
+        }
+        prev = pos;
+        have_prev = true;
+    }
+}
+
+fn bucket_mut(attr: &mut CycleAttribution, kind: AttributionKind) -> &mut u64 {
+    match kind {
+        AttributionKind::Compute => &mut attr.compute,
+        AttributionKind::TlbStall => &mut attr.tlb_stall,
+        AttributionKind::BankConflict => &mut attr.bank_conflict,
+        AttributionKind::Dram => &mut attr.dram,
+        AttributionKind::Load => &mut attr.load,
+        AttributionKind::Store => &mut attr.store,
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON array. Spans become
+/// complete events (`ph: "X"`); instants become thread-scoped instant
+/// events (`ph: "i"`). One cycle = one microsecond of `ts`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("name", Json::from(e.name.clone())),
+                    ("cat", Json::from(e.component.label())),
+                    ("ph", Json::from(if e.dur == 0 { "i" } else { "X" })),
+                    ("ts", Json::from(e.start)),
+                    ("pid", Json::from(e.pid)),
+                    ("tid", Json::from(e.component.lane())),
+                ];
+                if e.dur == 0 {
+                    fields.push(("s", Json::from("t")));
+                } else {
+                    fields.push(("dur", Json::from(e.dur)));
+                }
+                if e.cause != StallCause::None {
+                    fields.push(("args", Json::obj([("cause", Json::from(e.cause.label()))])));
+                }
+                Json::obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Writes `events` to `path` as a Chrome `trace_event` JSON array.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_chrome_trace(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, format!("{}\n", chrome_trace_json(events).encode()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        // Emission on a disabled handle must be a no-op, not a panic.
+        t.span(Component::Dma, "x", 0, 10, StallCause::None);
+        t.instant(Component::Tlb, "y", 5, StallCause::TlbMiss);
+    }
+
+    #[test]
+    fn buffered_tracer_collects_events_across_clones() {
+        let (t, buf) = Tracer::buffered();
+        t.span(Component::LoadUnit, "mvin", 0, 8, StallCause::None);
+        t.with_pid(3)
+            .instant(Component::Ptw, "walk", 4, StallCause::TlbMiss);
+        let events = buf.lock().unwrap().take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].pid, 0);
+        assert_eq!(events[0].dur, 8);
+        assert_eq!(events[1].pid, 3);
+        assert_eq!(events[1].dur, 0);
+    }
+
+    #[test]
+    fn empty_spans_are_dropped() {
+        let (t, buf) = Tracer::buffered();
+        t.span(Component::Dma, "empty", 7, 7, StallCause::None);
+        assert!(buf.lock().unwrap().events().is_empty());
+    }
+
+    #[test]
+    fn chrome_export_has_required_keys() {
+        let events = vec![
+            TraceEvent {
+                pid: 0,
+                component: Component::Mesh,
+                name: "compute".into(),
+                start: 10,
+                dur: 5,
+                cause: StallCause::None,
+            },
+            TraceEvent {
+                pid: 1,
+                component: Component::Tlb,
+                name: "miss".into(),
+                start: 12,
+                dur: 0,
+                cause: StallCause::TlbMiss,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        for e in arr {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
+        assert_eq!(arr[0].field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(arr[0].field("dur").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(arr[1].field("ph").unwrap().as_str().unwrap(), "i");
+        assert_eq!(
+            arr[1]
+                .field("args")
+                .unwrap()
+                .field("cause")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "tlb-miss"
+        );
+    }
+
+    #[test]
+    fn log_partitions_by_priority() {
+        let mut log = AttributionLog::new();
+        // Load busy 0..100, compute overlaps 20..60, tlb stall 0..10
+        // (inside the load), dram wait 10..30.
+        log.record(AttributionKind::Load, 0, 100);
+        log.record(AttributionKind::Compute, 20, 60);
+        log.record(AttributionKind::TlbStall, 0, 10);
+        log.record(AttributionKind::Dram, 10, 30);
+        let a = log.finish(120);
+        assert_eq!(a.compute, 40); // 20..60
+        assert_eq!(a.tlb_stall, 10); // 0..10
+        assert_eq!(a.dram, 10); // 10..20 (20..30 hidden under compute)
+        assert_eq!(a.load, 40); // 60..100 — the rest is charged elsewhere
+        assert_eq!(a.store, 0);
+        assert_eq!(a.idle, 20); // 100..120
+        assert_eq!(a.total(), 120);
+    }
+
+    #[test]
+    fn coalescing_merges_adjacent_same_kind_spans() {
+        let mut log = AttributionLog::new();
+        log.record(AttributionKind::TlbStall, 0, 2);
+        log.record(AttributionKind::TlbStall, 2, 4);
+        log.record(AttributionKind::TlbStall, 3, 9);
+        assert_eq!(log.pending_spans(), 1);
+        let a = log.finish(10);
+        assert_eq!(a.tlb_stall, 9);
+        assert_eq!(a.idle, 1);
+    }
+
+    #[test]
+    fn compaction_does_not_change_the_partition() {
+        let mut a = AttributionLog::new();
+        let mut b = AttributionLog::new();
+        let spans = [
+            (AttributionKind::Load, 0u64, 50u64),
+            (AttributionKind::Compute, 10, 30),
+            (AttributionKind::Store, 40, 80),
+            (AttributionKind::Dram, 45, 60),
+            (AttributionKind::Compute, 70, 90),
+        ];
+        for &(k, s, e) in &spans {
+            a.record(k, s, e);
+            b.record(k, s, e);
+        }
+        b.compact(55);
+        b.compact(75);
+        assert_eq!(a.finish(100), b.finish(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past")]
+    fn finish_rejects_intervals_past_total() {
+        let mut log = AttributionLog::new();
+        log.record(AttributionKind::Compute, 0, 50);
+        let _ = log.finish(10);
+    }
+}

@@ -5,8 +5,32 @@ use gemmini_mem::cache::{AccessKind, Cache, CacheConfig};
 use gemmini_mem::dram::{DramConfig, DramModel, MainMemory};
 use gemmini_mem::hierarchy::{MemorySystem, MemorySystemConfig};
 use gemmini_mem::json::{FromJson, ToJson};
-use gemmini_mem::stats::{HitMissStats, TrafficStats, WindowedRate};
+use gemmini_mem::stats::{CycleAttribution, HitMissStats, TrafficStats, WindowedRate};
+use gemmini_mem::trace::{AttributionKind, AttributionLog};
 use proptest::prelude::*;
+
+/// Every attribution kind, in priority order (highest first) — mirrors
+/// the declaration order the sweep-line partition charges by.
+const ATTR_KINDS: [AttributionKind; 6] = [
+    AttributionKind::Compute,
+    AttributionKind::TlbStall,
+    AttributionKind::BankConflict,
+    AttributionKind::Dram,
+    AttributionKind::Load,
+    AttributionKind::Store,
+];
+
+/// The bucket counter a kind feeds, on a mutable attribution record.
+fn attr_bucket(attr: &mut CycleAttribution, kind: AttributionKind) -> &mut u64 {
+    match kind {
+        AttributionKind::Compute => &mut attr.compute,
+        AttributionKind::TlbStall => &mut attr.tlb_stall,
+        AttributionKind::BankConflict => &mut attr.bank_conflict,
+        AttributionKind::Dram => &mut attr.dram,
+        AttributionKind::Load => &mut attr.load,
+        AttributionKind::Store => &mut attr.store,
+    }
+}
 
 /// Builds a windowed series by replaying `events` (cycle, hit) into a
 /// fresh collector with the given window width.
@@ -253,6 +277,91 @@ proptest! {
         all.extend(&eb);
         all.extend(&ec);
         prop_assert_eq!(&ab_c, &windowed(window, &all));
+    }
+
+    /// The sweep-line partition in `AttributionLog::finish` equals a
+    /// naive per-cycle classification (charge each cycle to the
+    /// highest-priority kind covering it; uncovered cycles are idle),
+    /// for arbitrary overlapping span soups — and compacting at an
+    /// arbitrary frontier first never changes the answer. Together with
+    /// `idle` as the remainder, the buckets always sum to `total`.
+    #[test]
+    fn attribution_partition_matches_per_cycle_classification(
+        raw in proptest::collection::vec((0usize..6, 0u64..200, 0u64..40), 0..40),
+        frontier in 0u64..260,
+    ) {
+        let mut log = AttributionLog::new();
+        let mut spans = Vec::new();
+        let mut max_end = 0u64;
+        for &(k, start, len) in &raw {
+            let kind = ATTR_KINDS[k];
+            log.record(kind, start, start + len);
+            if len > 0 {
+                spans.push((kind, start, start + len));
+                max_end = max_end.max(start + len);
+            }
+        }
+        let total = max_end + 7; // leave a guaranteed idle tail
+        let got = log.finish(total);
+
+        // Oracle: classify every cycle independently.
+        let mut want = CycleAttribution::new();
+        for c in 0..total {
+            match ATTR_KINDS
+                .iter()
+                .find(|&&k| spans.iter().any(|&(sk, s, e)| sk == k && s <= c && c < e))
+            {
+                Some(&k) => *attr_bucket(&mut want, k) += 1,
+                None => want.idle += 1,
+            }
+        }
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(got.total(), total);
+
+        // Compaction is invisible in the final report.
+        let mut compacted = log.clone();
+        compacted.compact(frontier.min(total));
+        prop_assert_eq!(compacted.finish(total), got);
+    }
+
+    /// `CycleAttribution::merge` is a commutative monoid (the sweep
+    /// rollup algebra), and the record survives a JSON text round-trip
+    /// bit-for-bit.
+    #[test]
+    fn cycle_attribution_merge_monoid_and_json_round_trip(
+        a in proptest::collection::vec(0u64..1 << 40, 7..8),
+        b in proptest::collection::vec(0u64..1 << 40, 7..8),
+        c in proptest::collection::vec(0u64..1 << 40, 7..8),
+    ) {
+        let attr = |v: &[u64]| CycleAttribution {
+            compute: v[0],
+            load: v[1],
+            store: v[2],
+            tlb_stall: v[3],
+            bank_conflict: v[4],
+            dram: v[5],
+            idle: v[6],
+        };
+        let (ra, rb, rc) = (attr(&a), attr(&b), attr(&c));
+        let mut ab = ra;
+        ab.merge(&rb);
+        let mut ba = rb;
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+        let mut ab_c = ab;
+        ab_c.merge(&rc);
+        let mut bc = rb;
+        bc.merge(&rc);
+        let mut a_bc = ra;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        let mut a_zero = ra;
+        a_zero.merge(&CycleAttribution::new());
+        prop_assert_eq!(a_zero, ra);
+
+        let text = ra.to_json().encode();
+        let reparsed = gemmini_mem::json::Json::parse(&text).unwrap();
+        prop_assert_eq!(CycleAttribution::from_json(&reparsed).unwrap(), ra);
     }
 
     /// JSON round-trip: decode(encode(x)) == x for every stats type, for

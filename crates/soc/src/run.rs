@@ -6,11 +6,13 @@ use crate::os::OsState;
 use crate::runtime::{read_virt, LayerTiming, NetworkExecution};
 use crate::soc::{Soc, SocConfig};
 use gemmini_core::dma::DmaStats;
+use gemmini_core::trace::{export_chrome_trace, Component, StallCause, Tracer, SOC_TRACE_PID};
 use gemmini_core::{AccelError, MemCtx};
 use gemmini_dnn::graph::{LayerClass, Network};
 use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
-use gemmini_mem::stats::{HitMissStats, TrafficStats};
+use gemmini_mem::stats::{CycleAttribution, HitMissStats, TrafficStats};
 use gemmini_mem::Cycle;
+use std::path::Path;
 
 /// Options for one run.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +94,9 @@ pub struct CoreReport {
     pub macs: u64,
     /// Context switches taken.
     pub context_switches: u64,
+    /// Where every simulated cycle went; buckets sum to `total_cycles`
+    /// exactly (see [`CycleAttribution`]).
+    pub attribution: CycleAttribution,
     /// Final output bytes (functional runs only).
     pub output: Option<Vec<i8>>,
 }
@@ -144,6 +149,9 @@ pub struct SocReport {
     /// Exact DRAM-channel traffic counters; merge-able across sweep
     /// points via [`TrafficStats::merge`].
     pub dram_traffic: TrafficStats,
+    /// Cycle attribution summed over all cores; merge-able across sweep
+    /// points via [`CycleAttribution::merge`].
+    pub attribution: CycleAttribution,
 }
 
 // --- JSON round-trip -------------------------------------------------------
@@ -281,6 +289,7 @@ impl ToJson for CoreReport {
             ),
             ("macs", Json::from(self.macs)),
             ("context_switches", Json::from(self.context_switches)),
+            ("attribution", self.attribution.to_json()),
             (
                 "output",
                 match &self.output {
@@ -331,6 +340,7 @@ impl FromJson for CoreReport {
             },
             macs: value.field("macs")?.as_u64()?,
             context_switches: value.field("context_switches")?.as_u64()?,
+            attribution: CycleAttribution::from_json(value.field("attribution")?)?,
             output,
         })
     }
@@ -366,6 +376,7 @@ impl ToJson for SocReport {
             ("dram_bytes", Json::from(self.dram_bytes)),
             ("l2_stats", self.l2_stats.to_json()),
             ("dram_traffic", self.dram_traffic.to_json()),
+            ("attribution", self.attribution.to_json()),
         ])
     }
 }
@@ -378,6 +389,7 @@ impl FromJson for SocReport {
             dram_bytes: value.field("dram_bytes")?.as_u64()?,
             l2_stats: HitMissStats::from_json(value.field("l2_stats")?)?,
             dram_traffic: TrafficStats::from_json(value.field("dram_traffic")?)?,
+            attribution: CycleAttribution::from_json(value.field("attribution")?)?,
         })
     }
 }
@@ -397,6 +409,11 @@ fn layer_reports(timings: &[LayerTiming]) -> Vec<LayerReport> {
 /// cores at kernel-step granularity (the core with the smallest local clock
 /// steps next), and returns the full report.
 ///
+/// If the `GEMMINI_TRACE` environment variable names a file, the run is
+/// traced and a Chrome `trace_event` JSON file is written there on
+/// completion (tracing never changes cycle results). For programmatic
+/// control of the sink, use [`run_networks_traced`].
+///
 /// # Errors
 ///
 /// Propagates the first accelerator error (e.g. a page fault) from any core.
@@ -409,12 +426,54 @@ pub fn run_networks(
     nets: &[Network],
     options: &RunOptions,
 ) -> Result<SocReport, AccelError> {
+    match std::env::var("GEMMINI_TRACE") {
+        Ok(path) if !path.is_empty() => {
+            let (tracer, sink) = Tracer::buffered();
+            let report = run_networks_traced(config, nets, options, &tracer)?;
+            let events = sink.lock().expect("trace sink lock").take();
+            if let Err(e) = export_chrome_trace(Path::new(&path), &events) {
+                eprintln!("warning: could not write trace to {path}: {e}");
+            }
+            Ok(report)
+        }
+        _ => run_networks_traced(config, nets, options, &Tracer::disabled()),
+    }
+}
+
+/// Like [`run_networks`], but with an explicit trace-event sink: when
+/// `tracer` is enabled, every core's engine, translation hardware, and the
+/// shared memory hierarchy emit spans into it (cores use their core id as
+/// the trace pid; shared components use [`SOC_TRACE_PID`]), and the runtime
+/// contributes one span per layer. With a [`Tracer::disabled`] tracer this
+/// is exactly `run_networks` minus the `GEMMINI_TRACE` environment lookup —
+/// cycle results are identical either way.
+///
+/// # Errors
+///
+/// Propagates the first accelerator error (e.g. a page fault) from any core.
+///
+/// # Panics
+///
+/// Panics if `nets.len()` differs from the configured core count.
+pub fn run_networks_traced(
+    config: &SocConfig,
+    nets: &[Network],
+    options: &RunOptions,
+    tracer: &Tracer,
+) -> Result<SocReport, AccelError> {
     assert_eq!(
         nets.len(),
         config.cores.len(),
         "need exactly one network per core"
     );
     let mut soc = Soc::new(config, options.functional);
+    if tracer.enabled() {
+        soc.mem.set_tracer(tracer.with_pid(SOC_TRACE_PID));
+        for core in &mut soc.cores {
+            core.accel.set_tracer(tracer.with_pid(core.id as u64));
+            core.translation.set_tracer(tracer.with_pid(core.id as u64));
+        }
+    }
     let Soc {
         cores,
         mem,
@@ -475,8 +534,24 @@ pub fn run_networks(
         }
     }
 
+    // Runtime-level layer spans: one per layer, on the core's trace lane.
+    if tracer.enabled() {
+        for (core, exec) in cores.iter().zip(&execs) {
+            let lane = tracer.with_pid(core.id as u64);
+            for t in exec.timings() {
+                lane.span(
+                    Component::Runtime,
+                    &t.name,
+                    t.start,
+                    t.end,
+                    StallCause::None,
+                );
+            }
+        }
+    }
+
     // Assemble reports.
-    let core_reports = cores
+    let core_reports: Vec<CoreReport> = cores
         .iter()
         .zip(&execs)
         .zip(&os_states)
@@ -512,6 +587,7 @@ pub fn run_networks(
                 dma: *core.accel.dma_stats(),
                 macs: core.accel.stats().macs,
                 context_switches: os.switches(),
+                attribution: core.accel.attribution(),
                 output,
             }
         })
@@ -520,12 +596,17 @@ pub fn run_networks(
     let l2 = soc_l2_report(&soc);
     let l2_stats = *soc.mem.l2().stats();
     let dram_traffic = *soc.mem.dram().stats();
+    let mut attribution = CycleAttribution::new();
+    for core in &core_reports {
+        attribution.merge(&core.attribution);
+    }
     Ok(SocReport {
         cores: core_reports,
         l2,
         dram_bytes: dram_traffic.total_bytes(),
         l2_stats,
         dram_traffic,
+        attribution,
     })
 }
 
@@ -583,6 +664,61 @@ mod tests {
         let t = run_networks(&cfg, &[net], &RunOptions::timing()).unwrap();
         assert_eq!(f.cores[0].total_cycles, t.cores[0].total_cycles);
         assert!(t.cores[0].output.is_none());
+        // Attribution is observation-only, so both modes classify cycles
+        // identically.
+        assert_eq!(f.cores[0].attribution, t.cores[0].attribution);
+    }
+
+    #[test]
+    fn attribution_buckets_sum_to_total_cycles_on_every_core() {
+        let report = run_networks(
+            &SocConfig::edge_dual_core(),
+            &[zoo::tiny_cnn(), zoo::tiny_cnn()],
+            &RunOptions::timing(),
+        )
+        .unwrap();
+        let mut merged = gemmini_mem::stats::CycleAttribution::new();
+        for core in &report.cores {
+            let attr = core.attribution;
+            assert_eq!(
+                attr.total(),
+                core.total_cycles,
+                "buckets must sum to the run length: {attr:?}"
+            );
+            assert!(attr.compute > 0 && attr.load > 0 && attr.store > 0);
+            merged.merge(&attr);
+        }
+        assert_eq!(report.attribution, merged, "SoC rollup is the core fold");
+    }
+
+    #[test]
+    fn traced_run_emits_spans_without_changing_results() {
+        use gemmini_core::trace::{Component, Tracer, SOC_TRACE_PID};
+        let cfg = SocConfig::edge_single_core();
+        let net = zoo::tiny_cnn();
+        let plain = run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).unwrap();
+        let (tracer, sink) = Tracer::buffered();
+        let traced = run_networks_traced(
+            &cfg,
+            std::slice::from_ref(&net),
+            &RunOptions::timing(),
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let events = sink.lock().unwrap().take();
+        assert!(!events.is_empty());
+        // The runtime contributes one span per layer, on the core's lane.
+        let runtime_spans = events
+            .iter()
+            .filter(|e| e.component == Component::Runtime)
+            .count();
+        assert_eq!(runtime_spans, net.len());
+        assert!(events.iter().any(|e| e.pid == 0), "core-0 lane events");
+        assert!(
+            events.iter().any(|e| e.pid == SOC_TRACE_PID),
+            "shared memory-hierarchy events"
+        );
     }
 
     #[test]

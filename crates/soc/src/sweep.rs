@@ -19,8 +19,11 @@
 //!   becomes an `Err` entry carrying the point's label; the other
 //!   points still complete.
 //! * **Observability**: each completion emits one progress line to
-//!   stderr (`[12/32] private=16 shared=256 4.1s`) so long sweeps show
-//!   liveness.
+//!   stderr (`[12/32] private=16 shared=256 4.1s | 53.2s elapsed,
+//!   0.23 pts/s`) so long sweeps show liveness and throughput. Per-point
+//!   cycle attribution rides along in every [`SocReport`] (and therefore
+//!   in each checkpoint line), and `GEMMINI_TRACE` exports a Chrome
+//!   trace from any individual run.
 //! * **Exact aggregation**: [`merge_memory_stats`] folds per-point
 //!   memory counters through [`HitMissStats::merge`] and
 //!   [`TrafficStats::merge`], so totals across N parallel shards equal
@@ -227,6 +230,7 @@ where
         return Vec::new();
     }
     let workers = worker_count(opts.threads, total);
+    let sweep_start = Instant::now();
 
     let run_one = |label: &str, item: I, done: &AtomicUsize| -> SweepResult<T> {
         let start = Instant::now();
@@ -239,8 +243,10 @@ where
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if opts.progress {
             let status = if outcome.is_ok() { "" } else { "FAILED " };
+            let elapsed = sweep_start.elapsed().as_secs_f64();
+            let rate = finished as f64 / elapsed.max(1e-9);
             eprintln!(
-                "[{finished}/{total}] {label} {status}{:.1}s",
+                "[{finished}/{total}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
                 wall.as_secs_f64()
             );
         }

@@ -8,7 +8,7 @@ use gemmini_core::config::GemminiConfig;
 use gemmini_core::dma::DmaStats;
 use gemmini_dnn::graph::{Activation, Layer, LayerClass, Network};
 use gemmini_mem::json::{FromJson, Json, ToJson};
-use gemmini_mem::stats::{HitMissStats, TrafficStats};
+use gemmini_mem::stats::{CycleAttribution, HitMissStats, TrafficStats};
 use gemmini_soc::run::{
     run_networks, CoreReport, L2Report, LayerReport, RunOptions, SocReport, TranslationReport,
 };
@@ -90,11 +90,16 @@ fn report_from_seed(cores: usize, base: u64, with_output: bool) -> SocReport {
                 },
                 macs: b.wrapping_mul(256),
                 context_switches: b % 5,
+                attribution: attribution_from_seed(b),
                 output: with_output
                     .then(|| (0..(b % 20)).map(|i| (i as i8).wrapping_sub(10)).collect()),
             }
         })
         .collect();
+    let mut attribution = CycleAttribution::new();
+    for c in &core_reports {
+        attribution.merge(&c.attribution);
+    }
     SocReport {
         cores: core_reports,
         l2: L2Report {
@@ -111,6 +116,23 @@ fn report_from_seed(cores: usize, base: u64, with_output: bool) -> SocReport {
             t.record_write(base);
             t
         },
+        attribution,
+    }
+}
+
+/// Derives a fully-populated attribution record from one seed counter.
+/// Masked to 61 bits (still past f64's 53-bit integer range) so the
+/// SoC-level fold of up to four cores cannot overflow a u64.
+fn attribution_from_seed(b: u64) -> CycleAttribution {
+    let b = b & ((1 << 61) - 1);
+    CycleAttribution {
+        compute: b,
+        load: b / 2,
+        store: b / 3,
+        tlb_stall: b / 5,
+        bank_conflict: b % 7,
+        dram: b / 11,
+        idle: b % 13,
     }
 }
 
@@ -207,6 +229,32 @@ proptest! {
         let want = reference_forward(&net, seed);
         prop_assert_eq!(report.cores[0].output.as_ref().unwrap(), &want);
     }
+
+    /// On randomized timing-mode matmul networks the attribution buckets
+    /// partition the run exactly — they sum to `total_cycles` — and the
+    /// SoC-level record is the fold of the per-core records.
+    #[test]
+    fn attribution_partitions_random_timing_runs(
+        m in 1usize..48,
+        k in 1usize..64,
+        n in 1usize..48,
+        relu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut net = Network::new("prop_attr");
+        net.push("fc", Layer::Matmul {
+            m,
+            k,
+            n,
+            activation: if relu { Activation::Relu } else { Activation::None },
+        });
+        let opts = RunOptions { functional: false, seed };
+        let report = run_networks(&SocConfig::edge_single_core(), &[net], &opts).unwrap();
+        let core = &report.cores[0];
+        prop_assert_eq!(core.attribution.total(), core.total_cycles);
+        prop_assert!(core.attribution.busy() > 0);
+        prop_assert_eq!(report.attribution, core.attribution);
+    }
 }
 
 proptest! {
@@ -242,6 +290,44 @@ proptest! {
         let mut a_zero = ra;
         a_zero.absorb(&MemoryRollup::default());
         prop_assert_eq!(&a_zero, &ra);
+    }
+
+    /// `CycleAttribution::merge` is a commutative monoid, like the other
+    /// sweep-rollup primitives: attribution from N shards can be folded
+    /// in any order or grouping, and the zero record is the identity. The
+    /// bucket sums also behave linearly: `total` of a merge is the sum of
+    /// the inputs' totals.
+    #[test]
+    fn cycle_attribution_merge_is_commutative_monoid(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let ra = attribution_from_seed(a);
+        let rb = attribution_from_seed(b);
+        let rc = attribution_from_seed(c);
+        // Commutativity.
+        let mut ab = ra;
+        ab.merge(&rb);
+        let mut ba = rb;
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+        // Associativity.
+        let mut ab_c = ab;
+        ab_c.merge(&rc);
+        let mut bc = rb;
+        bc.merge(&rc);
+        let mut a_bc = ra;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        // Identity.
+        let mut a_zero = ra;
+        a_zero.merge(&CycleAttribution::new());
+        prop_assert_eq!(a_zero, ra);
+        // Totals are linear under merge (no cycle appears or vanishes).
+        prop_assert_eq!(ab.total(), ra.total() + rb.total());
+        // JSON round-trip, as persisted inside every checkpoint line.
+        prop_assert_eq!(CycleAttribution::from_json(&ra.to_json()).unwrap(), ra);
     }
 
     /// `decode(encode(x)) == x` for `SocReport` — the exact unit the

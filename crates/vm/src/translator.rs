@@ -13,6 +13,7 @@ use crate::ptw::{PageTableWalker, PtwConfig};
 use crate::tlb::{Tlb, TlbConfig};
 use gemmini_mem::addr::{PhysAddr, VirtAddr};
 use gemmini_mem::stats::WindowedRate;
+use gemmini_mem::trace::{Component, StallCause, Tracer};
 use gemmini_mem::{Cycle, MemorySystem};
 use std::error::Error;
 use std::fmt;
@@ -178,6 +179,7 @@ pub struct TranslationSystem {
     requests: u64,
     filter_hits: u64,
     walks_taken: u64,
+    tracer: Tracer,
 }
 
 impl TranslationSystem {
@@ -194,8 +196,15 @@ impl TranslationSystem {
             requests: 0,
             filter_hits: 0,
             walks_taken: 0,
+            tracer: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Attaches a trace-event sink; walks emit page-table-walker spans
+    /// into it. Disabled by default (a single branch per walk).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration this system was built with.
@@ -286,6 +295,13 @@ impl TranslationSystem {
         // 4. Full walk.
         self.walks_taken += 1;
         let outcome = self.ptw.walk(space, mem, now + latency, vpn);
+        self.tracer.span(
+            Component::Ptw,
+            "walk",
+            now + latency,
+            outcome.done,
+            StallCause::TlbMiss,
+        );
         let total_latency = outcome.done.saturating_sub(now);
         if !outcome.mapped {
             return Err(TranslateError::PageFault { vpn });

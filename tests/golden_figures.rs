@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use gemmini_bench::figures::{fig3_json, fig6_json, fig7_json, fig7_points};
+use gemmini_bench::figures::{fig3_json, fig6_json, fig7_attribution_json, fig7_json, fig7_points};
 use gemmini_bench::{quick_resnet, SweepOptions};
 use gemmini_dnn::zoo;
 use gemmini_mem::json::Json;
@@ -84,6 +84,24 @@ fn fig7_quick_matches_golden() {
         },
     );
     check_golden("fig7_quick.json", &fig7_json(&nets, &results));
+
+    // The cycle-attribution view of the same sweep: pinned separately so
+    // a classification change (which buckets cycles land in) is visible
+    // even when the total cycle counts are untouched. The partition
+    // invariant — buckets sum to the run length — holds on every point.
+    for r in &results {
+        let core = &r.expect_ok().cores[0];
+        assert_eq!(
+            core.attribution.total(),
+            core.total_cycles,
+            "{}: attribution buckets must sum to total_cycles",
+            r.label
+        );
+    }
+    check_golden(
+        "fig7_attribution.json",
+        &fig7_attribution_json(&nets, &results),
+    );
 }
 
 /// The golden files themselves must round-trip through the hand-rolled
@@ -91,7 +109,12 @@ fn fig7_quick_matches_golden() {
 /// reload.
 #[test]
 fn golden_files_round_trip() {
-    for name in ["fig3.json", "fig6.json", "fig7_quick.json"] {
+    for name in [
+        "fig3.json",
+        "fig6.json",
+        "fig7_quick.json",
+        "fig7_attribution.json",
+    ] {
         let path = golden_path(name);
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
