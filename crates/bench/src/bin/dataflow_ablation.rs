@@ -7,10 +7,13 @@
 //! accumulator read-modify-write (and its pipeline drain) per K-slice; OS
 //! keeps the output resident in the PEs across the whole K reduction but
 //! must stream B every compute.
+//!
+//! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
+//! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
+//! supervised multi-process execution.
 
-use gemmini_bench::{section, sweep_cli_options};
+use gemmini_bench::{section, sharded_sweep_map};
 use gemmini_soc::checkpoint::debug_fingerprint;
-use gemmini_soc::sweep::sweep_map_checkpointed;
 
 use gemmini_core::config::{Dataflow, GemminiConfig};
 use gemmini_core::isa::{Instruction, LocalAddr};
@@ -170,9 +173,9 @@ fn main() {
                 })
         })
         .collect();
-    let results = sweep_map_checkpointed(tasks, sweep_cli_options(), |(df, mb, kb)| {
-        Ok(run(df, mb, kb))
-    });
+    let Some(results) = sharded_sweep_map(tasks, |(df, mb, kb)| Ok(run(df, mb, kb))) else {
+        return; // shard worker: the checkpoint file is the output
+    };
     for (&(mb, kb), pair) in shapes.iter().zip(results.chunks(2)) {
         let ws = *pair[0].expect_ok();
         let os = *pair[1].expect_ok();

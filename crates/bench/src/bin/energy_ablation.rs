@@ -2,11 +2,15 @@
 //! energy and TOPS/W for each evaluated network and for the Fig. 3 spatial
 //! array extremes, combining the simulator's activity counters with the
 //! synthesis model's energy constants.
+//!
+//! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
+//! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
+//! supervised multi-process execution.
 
-use gemmini_bench::{quick_mode, quick_resnet, resnet_workload, section, sweep_cli_options};
+use gemmini_bench::{quick_mode, quick_resnet, resnet_workload, section, sharded_sweep};
 use gemmini_dnn::zoo;
 use gemmini_soc::run::{CoreReport, SocReport};
-use gemmini_soc::sweep::{run_sweep_with, DesignPoint};
+use gemmini_soc::sweep::DesignPoint;
 use gemmini_soc::SocConfig;
 use gemmini_synth::energy::{inference_energy, RunActivity};
 use gemmini_synth::timing::fmax_ghz;
@@ -49,7 +53,9 @@ fn main() {
         cfg.cores[0].accel = accel.clone();
         sweep.push(DesignPoint::timing(*name, cfg, &extreme_net));
     }
-    let results = run_sweep_with(sweep, sweep_cli_options());
+    let Some(results) = sharded_sweep(sweep) else {
+        return; // shard worker: the checkpoint file is the output
+    };
 
     section("Per-inference energy on the edge configuration (1 GHz)");
     println!(

@@ -11,19 +11,19 @@
 //!
 //! `--json <path>` persists every design point as one JSON line (the
 //! sweep checkpoint format); `--resume` skips points already in that
-//! file; `--trace <path>` writes a Chrome `trace_event` JSON timeline of
-//! the first design point. `tests/golden_figures.rs` guards the
-//! quick-mode numbers.
+//! file; `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` run
+//! the sweep as supervised multi-process shards; `--trace <path>` writes
+//! a Chrome `trace_event` JSON timeline of the first design point.
+//! `tests/golden_figures.rs` guards the quick-mode numbers.
 
 use gemmini_bench::figures::{fig7_points, FIG7_VARIANTS};
 use gemmini_bench::{
-    arg_value, export_trace_run, quick_mode, quick_resnet, section, sweep_cli_options, trace_path,
+    arg_value, export_trace_run, quick_mode, quick_resnet, section, sharded_sweep, trace_path,
 };
 use gemmini_cpu::kernels::network_cpu_cycles;
 use gemmini_cpu::{CpuKind, CpuModel};
 use gemmini_dnn::graph::Network;
 use gemmini_dnn::zoo;
-use gemmini_soc::sweep::run_sweep_with;
 
 struct Row {
     net: String,
@@ -49,7 +49,9 @@ fn main() {
     let clock = 1.0; // GHz, as in the paper's FPS numbers
 
     // One sweep point per (network, variant), in row-major order.
-    let results = run_sweep_with(fig7_points(&nets), sweep_cli_options());
+    let Some(results) = sharded_sweep(fig7_points(&nets)) else {
+        return; // shard worker: the checkpoint file is the output
+    };
 
     if let Some(path) = trace_path() {
         let point = fig7_points(&nets)

@@ -14,13 +14,15 @@
 //! `--json <path>` persists every design point as one JSON line (the
 //! sweep checkpoint format); `--resume` skips points already present in
 //! that file — CI exercises exactly this interrupt/resume path.
-//! `--trace <path>` writes a Chrome `trace_event` timeline of the first
-//! design point.
+//! `--shards N` runs the grid as N supervised worker processes (crashed
+//! workers are retried from their shard checkpoints); `--shard i/N` runs
+//! one worker's slice; `--merge <shard.jsonl>...` stitches existing shard
+//! checkpoints without simulating. `--trace <path>` writes a Chrome
+//! `trace_event` timeline of the first design point.
 
-use gemmini_bench::{export_trace_run, resnet_workload, section, sweep_cli_options, trace_path};
-use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
-use gemmini_soc::SocConfig;
-use gemmini_vm::tlb::TlbConfig;
+use gemmini_bench::figures::{fig8_grid, fig8_points, FIG8_PRIVATES, FIG8_SHAREDS};
+use gemmini_bench::{export_trace_run, resnet_workload, section, sharded_sweep, trace_path};
+use gemmini_soc::sweep::merge_memory_stats;
 
 struct Point {
     private: u32,
@@ -34,30 +36,15 @@ struct Point {
 
 fn main() {
     let net = resnet_workload();
-    let privates = [4u32, 8, 16, 32];
-    let shareds = [0u32, 128, 256, 512];
-
-    let mut grid = Vec::new();
-    let mut sweep = Vec::new();
-    for &filters in &[false, true] {
-        for &p in &privates {
-            for &s in &shareds {
-                let mut cfg = SocConfig::edge_single_core();
-                cfg.cores[0].translation.private = TlbConfig::private(p);
-                cfg.cores[0].translation.shared = TlbConfig::shared(s);
-                cfg.cores[0].translation.filter_registers = filters;
-                grid.push((p, s, filters));
-                sweep.push(DesignPoint::timing(
-                    format!("private={p} shared={s} filters={filters}"),
-                    cfg,
-                    &net,
-                ));
-            }
-        }
-    }
+    let privates = FIG8_PRIVATES;
+    let shareds = FIG8_SHAREDS;
+    let grid = fig8_grid();
+    let sweep = fig8_points(&net);
 
     let trace_point = trace_path().map(|path| (path, sweep[0].clone()));
-    let results = run_sweep_with(sweep, sweep_cli_options());
+    let Some(results) = sharded_sweep(sweep) else {
+        return; // shard worker: the checkpoint file is the output
+    };
     if let Some((path, point)) = trace_point {
         export_trace_run(&path, &point.label, &point.config, &point.networks);
     }

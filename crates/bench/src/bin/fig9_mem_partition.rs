@@ -9,11 +9,15 @@
 //! * dual-core: BigL2 wins overall (≈+8.0% vs BigSP's ≈+4.2%) because each
 //!   core's residual additions evict the other's data from the shared L2
 //!   (resadd ≈+22% on BigL2; L2 miss rate drops ≈7 points).
+//!
+//! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
+//! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
+//! supervised multi-process execution.
 
-use gemmini_bench::{export_trace_run, resnet_workload, section, sweep_cli_options, trace_path};
+use gemmini_bench::{export_trace_run, resnet_workload, section, sharded_sweep, trace_path};
 use gemmini_dnn::graph::LayerClass;
 use gemmini_soc::run::SocReport;
-use gemmini_soc::sweep::{merge_memory_stats, run_sweep_with, DesignPoint};
+use gemmini_soc::sweep::{merge_memory_stats, DesignPoint};
 use gemmini_soc::SocConfig;
 
 struct Outcome {
@@ -61,7 +65,9 @@ fn main() {
         })
         .collect::<Vec<_>>();
     let trace_point = trace_path().map(|path| (path, sweep[0].clone()));
-    let results = run_sweep_with(sweep, sweep_cli_options());
+    let Some(results) = sharded_sweep(sweep) else {
+        return; // shard worker: the checkpoint file is the output
+    };
     if let Some((path, point)) = trace_point {
         export_trace_run(&path, &point.label, &point.config, &point.networks);
     }

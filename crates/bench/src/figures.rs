@@ -24,6 +24,7 @@ use gemmini_soc::SocConfig;
 use gemmini_synth::area::{soc_area, CpuKind as SynthCpu};
 use gemmini_synth::power::spatial_array_power;
 use gemmini_synth::timing::SpatialArrayTiming;
+use gemmini_vm::tlb::TlbConfig;
 
 /// One Fig. 3 design point: a 256-PE spatial array at the given tile
 /// (combinational block) edge length.
@@ -136,6 +137,47 @@ pub fn fig6_json() -> Json {
         ("total_um2", Json::from(total)),
         ("sram_fraction", Json::from(report.sram_fraction())),
     ])
+}
+
+/// The Fig. 8 private-TLB sizes (entries).
+pub const FIG8_PRIVATES: [u32; 4] = [4, 8, 16, 32];
+
+/// The Fig. 8 shared-L2-TLB sizes (entries; `0` = no L2 TLB).
+pub const FIG8_SHAREDS: [u32; 4] = [0, 128, 256, 512];
+
+/// The Fig. 8 grid coordinates `(private, shared, filters)`, in sweep
+/// submission order: filters-off block first, then filters-on, each in
+/// private-major order. The binary and the shard-merge tests both derive
+/// the grid from here so their orders can never diverge.
+pub fn fig8_grid() -> Vec<(u32, u32, bool)> {
+    let mut grid = Vec::new();
+    for &filters in &[false, true] {
+        for &p in &FIG8_PRIVATES {
+            for &s in &FIG8_SHAREDS {
+                grid.push((p, s, filters));
+            }
+        }
+    }
+    grid
+}
+
+/// The Fig. 8 sweep: one design point per [`fig8_grid`] coordinate,
+/// running `net` on the edge SoC with that TLB configuration.
+pub fn fig8_points(net: &Network) -> Vec<DesignPoint> {
+    fig8_grid()
+        .into_iter()
+        .map(|(p, s, filters)| {
+            let mut cfg = SocConfig::edge_single_core();
+            cfg.cores[0].translation.private = TlbConfig::private(p);
+            cfg.cores[0].translation.shared = TlbConfig::shared(s);
+            cfg.cores[0].translation.filter_registers = filters;
+            DesignPoint::timing(
+                format!("private={p} shared={s} filters={filters}"),
+                cfg,
+                net,
+            )
+        })
+        .collect()
 }
 
 /// The four Fig. 7 accelerator variants per network:

@@ -7,17 +7,21 @@
 //! binary finishes in seconds; the default reproduces the full experiment).
 
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
 use gemmini_core::trace::{export_chrome_trace, Tracer};
+use gemmini_core::AccelError;
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
-use gemmini_mem::json::Json;
+use gemmini_mem::json::{FromJson, Json, ToJson};
 use gemmini_soc::run::{run_networks, run_networks_traced, RunOptions, SocReport};
+use gemmini_soc::shard::{run_sharded, ShardCli, ShardSpec};
 use gemmini_soc::SocConfig;
 
 pub mod figures;
 
 /// The shared design-space sweep executor (re-exported so the figure
 /// binaries have one import path for both printing helpers and sweeps).
+pub use gemmini_soc::shard;
 pub use gemmini_soc::sweep;
 pub use gemmini_soc::sweep::{run_sweep, DesignPoint, SweepOptions, SweepResult};
 
@@ -118,6 +122,99 @@ pub fn sweep_cli_options() -> SweepOptions {
         resume,
         ..SweepOptions::default()
     }
+}
+
+/// The process's own arguments minus the sharding flags — what a shard
+/// worker child should inherit. `--shard`/`--shards` (and values),
+/// `--merge` (and its paths) and `--resume` are stripped; the supervisor
+/// re-appends `--shard i/N --resume` per child. Everything else
+/// (`--quick`, `--json`, `--only`, …) passes through unchanged.
+fn forwarded_args<A>(args: A) -> Vec<String>
+where
+    A: IntoIterator<Item = String>,
+{
+    let mut out = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" | "--shard" => {
+                it.next();
+            }
+            "--merge" => {
+                while it.peek().is_some_and(|a| !a.starts_with("--")) {
+                    it.next();
+                }
+            }
+            "--resume" => {}
+            _ => out.push(arg),
+        }
+    }
+    out
+}
+
+/// Builds the worker-process command for one shard: the current binary,
+/// re-invoked with the same arguments plus `--shard i/N --resume` (resume
+/// so a supervisor *retry* of a crashed shard picks up from its
+/// checkpoint instead of starting over).
+///
+/// # Panics
+///
+/// Panics if the current executable path cannot be resolved.
+pub fn shard_child_command(spec: ShardSpec) -> Command {
+    let exe = std::env::current_exe().expect("current executable path");
+    let mut cmd = Command::new(exe);
+    cmd.args(forwarded_args(std::env::args().skip(1)));
+    cmd.arg("--shard").arg(spec.to_string()).arg("--resume");
+    cmd
+}
+
+/// The generic sharded sweep entry point for the figure binaries: parses
+/// the sharding CLI (`--shard i/N` / `--shards N` / `--merge <file>…`)
+/// alongside the usual sweep flags and dispatches through
+/// [`gemmini_soc::shard::run_sharded`].
+///
+/// Returns `None` when this process was a shard worker (`--shard`): its
+/// job was producing the shard checkpoint file, there is nothing to
+/// render, and `main` should simply return. In every other mode the
+/// full-grid results come back in submission order.
+///
+/// Exits the process with status `2` on a malformed sharding CLI and `1`
+/// on an execution error (supervisor exhaustion, incomplete merge, or
+/// failed shard points — the non-zero exit is what tells a supervisor to
+/// retry this worker).
+pub fn sharded_sweep_map<I, T, F>(items: Vec<(String, u64, I)>, f: F) -> Option<Vec<SweepResult<T>>>
+where
+    I: Send,
+    T: ToJson + FromJson + Send,
+    F: Fn(I) -> Result<T, AccelError> + Sync,
+{
+    let cli = match ShardCli::from_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match run_sharded(items, &cli, sweep_cli_options(), shard_child_command, f) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// [`sharded_sweep_map`] instantiated for [`DesignPoint`] sweeps — the
+/// drop-in sharded replacement for `run_sweep_with(points,
+/// sweep_cli_options())` in the figure binaries.
+pub fn sharded_sweep(points: Vec<DesignPoint>) -> Option<Vec<SweepResult<SocReport>>> {
+    let items = points
+        .into_iter()
+        .map(|p| (p.label.clone(), p.fingerprint(), p))
+        .collect();
+    sharded_sweep_map(items, |p: DesignPoint| {
+        run_networks(&p.config, &p.networks, &p.options)
+    })
 }
 
 /// Writes one JSON document as a single line to `path` (the non-sweep
@@ -266,6 +363,30 @@ mod tests {
         assert!(net.count_of_class(LayerClass::ResAdd) >= 6);
         assert_eq!(net.count_of_class(LayerClass::Matmul), 1);
         assert!(net.total_macs() < 200_000_000);
+    }
+
+    #[test]
+    fn forwarded_args_strip_only_sharding_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            forwarded_args(args(&[
+                "--quick",
+                "--shards",
+                "4",
+                "--json",
+                "out.jsonl",
+                "--resume"
+            ])),
+            args(&["--quick", "--json", "out.jsonl"])
+        );
+        assert_eq!(
+            forwarded_args(args(&["--shard", "1/2", "--only", "resnet"])),
+            args(&["--only", "resnet"])
+        );
+        assert_eq!(
+            forwarded_args(args(&["--merge", "a.jsonl", "b.jsonl", "--quick"])),
+            args(&["--quick"])
+        );
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! End-to-end tests of the sharded multi-process sweep layer, driving
+//! the real binaries (via `CARGO_BIN_EXE_*`) exactly as a user or CI
+//! would: supervised shards with a crash injected mid-run, manual
+//! shard-then-merge flows, and resume progress accounting.
+//!
+//! The load-bearing property throughout: every multi-process path —
+//! supervised, crashed-and-retried, manually sharded and merged — must
+//! produce results bit-identical to the single-process sweep.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use gemmini_mem::json::ToJson;
+use gemmini_soc::checkpoint::Checkpoint;
+use gemmini_soc::run::SocReport;
+use gemmini_soc::sweep::merge_memory_stats;
+
+const SMOKE: &str = env!("CARGO_BIN_EXE_shard_smoke");
+const FIG8: &str = env!("CARGO_BIN_EXE_fig8_tlb_sweep");
+
+/// A scratch directory unique to this test and process.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gemmini_shard_e2e_{test}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    // Serial workers keep checkpoint line order equal to submission
+    // order, which the file-level comparisons below rely on; it also
+    // makes the crash hook deterministic (exactly k points persist).
+    cmd.env("GEMMINI_THREADS", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Asserts two checkpoint files hold identical results: same labels in
+/// the same order, same fingerprints, and byte-identical payload JSON.
+/// Wall-clock is the one field allowed to differ (it measures host time,
+/// not simulation results).
+fn assert_checkpoints_equal_modulo_wall(a: &Path, b: &Path) {
+    let ca = Checkpoint::<SocReport>::load(a).expect("checkpoint a loads");
+    let cb = Checkpoint::<SocReport>::load(b).expect("checkpoint b loads");
+    assert_eq!(ca.len(), cb.len(), "{} vs {}", a.display(), b.display());
+    for (ea, eb) in ca.entries().iter().zip(cb.entries()) {
+        assert_eq!(ea.label, eb.label, "label order must match");
+        assert_eq!(ea.fingerprint, eb.fingerprint, "point '{}'", ea.label);
+        assert_eq!(
+            ea.payload.to_json().encode(),
+            eb.payload.to_json().encode(),
+            "payload for '{}' must be bit-identical",
+            ea.label
+        );
+    }
+    // The exact-merge claim extends to the folded totals.
+    let ra = merge_memory_stats(ca.entries().iter().map(|e| &e.payload));
+    let rb = merge_memory_stats(cb.entries().iter().map(|e| &e.payload));
+    assert_eq!(ra, rb, "merged MemoryRollup totals must be bit-identical");
+}
+
+#[test]
+fn supervised_crash_retry_matches_single_process() {
+    let dir = scratch_dir("smoke_supervised");
+    let single = dir.join("single.jsonl");
+    let sharded = dir.join("sharded.jsonl");
+
+    let golden = run(SMOKE, &["--json", single.to_str().unwrap()], &[]);
+    assert!(golden.status.success());
+
+    // 2 supervised shards; shard 0 aborts after persisting 2 points and
+    // must be retried from its checkpoint by the supervisor.
+    let supervised = run(
+        SMOKE,
+        &["--json", sharded.to_str().unwrap(), "--shards", "2"],
+        &[
+            ("GEMMINI_TEST_CRASH_AFTER", "2"),
+            ("GEMMINI_TEST_CRASH_SHARD", "0"),
+        ],
+    );
+    let err = stderr(&supervised);
+    assert!(supervised.status.success(), "supervisor recovers: {err}");
+    assert!(
+        err.contains("retrying from its checkpoint"),
+        "the crash must actually happen and be retried: {err}"
+    );
+    assert!(err.contains("recovered on attempt 2"), "{err}");
+
+    assert_eq!(
+        stdout(&golden),
+        stdout(&supervised),
+        "rendered tables must be identical"
+    );
+
+    // The merged file matches the single-process checkpoint except for
+    // wall-clock (u64 payloads here, so compare the raw JSON fields).
+    let ca = Checkpoint::<u64>::load(&single).unwrap();
+    let cb = Checkpoint::<u64>::load(&sharded).unwrap();
+    assert_eq!(ca.len(), 8);
+    assert_eq!(cb.len(), 8);
+    for (ea, eb) in ca.entries().iter().zip(cb.entries()) {
+        assert_eq!(
+            (&ea.label, ea.fingerprint, ea.payload),
+            (&eb.label, eb.fingerprint, eb.payload)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_progress_reports_true_grid_position() {
+    let dir = scratch_dir("smoke_resume");
+    let ckpt = dir.join("sweep.jsonl");
+
+    // Fresh run crashes after 5 of 8 points persist.
+    let crashed = run(
+        SMOKE,
+        &["--json", ckpt.to_str().unwrap()],
+        &[("GEMMINI_TEST_CRASH_AFTER", "5")],
+    );
+    assert!(!crashed.status.success(), "the crash hook must fire");
+    assert_eq!(Checkpoint::<u64>::load(&ckpt).unwrap().len(), 5);
+
+    // The resume serves 5 cached points and runs the remaining 3; its
+    // progress lines must report whole-grid positions, not [1/3]..[3/3].
+    let resumed = run(SMOKE, &["--json", ckpt.to_str().unwrap(), "--resume"], &[]);
+    let err = stderr(&resumed);
+    assert!(resumed.status.success(), "{err}");
+    assert!(err.contains("skipped 5/8 completed points"), "{err}");
+    for line in ["[6/8]", "[7/8]", "[8/8]"] {
+        assert!(
+            err.contains(line),
+            "expected progress line {line} in: {err}"
+        );
+    }
+    assert!(
+        !err.contains("[1/3]"),
+        "progress must not restart from the to-run count: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manual_shards_then_merge_match_single_process() {
+    let dir = scratch_dir("smoke_manual");
+    let single = dir.join("single.jsonl");
+    let base = dir.join("sweep.jsonl");
+    let shard0 = dir.join("sweep.shard0of2.jsonl");
+    let shard1 = dir.join("sweep.shard1of2.jsonl");
+
+    let golden = run(SMOKE, &["--json", single.to_str().unwrap()], &[]);
+    assert!(golden.status.success());
+
+    // Run the two shards by hand (e.g. on two hosts sharing a filesystem).
+    for spec in ["0/2", "1/2"] {
+        let out = run(
+            SMOKE,
+            &["--json", base.to_str().unwrap(), "--shard", spec],
+            &[],
+        );
+        assert!(out.status.success(), "shard {spec}: {}", stderr(&out));
+        assert_eq!(stdout(&out), "", "shard workers render nothing");
+    }
+    assert!(shard0.exists() && shard1.exists());
+
+    // Merging only one shard must fail loudly, naming missing points.
+    let partial = run(
+        SMOKE,
+        &[
+            "--json",
+            base.to_str().unwrap(),
+            "--merge",
+            shard0.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(!partial.status.success(), "partial merges must not succeed");
+    assert!(
+        stderr(&partial).contains("missing"),
+        "must report missing points: {}",
+        stderr(&partial)
+    );
+
+    // Merging both stitches the full grid, identical to single-process.
+    let merged = run(
+        SMOKE,
+        &[
+            "--json",
+            base.to_str().unwrap(),
+            "--merge",
+            shard0.to_str().unwrap(),
+            shard1.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(merged.status.success(), "{}", stderr(&merged));
+    assert_eq!(stdout(&golden), stdout(&merged));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance-criteria test: a 2-shard quick-mode fig8 run with one
+/// shard killed and retried by the supervisor produces merged per-point
+/// reports and `MemoryRollup` totals bit-identical to the single-process
+/// sweep.
+#[test]
+fn fig8_supervised_shards_bit_identical_to_single_process() {
+    let dir = scratch_dir("fig8");
+    let single = dir.join("single.jsonl");
+    let sharded = dir.join("sharded.jsonl");
+
+    let golden = run(FIG8, &["--quick", "--json", single.to_str().unwrap()], &[]);
+    assert!(golden.status.success(), "{}", stderr(&golden));
+
+    let supervised = run(
+        FIG8,
+        &[
+            "--quick",
+            "--json",
+            sharded.to_str().unwrap(),
+            "--shards",
+            "2",
+        ],
+        &[
+            ("GEMMINI_TEST_CRASH_AFTER", "3"),
+            ("GEMMINI_TEST_CRASH_SHARD", "1"),
+        ],
+    );
+    let err = stderr(&supervised);
+    assert!(supervised.status.success(), "supervisor recovers: {err}");
+    assert!(
+        err.contains("retrying from its checkpoint"),
+        "shard 1 must crash and be retried: {err}"
+    );
+
+    assert_eq!(
+        stdout(&golden),
+        stdout(&supervised),
+        "fig8 tables must be bit-identical between single-process and sharded runs"
+    );
+    assert_checkpoints_equal_modulo_wall(&single, &sharded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

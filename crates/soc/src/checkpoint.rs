@@ -23,9 +23,10 @@
 //!
 //! [`SweepResult`]: crate::sweep::SweepResult
 
+use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -34,24 +35,48 @@ use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
 /// Current checkpoint line format version.
 pub const FORMAT_VERSION: u64 = 1;
 
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// FNV-1a over a byte string: a small, stable, dependency-free hash for
 /// design-point fingerprints (not cryptographic; collision odds over a
 /// sweep grid of thousands of points are negligible).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = FNV_OFFSET_BASIS;
     for &b in bytes {
         hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// Incremental FNV-1a state fed directly by the formatter, so hashing a
+/// `Debug` rendering never materializes it (a full ResNet50 design point
+/// renders to megabytes of text).
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
 }
 
 /// Fingerprints any `Debug`-renderable value. The figure sweeps hash the
 /// full `(SocConfig, networks, RunOptions)` debug rendering, so any edit
 /// to a design point — a cache size, a layer shape, the seed — changes
 /// the fingerprint and forces a re-run on resume.
+///
+/// The rendering is streamed into the hash state chunk by chunk; the
+/// result is identical to `fnv1a(format!("{value:?}").as_bytes())`, so
+/// fingerprints in existing checkpoint files stay valid.
 pub fn debug_fingerprint<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
-    fnv1a(format!("{value:?}").as_bytes())
+    let mut hasher = FnvWriter(FNV_OFFSET_BASIS);
+    write!(hasher, "{value:?}").expect("FnvWriter::write_str never fails");
+    hasher.0
 }
 
 /// One persisted sweep point.
@@ -193,6 +218,85 @@ impl<T> Checkpoint<T> {
     pub fn entries(&self) -> &[CheckpointEntry<T>] {
         &self.entries
     }
+
+    /// Appends another checkpoint's entries after this one's — the
+    /// multi-shard combine: the result behaves as if `other`'s file had
+    /// been concatenated onto ours, so on label conflicts the absorbed
+    /// entries win (they are later).
+    pub fn absorb(&mut self, other: Checkpoint<T>) {
+        self.entries.extend(other.entries);
+        self.stale_lines += other.stale_lines;
+    }
+}
+
+/// Outcome of a [`compact`] pass over a checkpoint file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Compaction {
+    /// Lines kept: the last occurrence of every label.
+    pub kept: usize,
+    /// Lines reclaimed: shadowed re-runs and undecodable fragments.
+    pub dropped: usize,
+}
+
+/// Rewrites a checkpoint file keeping only the last line per label,
+/// dropping shadowed re-run entries and undecodable fragments. Repeated
+/// resume cycles append re-run entries over stale ones, so without this
+/// the file grows without bound; the sweep executor compacts on every
+/// successful resumed completion.
+///
+/// Works at the JSON-line level (only the `label` field is inspected, so
+/// the payload schema is irrelevant), writes survivors to a temporary
+/// file in the same directory and atomically renames it over the
+/// original — a crash mid-compaction never loses the checkpoint. When
+/// nothing would be dropped the file is left untouched. A missing file
+/// compacts to nothing.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error from reading, writing the temporary
+/// file, or the rename.
+pub fn compact(path: &Path) -> io::Result<Compaction> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Compaction::default()),
+        Err(e) => return Err(e),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut last_for_label: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let label = Json::parse(line).ok().and_then(|v| {
+            v.field("label")
+                .ok()
+                .and_then(|l| l.as_str().ok().map(String::from))
+        });
+        if let Some(label) = label {
+            last_for_label.insert(label, idx);
+        }
+    }
+    let keep: std::collections::HashSet<usize> = last_for_label.into_values().collect();
+    let kept = keep.len();
+    let dropped = lines.len() - kept;
+    if dropped == 0 {
+        return Ok(Compaction { kept, dropped });
+    }
+
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint.jsonl");
+    let tmp: PathBuf = path.with_file_name(format!(".{file_name}.compact-{}", std::process::id()));
+    {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        for (idx, line) in lines.iter().enumerate() {
+            if keep.contains(&idx) {
+                writeln!(out, "{line}")?;
+            }
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(Compaction { kept, dropped })
 }
 
 /// An append-only, line-buffered checkpoint writer shared across sweep
@@ -366,5 +470,91 @@ mod tests {
             debug_fingerprint(&(2u32, 1u32))
         );
         assert_eq!(debug_fingerprint(&"x"), debug_fingerprint(&"x"));
+    }
+
+    #[test]
+    fn streaming_fingerprint_matches_materialized_rendering() {
+        // The streaming hasher must produce byte-for-byte the same hash
+        // as hashing the fully formatted Debug string, or every existing
+        // checkpoint fingerprint would be invalidated.
+        let values: Vec<Box<dyn std::fmt::Debug>> = vec![
+            Box::new("plain string with \"escapes\" and \n newlines"),
+            Box::new((1u8, -2i64, 3.5f64, vec![1u32, 2, 3])),
+            Box::new(Some(vec![(String::from("nested"), [0u8; 33])])),
+            Box::new(Duration::from_nanos(123_456_789)),
+        ];
+        for v in &values {
+            assert_eq!(
+                debug_fingerprint(v.as_ref()),
+                fnv1a(format!("{v:?}").as_bytes()),
+                "streaming hash diverged for {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_keeps_last_entry_per_label_and_drops_stale_lines() {
+        let path = temp_path("compact");
+        let stale = entry("b", 1, 11).encode();
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("a", 1, 10)).unwrap();
+        writer.append(&entry("b", 1, 11)).unwrap();
+        writer.append(&entry("a", 2, 12)).unwrap(); // re-run shadows a@1
+        writer.append(&entry("c", 1, 13)).unwrap();
+        drop(writer);
+        // Simulate a kill mid-append: a trailing partial line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&stale[..stale.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+
+        let result = compact(&path).unwrap();
+        assert_eq!(
+            result,
+            Compaction {
+                kept: 3,
+                dropped: 2
+            }
+        );
+
+        let ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 3);
+        assert_eq!(ckpt.stale_lines, 0);
+        assert_eq!(ckpt.lookup("a", 2).unwrap().payload, 12);
+        assert!(ckpt.lookup("a", 1).is_none(), "shadowed entry reclaimed");
+        assert_eq!(ckpt.lookup("b", 1).unwrap().payload, 11);
+        assert_eq!(ckpt.lookup("c", 1).unwrap().payload, 13);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_leaves_clean_files_untouched() {
+        let path = temp_path("compact_noop");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("a", 1, 10)).unwrap();
+        writer.append(&entry("b", 2, 20)).unwrap();
+        drop(writer);
+        let before = std::fs::metadata(&path).unwrap().modified().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            compact(&path).unwrap(),
+            Compaction {
+                kept: 2,
+                dropped: 0
+            }
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            before
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_missing_file_is_empty() {
+        assert_eq!(
+            compact(&temp_path("compact_missing")).unwrap(),
+            Compaction::default()
+        );
     }
 }

@@ -33,6 +33,11 @@
 //!   of named [`soc::SocConfig`] points across a worker pool with
 //!   per-point fault isolation and deterministic result ordering; every
 //!   figure binary drives its sweep through this.
+//! * [`shard`] — sharded multi-process sweeps on top of [`sweep`]:
+//!   deterministic `--shard i/N` strided planning, a crash-resilient
+//!   supervisor that retries killed worker processes from their
+//!   checkpoints, and an exact `--merge` that stitches shard checkpoint
+//!   files back into the single-process result.
 //!
 //! # Example
 //!
@@ -55,11 +60,13 @@ pub mod os;
 pub mod roofline;
 pub mod run;
 pub mod runtime;
+pub mod shard;
 pub mod soc;
 pub mod sweep;
 pub mod tiling;
 
 pub use run::{run_networks, CoreReport, RunOptions, SocReport};
+pub use shard::{run_sharded, ShardCli, ShardError, ShardSpec};
 pub use soc::{CoreConfig, SocConfig};
 pub use sweep::{run_sweep, run_sweep_with, DesignPoint, SweepError, SweepOptions, SweepResult};
 pub use tiling::TilePlan;

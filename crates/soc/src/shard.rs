@@ -1,0 +1,977 @@
+//! Sharded, multi-process sweep execution: strided shard planning, a
+//! crash-resilient child-process supervisor, and an exact shard merge.
+//!
+//! The in-process worker pool in [`crate::sweep`] parallelises one
+//! process; it cannot survive a hard crash (an abort, OOM kill or
+//! segfault takes every in-flight point with it) and cannot span
+//! processes or hosts. This module layers process-level resilience on
+//! top of the checkpoint substrate:
+//!
+//! * **Shard planning** — [`ShardSpec`] names one strided slice of a
+//!   point list (`--shard i/N`): point `p` belongs to shard `p mod N`.
+//!   Striding (rather than chunking) balances grids whose expensive
+//!   points cluster, and the plan is a pure function of the grid order,
+//!   so every process — workers, supervisor, merge — derives the same
+//!   partition independently. [`shard_path`] derives the per-shard
+//!   checkpoint file from the sweep's base `--json` path the same way.
+//! * **Supervision** — [`supervise`] spawns one child process per shard
+//!   (normally the current binary re-invoked with `--shard i/N
+//!   --resume`), streams each child's output tagged `[shard i/N]`, and
+//!   on a *crashed* child (non-zero exit or death by signal) retries
+//!   that shard with bounded exponential backoff. Because the child
+//!   resumes from its shard checkpoint, completed points are never
+//!   re-simulated: a crash loses at most the in-flight points of one
+//!   shard.
+//! * **Merge** — [`merge_shards`] loads the shard checkpoints, validates
+//!   every expected `(label, fingerprint)` pair against them (reporting
+//!   points that are missing or stale), and stitches the entries back in
+//!   grid submission order. Downstream totals fold through
+//!   `merge_memory_stats`, whose stat types are exact merge monoids, so
+//!   the merged output is bit-identical to a single-process run.
+//!
+//! [`run_sharded`] ties the three together behind the sweep binaries'
+//! shared CLI (`--shard` / `--shards` / `--merge`, parsed by
+//! [`ShardCli`]).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointWriter};
+use crate::sweep::{sweep_map_checkpointed, SweepOptions, SweepResult, CRASH_AFTER_ENV};
+use gemmini_core::AccelError;
+use gemmini_mem::json::{FromJson, ToJson};
+
+/// Test-only companion to [`CRASH_AFTER_ENV`]: when set to a shard
+/// index, only that shard's worker process keeps the crash hook armed;
+/// every other shard disarms it on startup (by clearing the variable in
+/// its own environment, before any sweep threads exist). Lets a test
+/// kill exactly one shard of a supervised sweep.
+pub const CRASH_SHARD_ENV: &str = "GEMMINI_TEST_CRASH_SHARD";
+
+/// One strided shard of a sweep partition: `index` in `0..count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// This shard's position in the partition.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Validated constructor: `count` must be positive and `index` in
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a zero count or an
+    /// out-of-range index.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (expected 0..{count})"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `0/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything that is not a valid
+    /// `index/count` pair.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("invalid shard spec '{s}' (expected i/N, e.g. 0/4)"))?;
+        let index = index
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("invalid shard index in '{s}'"))?;
+        let count = count
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("invalid shard count in '{s}'"))?;
+        Self::new(index, count)
+    }
+
+    /// Whether grid position `position` belongs to this shard.
+    pub fn owns(&self, position: usize) -> bool {
+        position % self.count == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The strided slice of `items` owned by `spec`, preserving grid order.
+/// Deterministic for any list: every shard derives its own slice from
+/// the full grid, no coordination needed.
+pub fn shard_items<X>(items: Vec<X>, spec: ShardSpec) -> Vec<X> {
+    items
+        .into_iter()
+        .enumerate()
+        .filter(|(position, _)| spec.owns(*position))
+        .map(|(_, item)| item)
+        .collect()
+}
+
+/// The per-shard checkpoint path derived from the sweep's base path:
+/// `sweep.jsonl` → `sweep.shard0of4.jsonl` (extension preserved; a path
+/// without one gets the suffix appended). Workers, the supervisor and
+/// the merge all derive the same name independently.
+pub fn shard_path(base: &Path, spec: ShardSpec) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("sweep");
+    let suffix = format!("shard{}of{}", spec.index, spec.count);
+    let name = match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}.{suffix}.{ext}"),
+        None => format!("{stem}.{suffix}"),
+    };
+    base.with_file_name(name)
+}
+
+/// Supervisor retry policy.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Total attempts per shard, including the first run.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+/// How one supervised shard concluded (successfully).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The shard.
+    pub spec: ShardSpec,
+    /// Attempts it took, `1` meaning no crash.
+    pub attempts: usize,
+}
+
+/// Why supervision failed. Every shard still runs to completion or
+/// retry-exhaustion before this is returned; the error describes the
+/// first shard (by index) that exhausted its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// The shard's child process could not be spawned at all.
+    Spawn {
+        /// The shard whose child failed to spawn.
+        spec: ShardSpec,
+        /// The OS error text.
+        message: String,
+    },
+    /// Waiting on the child failed.
+    Wait {
+        /// The shard whose child could not be waited on.
+        spec: ShardSpec,
+        /// The OS error text.
+        message: String,
+    },
+    /// The shard crashed on every attempt.
+    Exhausted {
+        /// The shard that kept crashing.
+        spec: ShardSpec,
+        /// Attempts made.
+        attempts: usize,
+        /// Description of the final exit status (code or signal).
+        last_status: String,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Spawn { spec, message } => {
+                write!(f, "cannot spawn worker for shard {spec}: {message}")
+            }
+            Self::Wait { spec, message } => {
+                write!(f, "cannot wait on worker for shard {spec}: {message}")
+            }
+            Self::Exhausted {
+                spec,
+                attempts,
+                last_status,
+            } => write!(
+                f,
+                "shard {spec} crashed on all {attempts} attempt(s); last status: {last_status}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// Forwards every line of a child stream to our stderr under the
+/// shard's tag, so N children interleave legibly in one terminal.
+fn forward_lines<R: Read + Send + 'static>(
+    prefix: String,
+    stream: R,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for line in BufReader::new(stream).lines() {
+            match line {
+                Ok(line) => eprintln!("{prefix}{line}"),
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+fn backoff_delay(base: Duration, completed_attempts: usize) -> Duration {
+    let factor = 1u32 << completed_attempts.saturating_sub(1).min(8);
+    (base * factor).min(Duration::from_secs(10))
+}
+
+fn run_one_shard<C>(
+    spec: ShardSpec,
+    make_child: &C,
+    opts: &SupervisorOptions,
+) -> Result<ShardOutcome, SupervisorError>
+where
+    C: Fn(ShardSpec) -> Command,
+{
+    let max_attempts = opts.max_attempts.max(1);
+    let mut last_status = String::new();
+    for attempt in 1..=max_attempts {
+        let mut cmd = make_child(spec);
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| SupervisorError::Spawn {
+            spec,
+            message: e.to_string(),
+        })?;
+        let forwarders: Vec<_> = [
+            child
+                .stdout
+                .take()
+                .map(|s| forward_lines(format!("[shard {spec}] "), s)),
+            child
+                .stderr
+                .take()
+                .map(|s| forward_lines(format!("[shard {spec}] "), s)),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let status = child.wait().map_err(|e| SupervisorError::Wait {
+            spec,
+            message: e.to_string(),
+        })?;
+        for handle in forwarders {
+            let _ = handle.join();
+        }
+        if status.success() {
+            if attempt > 1 {
+                eprintln!("supervisor: shard {spec} recovered on attempt {attempt}");
+            }
+            return Ok(ShardOutcome {
+                spec,
+                attempts: attempt,
+            });
+        }
+        last_status = status.to_string();
+        if attempt < max_attempts {
+            let delay = backoff_delay(opts.backoff, attempt);
+            eprintln!(
+                "supervisor: shard {spec} crashed ({last_status}); retrying from its checkpoint in {:.2}s (attempt {}/{max_attempts})",
+                delay.as_secs_f64(),
+                attempt + 1
+            );
+            std::thread::sleep(delay);
+        }
+    }
+    Err(SupervisorError::Exhausted {
+        spec,
+        attempts: max_attempts,
+        last_status,
+    })
+}
+
+/// Runs `count` shard worker processes to completion, retrying crashed
+/// shards (non-zero exit or death by signal) with bounded exponential
+/// backoff. `make_child` builds the command for one shard — normally the
+/// current binary re-invoked with `--shard i/N --resume`, so a retried
+/// shard resumes from its checkpoint and never re-simulates completed
+/// points. All shards run concurrently; each child's stdout and stderr
+/// stream to our stderr tagged `[shard i/N]`.
+///
+/// Every shard runs to completion or retry-exhaustion even when another
+/// shard fails permanently (their checkpoints remain valid for a later
+/// resume); the first failure (by shard index) is then returned.
+///
+/// # Errors
+///
+/// Returns [`SupervisorError`] if any shard cannot be spawned, cannot be
+/// waited on, or crashes on every attempt.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or an internal supervisor thread panics.
+pub fn supervise<C>(
+    count: usize,
+    make_child: C,
+    opts: &SupervisorOptions,
+) -> Result<Vec<ShardOutcome>, SupervisorError>
+where
+    C: Fn(ShardSpec) -> Command + Sync,
+{
+    assert!(count > 0, "cannot supervise zero shards");
+    let results: Vec<Result<ShardOutcome, SupervisorError>> = std::thread::scope(|scope| {
+        let make_child = &make_child;
+        let handles: Vec<_> = (0..count)
+            .map(|index| {
+                let spec = ShardSpec { index, count };
+                scope.spawn(move || run_one_shard(spec, make_child, opts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard supervisor thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Why a shard merge could not produce the full grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A shard checkpoint file could not be read.
+    Io {
+        /// The unreadable file.
+        path: PathBuf,
+        /// The OS error text.
+        message: String,
+    },
+    /// The shard checkpoints do not cover the grid exactly.
+    Incomplete {
+        /// Grid labels with no entry in any shard checkpoint.
+        missing: Vec<String>,
+        /// Grid labels whose entries carry a stale fingerprint (the
+        /// design point changed since the shard ran).
+        stale: Vec<String>,
+    },
+}
+
+fn preview(labels: &[String]) -> String {
+    const SHOW: usize = 5;
+    let mut s = labels
+        .iter()
+        .take(SHOW)
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .join(", ");
+    if labels.len() > SHOW {
+        s.push_str(&format!(", … {} more", labels.len() - SHOW));
+    }
+    s
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => {
+                write!(
+                    f,
+                    "cannot read shard checkpoint {}: {message}",
+                    path.display()
+                )
+            }
+            Self::Incomplete { missing, stale } => {
+                write!(f, "shard checkpoints do not cover the grid:")?;
+                if !missing.is_empty() {
+                    write!(
+                        f,
+                        " {} point(s) missing ({})",
+                        missing.len(),
+                        preview(missing)
+                    )?;
+                }
+                if !stale.is_empty() {
+                    write!(f, " {} point(s) stale ({})", stale.len(), preview(stale))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Loads shard checkpoint files and stitches one entry per expected
+/// `(label, fingerprint)` pair, in the order given — grid submission
+/// order — regardless of which shard ran which point or in what order
+/// points completed. Validation is exact: a grid point with no entry is
+/// reported missing, and one whose entry's fingerprint no longer matches
+/// is reported stale (either means the shards must run again before the
+/// merge can succeed).
+///
+/// # Errors
+///
+/// Returns [`MergeError::Io`] for an unreadable shard file (a missing
+/// file reads as empty, surfacing as missing points instead) and
+/// [`MergeError::Incomplete`] listing every missing or stale label.
+pub fn merge_shards<T: FromJson>(
+    expected: &[(String, u64)],
+    paths: &[PathBuf],
+) -> Result<Vec<CheckpointEntry<T>>, MergeError> {
+    let mut combined = Checkpoint::<T>::default();
+    for path in paths {
+        let loaded = Checkpoint::load(path).map_err(|e| MergeError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        combined.absorb(loaded);
+    }
+    let mut entries = Vec::with_capacity(expected.len());
+    let mut missing = Vec::new();
+    let mut stale = Vec::new();
+    for (label, fingerprint) in expected {
+        match combined.take(label, *fingerprint) {
+            Some(entry) => entries.push(entry),
+            None if combined.entries().iter().any(|e| &e.label == label) => {
+                stale.push(label.clone());
+            }
+            None => missing.push(label.clone()),
+        }
+    }
+    if missing.is_empty() && stale.is_empty() {
+        Ok(entries)
+    } else {
+        Err(MergeError::Incomplete { missing, stale })
+    }
+}
+
+/// Writes merged entries to `path` as a fresh checkpoint file — the
+/// supervisor's final step, leaving the base `--json` path holding the
+/// same submission-ordered lines a single-process serial run would have
+/// produced (modulo each point's recorded wall-clock).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_entries<T: ToJson>(path: &Path, entries: &[CheckpointEntry<T>]) -> io::Result<()> {
+    let writer = CheckpointWriter::create(path)?;
+    for entry in entries {
+        writer.append(entry)?;
+    }
+    Ok(())
+}
+
+/// Converts a merged checkpoint entry into the sweep result shape the
+/// figure binaries consume (`cached: true` — the point was simulated in
+/// a worker process, not here).
+pub fn entry_result<T>(entry: CheckpointEntry<T>) -> SweepResult<T> {
+    SweepResult {
+        label: entry.label,
+        outcome: Ok(entry.payload),
+        wall: entry.wall,
+        cached: true,
+    }
+}
+
+/// The sharding arguments shared by every sweep binary. At most one of
+/// the three modes may be active; all of them need the sweep's `--json`
+/// base path to locate shard checkpoints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardCli {
+    /// `--shard i/N`: run only that strided slice of the grid.
+    pub shard: Option<ShardSpec>,
+    /// `--shards N`: supervise N worker processes of this binary.
+    pub supervise: Option<usize>,
+    /// `--merge <file>…`: stitch existing shard checkpoints; no
+    /// simulation.
+    pub merge: Vec<PathBuf>,
+}
+
+impl ShardCli {
+    /// Parses the sharding flags out of an argument list, ignoring every
+    /// argument it does not own (the binaries parse `--quick`, `--json`,
+    /// `--resume`, … separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed values or
+    /// conflicting modes.
+    pub fn from_args<A>(args: A) -> Result<Self, String>
+    where
+        A: IntoIterator<Item = String>,
+    {
+        let mut cli = Self::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--shard" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--shard requires an i/N argument".to_string())?;
+                    cli.shard = Some(ShardSpec::parse(&v)?);
+                }
+                "--shards" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--shards requires a shard count".to_string())?;
+                    let count = v
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --shards count '{v}'"))?;
+                    if count == 0 {
+                        return Err("--shards count must be at least 1".to_string());
+                    }
+                    cli.supervise = Some(count);
+                }
+                "--merge" => {
+                    while it.peek().is_some_and(|a| !a.starts_with("--")) {
+                        cli.merge.push(PathBuf::from(it.next().expect("peeked")));
+                    }
+                    if cli.merge.is_empty() {
+                        return Err(
+                            "--merge requires at least one shard checkpoint path".to_string()
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        let active = [
+            cli.shard.is_some(),
+            cli.supervise.is_some(),
+            !cli.merge.is_empty(),
+        ]
+        .into_iter()
+        .filter(|&on| on)
+        .count();
+        if active > 1 {
+            return Err("--shard, --shards and --merge are mutually exclusive".to_string());
+        }
+        Ok(cli)
+    }
+
+    /// Whether any sharding mode is active.
+    pub fn is_active(&self) -> bool {
+        self.shard.is_some() || self.supervise.is_some() || !self.merge.is_empty()
+    }
+}
+
+/// Why a sharded sweep failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The active mode needs a `--json` base path and none was given.
+    NeedsCheckpoint(&'static str),
+    /// The supervisor gave up on a shard.
+    Supervisor(SupervisorError),
+    /// The shard checkpoints could not be stitched into the full grid.
+    Merge(MergeError),
+    /// A filesystem operation on a checkpoint path failed.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error text.
+        message: String,
+    },
+    /// This shard worker finished, but some of its points failed
+    /// (simulation error or panic); they were not persisted, so a retry
+    /// or resume will re-run exactly them.
+    PointsFailed {
+        /// The shard that ran.
+        spec: ShardSpec,
+        /// Labels of the failed points.
+        labels: Vec<String>,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NeedsCheckpoint(flag) => {
+                write!(f, "{flag} requires --json <path> (the sweep checkpoint base path)")
+            }
+            Self::Supervisor(e) => write!(f, "{e}"),
+            Self::Merge(e) => write!(f, "{e}"),
+            Self::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            Self::PointsFailed { spec, labels } => write!(
+                f,
+                "shard {spec}: {} point(s) failed ({}); they were not persisted and will re-run on resume",
+                labels.len(),
+                preview(labels)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Disarms the crash-test hook unless this worker is the shard the test
+/// singled out via [`CRASH_SHARD_ENV`]. Mutates only this process's
+/// environment, before the sweep spawns any threads.
+fn disarm_crash_hook_for_other_shards(spec: ShardSpec) {
+    if let Ok(v) = std::env::var(CRASH_SHARD_ENV) {
+        if v.trim().parse::<usize>().ok() != Some(spec.index) {
+            std::env::remove_var(CRASH_AFTER_ENV);
+        }
+    }
+}
+
+fn expected_of<I>(items: &[(String, u64, I)]) -> Vec<(String, u64)> {
+    items
+        .iter()
+        .map(|(label, fingerprint, _)| (label.clone(), *fingerprint))
+        .collect()
+}
+
+/// Runs `items` under the mode `cli` selects:
+///
+/// * **merge** — stitch the named shard checkpoints into full-grid
+///   results; nothing is simulated. Returns `Some(results)`.
+/// * **shard** — run only this worker's strided slice, checkpointing to
+///   the [`shard_path`] derived from `opts.checkpoint`. Returns `None`
+///   (a worker has nothing to render); failed points surface as
+///   [`ShardError::PointsFailed`] so the process exits non-zero and a
+///   supervisor retry re-runs them.
+/// * **supervise** — spawn one `make_child(spec)` process per shard,
+///   retry crashed shards from their checkpoints, merge the shard files,
+///   and write the stitched entries back to the base path (leaving it
+///   exactly as a single-process run would have, modulo wall-clock).
+///   Returns `Some(results)`.
+/// * **none of the three** — a plain (possibly checkpointed) in-process
+///   sweep. Returns `Some(results)`.
+///
+/// # Errors
+///
+/// Returns [`ShardError`] when the active mode lacks a checkpoint base
+/// path, the supervisor exhausts a shard's retries, the merge finds
+/// missing or stale points, or shard bookkeeping I/O fails.
+pub fn run_sharded<I, T, F, C>(
+    items: Vec<(String, u64, I)>,
+    cli: &ShardCli,
+    opts: SweepOptions,
+    make_child: C,
+    f: F,
+) -> Result<Option<Vec<SweepResult<T>>>, ShardError>
+where
+    I: Send,
+    T: ToJson + FromJson + Send,
+    F: Fn(I) -> Result<T, AccelError> + Sync,
+    C: Fn(ShardSpec) -> Command + Sync,
+{
+    if !cli.merge.is_empty() {
+        let expected = expected_of(&items);
+        let entries = merge_shards::<T>(&expected, &cli.merge).map_err(ShardError::Merge)?;
+        eprintln!(
+            "merge: stitched {} point(s) from {} shard checkpoint(s)",
+            entries.len(),
+            cli.merge.len()
+        );
+        return Ok(Some(entries.into_iter().map(entry_result).collect()));
+    }
+
+    if let Some(spec) = cli.shard {
+        let base = opts
+            .checkpoint
+            .clone()
+            .ok_or(ShardError::NeedsCheckpoint("--shard"))?;
+        disarm_crash_hook_for_other_shards(spec);
+        let grid_total = items.len();
+        let slice = shard_items(items, spec);
+        let slice_len = slice.len();
+        let shard_file = shard_path(&base, spec);
+        let run_opts = SweepOptions {
+            checkpoint: Some(shard_file.clone()),
+            ..opts
+        };
+        let results = sweep_map_checkpointed(slice, run_opts, f);
+        let failed: Vec<String> = results
+            .iter()
+            .filter(|r| r.outcome.is_err())
+            .map(|r| r.label.clone())
+            .collect();
+        eprintln!(
+            "shard {spec}: {}/{slice_len} point(s) complete (slice of grid {grid_total}) -> {}",
+            slice_len - failed.len(),
+            shard_file.display()
+        );
+        if failed.is_empty() {
+            return Ok(None);
+        }
+        return Err(ShardError::PointsFailed {
+            spec,
+            labels: failed,
+        });
+    }
+
+    if let Some(count) = cli.supervise {
+        let base = opts
+            .checkpoint
+            .clone()
+            .ok_or(ShardError::NeedsCheckpoint("--shards"))?;
+        let specs: Vec<ShardSpec> = (0..count).map(|index| ShardSpec { index, count }).collect();
+        if !opts.resume {
+            // A fresh supervised sweep must not resurrect earlier shard
+            // runs; workers are always spawned with --resume so that
+            // crash *retries* pick up mid-shard.
+            for spec in &specs {
+                let path = shard_path(&base, *spec);
+                if let Err(e) = std::fs::remove_file(&path) {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        return Err(ShardError::Io {
+                            path,
+                            message: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let outcomes = supervise(count, make_child, &SupervisorOptions::default())
+            .map_err(ShardError::Supervisor)?;
+        let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+        let expected = expected_of(&items);
+        let shard_files: Vec<PathBuf> = specs.iter().map(|s| shard_path(&base, *s)).collect();
+        let entries = merge_shards::<T>(&expected, &shard_files).map_err(ShardError::Merge)?;
+        write_entries(&base, &entries).map_err(|e| ShardError::Io {
+            path: base.clone(),
+            message: e.to_string(),
+        })?;
+        eprintln!(
+            "supervisor: {count} shard(s) complete ({retried} retried); merged {} point(s) into {}",
+            entries.len(),
+            base.display()
+        );
+        return Ok(Some(entries.into_iter().map(entry_result).collect()));
+    }
+
+    Ok(Some(sweep_map_checkpointed(items, opts, f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gemmini_shard_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn spec_parsing_and_validation() {
+        assert_eq!(
+            ShardSpec::parse("0/4").unwrap(),
+            ShardSpec { index: 0, count: 4 }
+        );
+        assert_eq!(ShardSpec::parse("3/4").unwrap().to_string(), "3/4");
+        assert!(ShardSpec::parse("4/4").is_err(), "index out of range");
+        assert!(ShardSpec::parse("0/0").is_err(), "zero count");
+        assert!(ShardSpec::parse("1").is_err());
+        assert!(ShardSpec::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn strided_slices_partition_the_grid() {
+        let items: Vec<usize> = (0..10).collect();
+        let s0 = shard_items(items.clone(), ShardSpec { index: 0, count: 3 });
+        let s1 = shard_items(items.clone(), ShardSpec { index: 1, count: 3 });
+        let s2 = shard_items(items.clone(), ShardSpec { index: 2, count: 3 });
+        assert_eq!(s0, vec![0, 3, 6, 9]);
+        assert_eq!(s1, vec![1, 4, 7]);
+        assert_eq!(s2, vec![2, 5, 8]);
+        // Exact partition: every item lands in exactly one shard.
+        let mut all: Vec<usize> = s0.into_iter().chain(s1).chain(s2).collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn shard_paths_embed_the_spec() {
+        let spec = ShardSpec { index: 1, count: 4 };
+        assert_eq!(
+            shard_path(Path::new("/tmp/sweep.jsonl"), spec),
+            Path::new("/tmp/sweep.shard1of4.jsonl")
+        );
+        assert_eq!(
+            shard_path(Path::new("results"), spec),
+            Path::new("results.shard1of4")
+        );
+    }
+
+    #[test]
+    fn cli_parses_each_mode_and_rejects_conflicts() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = ShardCli::from_args(args(&["--quick", "--shard", "1/2", "--json", "x"])).unwrap();
+        assert_eq!(cli.shard, Some(ShardSpec { index: 1, count: 2 }));
+        assert!(cli.is_active());
+
+        let cli = ShardCli::from_args(args(&["--shards", "4"])).unwrap();
+        assert_eq!(cli.supervise, Some(4));
+
+        let cli = ShardCli::from_args(args(&["--merge", "a.jsonl", "b.jsonl", "--quick"])).unwrap();
+        assert_eq!(
+            cli.merge,
+            vec![PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl")]
+        );
+
+        assert!(!ShardCli::from_args(args(&["--quick"])).unwrap().is_active());
+        assert!(ShardCli::from_args(args(&["--shards", "0"])).is_err());
+        assert!(ShardCli::from_args(args(&["--merge"])).is_err());
+        assert!(ShardCli::from_args(args(&["--shard", "0/2", "--shards", "2"])).is_err());
+    }
+
+    #[test]
+    fn merge_reports_missing_and_stale_points() {
+        use crate::checkpoint::CheckpointWriter;
+        let path = temp_path("merge_validation.jsonl");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        for entry in [
+            CheckpointEntry {
+                label: "a".into(),
+                fingerprint: 1,
+                wall: Duration::ZERO,
+                payload: 10u64,
+            },
+            CheckpointEntry {
+                label: "b".into(),
+                fingerprint: 99,
+                wall: Duration::ZERO,
+                payload: 20u64,
+            },
+        ] {
+            writer.append(&entry).unwrap();
+        }
+        drop(writer);
+
+        let expected = vec![
+            ("a".to_string(), 1u64),
+            ("b".to_string(), 2u64), // on disk with fingerprint 99: stale
+            ("c".to_string(), 3u64), // nowhere: missing
+        ];
+        match merge_shards::<u64>(&expected, std::slice::from_ref(&path)) {
+            Err(MergeError::Incomplete { missing, stale }) => {
+                assert_eq!(missing, vec!["c".to_string()]);
+                assert_eq!(stale, vec!["b".to_string()]);
+            }
+            other => panic!("expected incomplete merge, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_stitches_submission_order_across_shards() {
+        use crate::checkpoint::CheckpointWriter;
+        let p0 = temp_path("merge_s0.jsonl");
+        let p1 = temp_path("merge_s1.jsonl");
+        // Shard files hold interleaved halves, each in its own order.
+        let w0 = CheckpointWriter::create(&p0).unwrap();
+        let w1 = CheckpointWriter::create(&p1).unwrap();
+        for i in (0..8).rev() {
+            let entry = CheckpointEntry {
+                label: format!("p{i}"),
+                fingerprint: i,
+                wall: Duration::from_micros(i),
+                payload: i * 100,
+            };
+            if i % 2 == 0 {
+                w0.append(&entry).unwrap();
+            } else {
+                w1.append(&entry).unwrap();
+            }
+        }
+        drop((w0, w1));
+
+        let expected: Vec<(String, u64)> = (0..8).map(|i| (format!("p{i}"), i)).collect();
+        let entries = merge_shards::<u64>(&expected, &[p0.clone(), p1.clone()]).unwrap();
+        let labels: Vec<&str> = entries.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"]);
+        assert!(entries
+            .iter()
+            .enumerate()
+            .all(|(i, e)| e.payload == i as u64 * 100));
+        std::fs::remove_file(&p0).unwrap();
+        std::fs::remove_file(&p1).unwrap();
+    }
+
+    #[test]
+    fn supervisor_retries_a_crashed_shard() {
+        let marker = temp_path("retry_marker");
+        let _ = std::fs::remove_file(&marker);
+        let opts = SupervisorOptions {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        };
+        let marker_str = marker.display().to_string();
+        let outcomes = supervise(
+            2,
+            |spec| {
+                let mut cmd = Command::new("sh");
+                if spec.index == 0 {
+                    // First attempt "crashes" (and leaves a marker, the
+                    // way a real shard leaves its checkpoint); the retry
+                    // finds the marker and completes.
+                    cmd.arg("-c").arg(format!(
+                        "if [ -e '{marker_str}' ]; then echo resumed; else touch '{marker_str}'; echo 'dying' >&2; exit 42; fi"
+                    ));
+                } else {
+                    cmd.arg("-c").arg("echo ok");
+                }
+                cmd
+            },
+            &opts,
+        )
+        .expect("supervision recovers the crashed shard");
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].attempts, 2, "shard 0 needed one retry");
+        assert_eq!(outcomes[1].attempts, 1);
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn supervisor_reports_exhaustion_with_last_status() {
+        let opts = SupervisorOptions {
+            max_attempts: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let err = supervise(
+            1,
+            |_| {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg("exit 7");
+                cmd
+            },
+            &opts,
+        )
+        .expect_err("a shard that always crashes must exhaust");
+        match err {
+            SupervisorError::Exhausted {
+                spec,
+                attempts,
+                last_status,
+            } => {
+                assert_eq!(spec, ShardSpec { index: 0, count: 1 });
+                assert_eq!(attempts, 2);
+                assert!(last_status.contains('7'), "status: {last_status}");
+            }
+            other => panic!("expected exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let base = Duration::from_millis(250);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(250));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(500));
+        assert_eq!(backoff_delay(base, 3), Duration::from_secs(1));
+        assert!(backoff_delay(base, 64) <= Duration::from_secs(10));
+    }
+}

@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::checkpoint::{debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter};
+use crate::checkpoint::{
+    compact, debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
+};
 use crate::run::{run_networks, RunOptions, SocReport};
 use crate::soc::SocConfig;
 use gemmini_core::AccelError;
@@ -45,6 +47,17 @@ use gemmini_mem::stats::{HitMissStats, TrafficStats};
 
 /// Environment variable naming the worker count (`0`/unset = all cores).
 pub const THREADS_ENV: &str = "GEMMINI_THREADS";
+
+/// Test-only crash hook: when set to `k`, a checkpointed sweep that
+/// starts from an empty checkpoint (no resumed points) calls
+/// [`std::process::abort`] as its `k+1`-th point begins executing, after
+/// `k` completed points have been persisted. A resumed run (any cached
+/// point) never crashes, so a supervisor retry that picks the shard back
+/// up from its checkpoint runs to completion. The shard supervisor tests
+/// and CI use this to simulate a segfault mid-sweep; see also
+/// [`crate::shard::CRASH_SHARD_ENV`] for restricting the hook to one
+/// shard.
+pub const CRASH_AFTER_ENV: &str = "GEMMINI_TEST_CRASH_AFTER";
 
 /// One named point of a design-space sweep: an SoC configuration, the
 /// networks to run on it (one per core), and the run options.
@@ -119,8 +132,10 @@ pub struct SweepResult<T> {
     pub label: String,
     /// The point's report, or why it failed.
     pub outcome: Result<T, SweepError>,
-    /// Wall-clock time the point took on its worker (for cached points,
-    /// the recorded wall-clock of the run that produced the entry).
+    /// Pure simulation wall-clock: the time `f(item)` took on its
+    /// worker, excluding checkpoint encoding and I/O — identical to the
+    /// `wall_nanos` persisted in the checkpoint line, so a run and its
+    /// later cached replay report the same wall for the same point.
     pub wall: Duration,
     /// Whether the result was served from a checkpoint instead of run.
     pub cached: bool,
@@ -160,6 +175,14 @@ pub struct SweepOptions {
     /// holds (matching label + fingerprint). Without `resume`, an
     /// existing checkpoint file is truncated and rewritten.
     pub resume: bool,
+    /// Points already completed before this call's first item — folded
+    /// into progress-line positions so a 27-cached resume of a 32-point
+    /// grid prints `[28/32]`, not `[1/5]`. The checkpointing executor
+    /// sets this to its cached-point count; leave at `0` otherwise.
+    pub progress_done: usize,
+    /// True grid size for progress-line positions; `0` means "the
+    /// submitted item count". Set together with `progress_done`.
+    pub progress_total: usize,
 }
 
 impl Default for SweepOptions {
@@ -169,6 +192,8 @@ impl Default for SweepOptions {
             progress: true,
             checkpoint: None,
             resume: false,
+            progress_done: 0,
+            progress_total: 0,
         }
     }
 }
@@ -225,28 +250,69 @@ where
     T: Send,
     F: Fn(I) -> Result<T, AccelError> + Sync,
 {
+    sweep_map_walled(items, opts, |item| {
+        let start = Instant::now();
+        match f(item) {
+            Ok(t) => {
+                let wall = start.elapsed();
+                Ok((t, wall))
+            }
+            Err(e) => Err(SweepError::Accel(e)),
+        }
+    })
+}
+
+/// The executor core: like [`sweep_map`], but the closure reports its own
+/// wall-clock alongside the payload, so wrappers that do bookkeeping
+/// around the simulation (checkpoint encoding and flushing) can keep the
+/// reported wall pure. Panics inside the closure are still caught and
+/// isolated per item.
+fn sweep_map_walled<I, T, G>(
+    items: Vec<(String, I)>,
+    opts: SweepOptions,
+    g: G,
+) -> Vec<SweepResult<T>>
+where
+    I: Send,
+    T: Send,
+    G: Fn(I) -> Result<(T, Duration), SweepError> + Sync,
+{
     let total = items.len();
     if total == 0 {
         return Vec::new();
     }
     let workers = worker_count(opts.threads, total);
+    // Progress lines report true grid position: a resumed sweep passes
+    // the whole-grid total and the already-cached count so the first
+    // fresh point of a 27-cached/32-point resume prints `[28/32]`. The
+    // pts/s rate stays execution throughput (cached points cost ~0s and
+    // would inflate it into a lie of the opposite kind).
+    let grid_total = if opts.progress_total > 0 {
+        opts.progress_total
+    } else {
+        total
+    };
+    let done_offset = opts.progress_done;
     let sweep_start = Instant::now();
 
     let run_one = |label: &str, item: I, done: &AtomicUsize| -> SweepResult<T> {
-        let start = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| f(item))) {
-            Ok(Ok(t)) => Ok(t),
-            Ok(Err(e)) => Err(SweepError::Accel(e)),
-            Err(payload) => Err(SweepError::Panicked(panic_message(payload))),
+        let attempt_start = Instant::now();
+        let (outcome, wall) = match catch_unwind(AssertUnwindSafe(|| g(item))) {
+            Ok(Ok((t, wall))) => (Ok(t), wall),
+            Ok(Err(e)) => (Err(e), attempt_start.elapsed()),
+            Err(payload) => (
+                Err(SweepError::Panicked(panic_message(payload))),
+                attempt_start.elapsed(),
+            ),
         };
-        let wall = start.elapsed();
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if opts.progress {
             let status = if outcome.is_ok() { "" } else { "FAILED " };
             let elapsed = sweep_start.elapsed().as_secs_f64();
             let rate = finished as f64 / elapsed.max(1e-9);
             eprintln!(
-                "[{finished}/{total}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
+                "[{}/{grid_total}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
+                finished + done_offset,
                 wall.as_secs_f64()
             );
         }
@@ -403,27 +469,79 @@ where
         .into_iter()
         .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
         .collect();
-    let writer = &writer;
-    let ran = sweep_map(work, opts, move |(label, fingerprint, item)| {
+
+    // Test-only crash hook (CI and the shard supervisor tests): on a
+    // fresh sweep, simulate a hard crash as the k+1-th execution begins,
+    // leaving exactly k completed points in the checkpoint. Resumed
+    // sweeps (skipped > 0) never crash, so a retry completes.
+    let crash_hook = if skipped == 0 {
+        std::env::var(CRASH_AFTER_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|k| (k, AtomicUsize::new(0)))
+    } else {
+        None
+    };
+
+    // The inner executor sees only the points that still need to run;
+    // progress lines must nevertheless report whole-grid positions.
+    let mut run_opts = opts.clone();
+    run_opts.progress_done = skipped;
+    run_opts.progress_total = total;
+
+    let writer_ref = &writer;
+    let crash_hook = &crash_hook;
+    let ran = sweep_map_walled(work, run_opts, move |(label, fingerprint, item)| {
+        if let Some((k, started)) = crash_hook {
+            if started.fetch_add(1, Ordering::SeqCst) >= *k {
+                eprintln!("sweep: {CRASH_AFTER_ENV} hook: aborting before '{label}'");
+                std::process::abort();
+            }
+        }
         let start = Instant::now();
-        let payload = f(item)?;
-        if let Some(w) = writer {
+        let payload = f(item).map_err(SweepError::Accel)?;
+        // The persisted wall and the returned wall are the same pure
+        // simulation measurement; JSON encoding and the flushed append
+        // below are excluded from both.
+        let wall = start.elapsed();
+        if let Some(w) = writer_ref {
             let entry = CheckpointEntry {
                 label,
                 fingerprint,
-                wall: start.elapsed(),
+                wall,
                 payload,
             };
             if let Err(e) = w.append(&entry) {
                 eprintln!("sweep: checkpoint append failed for '{}': {e}", entry.label);
             }
-            Ok(entry.payload)
+            Ok((entry.payload, wall))
         } else {
-            Ok(payload)
+            Ok((payload, wall))
         }
     });
     for (idx, result) in order.into_iter().zip(ran) {
         slots[idx] = Some(result);
+    }
+
+    // A resumed completion has appended re-run entries over stale ones;
+    // reclaim the shadowed lines so repeated resume cycles cannot grow
+    // the file without bound. (Fresh runs truncate on open, so every
+    // label is already unique.)
+    if opts.resume && writer.is_some() {
+        drop(writer);
+        match compact(&path) {
+            Ok(c) if c.dropped > 0 && opts.progress => eprintln!(
+                "sweep: compacted checkpoint {}: kept {}, reclaimed {} shadowed/stale lines",
+                path.display(),
+                c.kept,
+                c.dropped
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!(
+                "sweep: checkpoint compaction failed for {}: {e}",
+                path.display()
+            ),
+        }
     }
 
     slots

@@ -335,6 +335,187 @@ fn resume_reruns_points_whose_configuration_changed() {
 }
 
 #[test]
+fn failed_points_are_not_persisted_and_rerun_on_resume() {
+    use gemmini_core::AccelError;
+    let path = scratch_checkpoint("failed_points");
+    let _ = std::fs::remove_file(&path);
+
+    // Six labelled points; "accel" fails with a typed error, "panic"
+    // panics. Both failure shapes must leave no checkpoint entry.
+    let items = |fail: bool| -> Vec<(String, u64, u64)> {
+        (0..6)
+            .map(|i| {
+                let label = match i {
+                    2 => "accel".to_string(),
+                    4 => "panic".to_string(),
+                    _ => format!("ok{i}"),
+                };
+                (label, i, if fail { i } else { 100 + i })
+            })
+            .collect()
+    };
+    let executed = AtomicUsize::new(0);
+    let first = sweep_map_checkpointed(
+        items(true),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            ..opts(2)
+        },
+        |i| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            match i {
+                2 => Err(AccelError::NoPreload),
+                4 => panic!("deliberate point failure"),
+                _ => Ok(i * 10),
+            }
+        },
+    );
+    assert_eq!(executed.load(Ordering::SeqCst), 6);
+    assert!(matches!(first[2].outcome, Err(SweepError::Accel(_))));
+    assert!(matches!(first[4].outcome, Err(SweepError::Panicked(_))));
+
+    let on_disk: Checkpoint<u64> = Checkpoint::load(&path).expect("checkpoint loads");
+    assert_eq!(on_disk.len(), 4, "failed points must not be persisted");
+    assert!(on_disk.lookup("accel", 2).is_none());
+    assert!(on_disk.lookup("panic", 4).is_none());
+
+    // Resume with the failures fixed (same labels and fingerprints, a
+    // healthy closure): exactly the two failed points re-run.
+    let executed = AtomicUsize::new(0);
+    let resumed = sweep_map_checkpointed(
+        items(true),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..opts(2)
+        },
+        |i| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(i * 10)
+        },
+    );
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        2,
+        "only the failed points re-run on resume"
+    );
+    assert!(resumed
+        .iter()
+        .enumerate()
+        .all(|(i, r)| r.cached == (i != 2 && i != 4)));
+    assert!(resumed.iter().all(|r| r.outcome.is_ok()));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reported_wall_is_the_persisted_pure_simulation_wall() {
+    let path = scratch_checkpoint("wall");
+    let _ = std::fs::remove_file(&path);
+
+    let items: Vec<(String, u64, u64)> = (0..4).map(|i| (format!("p{i}"), i, i)).collect();
+    let fresh = sweep_map_checkpointed(
+        items.clone(),
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            ..opts(2)
+        },
+        |i| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(i)
+        },
+    );
+
+    // The wall each result reports must be exactly the wall persisted in
+    // its checkpoint line — the pure simulation time, measured once.
+    // (Before the fix, the returned wall also included JSON encoding and
+    // the flushed append, so a run and its cached replay disagreed.)
+    let on_disk: Checkpoint<u64> = Checkpoint::load(&path).expect("checkpoint loads");
+    for r in &fresh {
+        let entry = on_disk
+            .lookup(&r.label, r.outcome.as_ref().copied().unwrap())
+            .unwrap();
+        assert_eq!(
+            r.wall, entry.wall,
+            "returned wall must equal persisted wall for '{}'",
+            r.label
+        );
+    }
+
+    // A cached replay serves the identical wall.
+    let replay = sweep_map_checkpointed(
+        items,
+        SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..opts(2)
+        },
+        |_: u64| -> Result<u64, gemmini_core::AccelError> {
+            panic!("nothing may execute on a full-checkpoint replay")
+        },
+    );
+    for (r, f) in replay.iter().zip(&fresh) {
+        assert!(r.cached);
+        assert_eq!(r.wall, f.wall, "cached replay must report the same wall");
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn repeated_resume_cycles_do_not_grow_the_checkpoint() {
+    let path = scratch_checkpoint("compaction");
+    let _ = std::fs::remove_file(&path);
+
+    let n = 5usize;
+    let line_count = |path: &PathBuf| -> usize {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    };
+
+    // Each cycle uses new fingerprints, so every point re-runs and
+    // appends a shadowing entry. Completion must compact the file back
+    // to one line per label; without compaction cycle `c` would leave
+    // `c * n` lines.
+    for cycle in 0..3u64 {
+        let items: Vec<(String, u64, u64)> =
+            (0..n).map(|i| (format!("p{i}"), cycle, i as u64)).collect();
+        let results = sweep_map_checkpointed(
+            items,
+            SweepOptions {
+                checkpoint: Some(path.clone()),
+                resume: cycle > 0,
+                ..opts(1)
+            },
+            |i| Ok(i + cycle),
+        );
+        assert!(results.iter().all(|r| !r.cached), "new fingerprints re-run");
+        assert_eq!(
+            line_count(&path),
+            n,
+            "cycle {cycle} must leave exactly one line per label"
+        );
+    }
+
+    // The surviving lines are the latest cycle's entries.
+    let on_disk: Checkpoint<u64> = Checkpoint::load(&path).expect("checkpoint loads");
+    assert_eq!(on_disk.len(), n);
+    for i in 0..n {
+        assert_eq!(
+            on_disk.lookup(&format!("p{i}"), 2).unwrap().payload,
+            i as u64 + 2
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn env_var_resolves_worker_count() {
     use gemmini_soc::sweep::{worker_count, THREADS_ENV};
     // This test owns the env var; explicit `threads` arguments elsewhere
