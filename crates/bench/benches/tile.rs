@@ -1,0 +1,151 @@
+//! Tile-level simulation-throughput microbenchmarks (PR: allocation-free
+//! functional core).
+//!
+//! Two levels pin the hot path's speed:
+//!
+//! * `single_tile_mac` — one mesh compute, `row_api` (the retained
+//!   row-slice surface, which allocates its `Vec<Vec<_>>` result) against
+//!   `flat` (`compute_into` on flat strided buffers, the engine's path).
+//!   The ratio is the before/after of the MAC-kernel rework.
+//! * `tiled_layer` — a full `TiledMatmulKernel` layer through the
+//!   engine, in timing-only and functional modes: what figure sweeps and
+//!   end-to-end network runs actually pay per layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemmini_core::config::GemminiConfig;
+use gemmini_core::mesh::MatrixUnit;
+use gemmini_core::{Accelerator, MemCtx};
+use gemmini_cpu::{CpuKind, CpuModel};
+use gemmini_dnn::graph::Activation;
+use gemmini_dnn::tensor::Tensor;
+use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
+use gemmini_mem::dram::MainMemory;
+use gemmini_mem::MemorySystem;
+use gemmini_soc::kernel::{
+    ASource, Kernel, KernelEnv, MatmulParams, StepOutcome, TiledMatmulKernel,
+};
+use gemmini_vm::page::FrameAllocator;
+use gemmini_vm::page_table::AddressSpace;
+use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
+use std::hint::black_box;
+
+fn bench_single_tile_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_tile_mac");
+    for dim in [4usize, 16, 32] {
+        let a = Tensor::<i8>::random(&[dim, dim], 1);
+        let b = Tensor::<i8>::random(&[dim, dim], 2);
+        group.throughput(Throughput::Elements((dim * dim * dim) as u64));
+
+        let a_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let b_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let mut mu = MatrixUnit::new(dim);
+        mu.preload(&b_rows);
+        group.bench_with_input(BenchmarkId::new("row_api", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(mu.compute(black_box(&a_rows), None)));
+        });
+
+        let mut mu_flat = MatrixUnit::new(dim);
+        mu_flat.preload_flat(b.as_slice(), dim, dim, dim);
+        let mut out = vec![0i32; dim * dim];
+        group.bench_with_input(BenchmarkId::new("flat", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                mu_flat.compute_into(black_box(a.as_slice()), dim, dim, dim, None, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fills `[va, va+len)` with a deterministic byte pattern, page by page
+/// (virtual pages need not map to contiguous frames).
+fn seed(space: &AddressSpace, data: &mut MainMemory, va: VirtAddr, len: u64) {
+    let mut off = 0u64;
+    while off < len {
+        let chunk = (len - off).min(PAGE_SIZE);
+        let bytes: Vec<u8> = (off..off + chunk).map(|i| (i % 251) as u8).collect();
+        let pa = space.translate(va.add(off)).unwrap();
+        data.write(pa, &bytes);
+        off += chunk;
+    }
+}
+
+/// Simulates one full tiled-matmul layer; `functional` additionally moves
+/// and computes real bytes. Returns the modeled finish cycle.
+fn simulate_layer(m: usize, k: usize, n: usize, functional: bool) -> u64 {
+    let cfg = GemminiConfig::edge();
+    let mut frames = FrameAllocator::new();
+    let mut space = AddressSpace::new(&mut frames);
+    let pages = |bytes: usize| (bytes as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE + PAGE_SIZE;
+    let a = space.alloc(&mut frames, pages(m * k));
+    let b = space.alloc(&mut frames, pages(k * (n + 16)));
+    let c = space.alloc(&mut frames, pages(m * n));
+    let mut mem = MemorySystem::default();
+    let mut translation = TranslationSystem::new(TranslationConfig::default());
+    let mut data = MainMemory::new();
+    if functional {
+        seed(&space, &mut data, a, (m * k) as u64);
+        seed(&space, &mut data, b, (k * n) as u64);
+    }
+    let mut accel = Accelerator::new(cfg.clone());
+    let cpu = CpuModel::new(CpuKind::Rocket);
+    let mut kernel = TiledMatmulKernel::new(
+        &cfg,
+        MatmulParams {
+            a,
+            b,
+            c,
+            m,
+            k,
+            n,
+            c_stride: n,
+            activation: Activation::None,
+            acc_scale: 1.0,
+        },
+        ASource::Memory,
+    );
+    loop {
+        let mut env = KernelEnv {
+            accel: &mut accel,
+            cpu: &cpu,
+            ctx: MemCtx {
+                space: &space,
+                translation: &mut translation,
+                mem: &mut mem,
+                data: functional.then_some(&mut data),
+                port: 0,
+            },
+        };
+        if matches!(kernel.step(&mut env).expect("no faults"), StepOutcome::Done) {
+            break;
+        }
+    }
+    accel.stats().finish
+}
+
+fn bench_tiled_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_layer");
+    group.sample_size(10);
+    let (m, k, n) = (128usize, 128, 128);
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    group.bench_function(
+        BenchmarkId::new("timing", format!("{m}x{k}x{n}")),
+        |bench| {
+            bench.iter(|| black_box(simulate_layer(m, k, n, false)));
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("functional", format!("{m}x{k}x{n}")),
+        |bench| {
+            bench.iter(|| black_box(simulate_layer(m, k, n, true)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_tile_mac, bench_tiled_layer);
+criterion_main!(benches);

@@ -36,15 +36,15 @@ pub struct MemCtx<'a> {
     pub port: PortId,
 }
 
-/// Outcome of one DMA transfer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Outcome of one DMA transfer. Functional mvin bytes land in the
+/// caller-provided destination buffer, so the transfer record itself is
+/// plain-old-data and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaTransfer {
     /// Cycle at which the last byte arrived.
     pub done: Cycle,
     /// Total bytes moved.
     pub bytes: u64,
-    /// Row contents, one buffer per row, when running functionally.
-    pub rows: Option<Vec<Vec<u8>>>,
 }
 
 /// Running totals for one DMA engine.
@@ -80,6 +80,12 @@ impl StreamDma {
     /// Reads `rows` rows of `row_bytes` bytes from virtual memory,
     /// `stride` bytes apart, starting at `vaddr` and time `now`.
     ///
+    /// In functional mode pass `dst`: it is cleared and filled with the
+    /// rows packed back to back (`rows * row_bytes` bytes total, row `r`
+    /// at `r * row_bytes`). The buffer's capacity is retained across
+    /// calls, so a reused arena makes the steady state allocation-free.
+    /// With `dst: None` (or in timing-only mode) no bytes are stored.
+    ///
     /// # Errors
     ///
     /// Propagates [`TranslateError`] (page fault / permission denied) from
@@ -96,6 +102,7 @@ impl StreamDma {
         rows: usize,
         row_bytes: u64,
         stride: u64,
+        dst: Option<&mut Vec<u8>>,
     ) -> Result<DmaTransfer, TranslateError> {
         self.transfer(
             prof,
@@ -107,11 +114,13 @@ impl StreamDma {
             stride,
             Access::Read,
             None,
+            dst,
         )
     }
 
-    /// Writes `rows` rows to virtual memory. In functional mode
-    /// `row_data` supplies the bytes (one buffer per row).
+    /// Writes `rows` rows to virtual memory. In functional mode `data`
+    /// supplies the bytes, packed `rows * row_bytes` flat (row `r` at
+    /// `r * row_bytes`).
     ///
     /// # Errors
     ///
@@ -119,7 +128,8 @@ impl StreamDma {
     ///
     /// # Panics
     ///
-    /// Panics if `row_data` is provided with a length other than `rows`.
+    /// Panics if `data` is provided with a length other than
+    /// `rows * row_bytes`.
     #[allow(clippy::too_many_arguments)]
     pub fn mvout(
         &mut self,
@@ -130,10 +140,14 @@ impl StreamDma {
         rows: usize,
         row_bytes: u64,
         stride: u64,
-        row_data: Option<&[Vec<u8>]>,
+        data: Option<&[u8]>,
     ) -> Result<DmaTransfer, TranslateError> {
-        if let Some(d) = row_data {
-            assert_eq!(d.len(), rows, "row_data length must equal rows");
+        if let Some(d) = data {
+            assert_eq!(
+                d.len() as u64,
+                rows as u64 * row_bytes,
+                "mvout data length must equal rows * row_bytes"
+            );
         }
         self.transfer(
             prof,
@@ -144,7 +158,8 @@ impl StreamDma {
             row_bytes,
             stride,
             Access::Write,
-            row_data,
+            data,
+            None,
         )
     }
 
@@ -159,22 +174,21 @@ impl StreamDma {
         row_bytes: u64,
         stride: u64,
         access: Access,
-        row_data: Option<&[Vec<u8>]>,
+        write_data: Option<&[u8]>,
+        mut read_dst: Option<&mut Vec<u8>>,
     ) -> Result<DmaTransfer, TranslateError> {
         let mut issue = now;
         let mut done = now;
-        let mut out_rows: Option<Vec<Vec<u8>>> = if ctx.data.is_some() && access == Access::Read {
-            Some(Vec::with_capacity(rows))
-        } else {
-            None
-        };
+        if let Some(dst) = read_dst.as_deref_mut() {
+            dst.clear();
+            if ctx.data.is_some() {
+                dst.reserve(rows * row_bytes as usize);
+            }
+        }
 
         for r in 0..rows {
             let row_va = vaddr.add(r as u64 * stride);
             let mut moved = 0u64;
-            let mut row_buf: Option<Vec<u8>> = out_rows
-                .as_ref()
-                .map(|_| Vec::with_capacity(row_bytes as usize));
             // Split the row at page boundaries; translate each segment once.
             while moved < row_bytes {
                 let seg_va = row_va.add(moved);
@@ -215,27 +229,22 @@ impl StreamDma {
                 if let Some(data) = ctx.data.as_deref_mut() {
                     match access {
                         Access::Read => {
-                            let buf = row_buf.as_mut().expect("functional read buffers rows");
-                            let start = buf.len();
-                            buf.resize(start + seg as usize, 0);
-                            data.read(tr.paddr, &mut buf[start..]);
+                            if let Some(dst) = read_dst.as_deref_mut() {
+                                let start = dst.len();
+                                dst.resize(start + seg as usize, 0);
+                                data.read(tr.paddr, &mut dst[start..]);
+                            }
                         }
                         Access::Write => {
-                            if let Some(rows_data) = row_data {
-                                let row = &rows_data[r];
-                                let lo = moved as usize;
-                                let hi = ((moved + seg) as usize).min(row.len());
-                                if lo < hi {
-                                    data.write(tr.paddr, &row[lo..hi]);
-                                }
+                            if let Some(flat) = write_data {
+                                let lo = (r as u64 * row_bytes + moved) as usize;
+                                let hi = lo + seg as usize;
+                                data.write(tr.paddr, &flat[lo..hi]);
                             }
                         }
                     }
                 }
                 moved += seg;
-            }
-            if let (Some(rows_vec), Some(buf)) = (out_rows.as_mut(), row_buf) {
-                rows_vec.push(buf);
             }
         }
 
@@ -255,7 +264,6 @@ impl StreamDma {
         Ok(DmaTransfer {
             done: finish,
             bytes,
-            rows: out_rows,
         })
     }
 }
@@ -315,12 +323,21 @@ mod tests {
         rig.write_virt(va, &[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
+        let mut buf = Vec::new();
         let t = dma
-            .mvin(&mut Profiler::default(), &mut ctx, 0, va, 2, 4, 4)
+            .mvin(
+                &mut Profiler::default(),
+                &mut ctx,
+                0,
+                va,
+                2,
+                4,
+                4,
+                Some(&mut buf),
+            )
             .unwrap();
-        let rows = t.rows.unwrap();
-        assert_eq!(rows[0], vec![1, 2, 3, 4]);
-        assert_eq!(rows[1], vec![5, 6, 7, 8]);
+        assert_eq!(&buf[..4], &[1, 2, 3, 4]);
+        assert_eq!(&buf[4..], &[5, 6, 7, 8]);
         assert_eq!(t.bytes, 8);
         assert!(t.done > 0);
     }
@@ -332,12 +349,19 @@ mod tests {
         rig.write_virt(va, &[1, 2, 9, 9, 3, 4, 9, 9]);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        let t = dma
-            .mvin(&mut Profiler::default(), &mut ctx, 0, va, 2, 2, 4)
-            .unwrap();
-        let rows = t.rows.unwrap();
-        assert_eq!(rows[0], vec![1, 2]);
-        assert_eq!(rows[1], vec![3, 4]);
+        let mut buf = vec![77u8; 32]; // stale contents must be cleared
+        dma.mvin(
+            &mut Profiler::default(),
+            &mut ctx,
+            0,
+            va,
+            2,
+            2,
+            4,
+            Some(&mut buf),
+        )
+        .unwrap();
+        assert_eq!(buf, vec![1, 2, 3, 4]);
     }
 
     #[test]
@@ -345,7 +369,7 @@ mod tests {
         let mut rig = rig();
         let va = rig.base.add(PAGE_SIZE);
         let mut dma = StreamDma::new();
-        let payload = vec![vec![10u8, 20, 30], vec![40, 50, 60]];
+        let payload = vec![10u8, 20, 30, 40, 50, 60];
         {
             let mut ctx = rig.ctx();
             dma.mvout(
@@ -361,10 +385,19 @@ mod tests {
             .unwrap();
         }
         let mut ctx = rig.ctx();
-        let t = dma
-            .mvin(&mut Profiler::default(), &mut ctx, 100, va, 2, 3, 3)
-            .unwrap();
-        assert_eq!(t.rows.unwrap(), payload);
+        let mut buf = Vec::new();
+        dma.mvin(
+            &mut Profiler::default(),
+            &mut ctx,
+            100,
+            va,
+            2,
+            3,
+            3,
+            Some(&mut buf),
+        )
+        .unwrap();
+        assert_eq!(buf, payload);
         assert_eq!(dma.stats().bytes_out, 6);
         assert_eq!(dma.stats().bytes_in, 6);
     }
@@ -376,9 +409,20 @@ mod tests {
         let va = rig.base.add(PAGE_SIZE - 2);
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 1, 4, 4)
-            .unwrap();
+        let mut buf = Vec::new();
+        dma.mvin(
+            &mut Profiler::default(),
+            &mut ctx,
+            0,
+            va,
+            1,
+            4,
+            4,
+            Some(&mut buf),
+        )
+        .unwrap();
         assert_eq!(dma.stats().translations, 2);
+        assert_eq!(buf.len(), 4, "page-crossing row still packs contiguously");
     }
 
     #[test]
@@ -387,7 +431,7 @@ mod tests {
         let va = rig.base;
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 16, 16, 16)
+        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 16, 16, 16, None)
             .unwrap();
         assert_eq!(dma.stats().translations, 16);
         // All rows after the first hit the (4-entry) private TLB.
@@ -395,14 +439,24 @@ mod tests {
     }
 
     #[test]
-    fn timing_only_mode_produces_no_rows_but_same_stats() {
+    fn timing_only_mode_produces_no_bytes_but_same_stats() {
         let mut rig1 = rig();
         let va = rig1.base;
         let mut dma_f = StreamDma::new();
+        let mut buf_f = Vec::new();
         let t_f = {
             let mut ctx = rig1.ctx();
             dma_f
-                .mvin(&mut Profiler::default(), &mut ctx, 0, va, 8, 16, 16)
+                .mvin(
+                    &mut Profiler::default(),
+                    &mut ctx,
+                    0,
+                    va,
+                    8,
+                    16,
+                    16,
+                    Some(&mut buf_f),
+                )
                 .unwrap()
         };
 
@@ -410,6 +464,7 @@ mod tests {
         let mut rig2 = rig();
         let va2 = rig2.base;
         let mut dma_t = StreamDma::new();
+        let mut buf_t = vec![5u8; 3];
         let t_t = {
             let mut ctx = MemCtx {
                 space: &rig2.space,
@@ -419,11 +474,20 @@ mod tests {
                 port: 0,
             };
             dma_t
-                .mvin(&mut Profiler::default(), &mut ctx, 0, va2, 8, 16, 16)
+                .mvin(
+                    &mut Profiler::default(),
+                    &mut ctx,
+                    0,
+                    va2,
+                    8,
+                    16,
+                    16,
+                    Some(&mut buf_t),
+                )
                 .unwrap()
         };
-        assert!(t_t.rows.is_none());
-        assert!(t_f.rows.is_some());
+        assert!(buf_t.is_empty(), "timing-only mode stores no bytes");
+        assert_eq!(buf_f.len(), 8 * 16);
         assert_eq!(t_f.done, t_t.done, "timing must not depend on mode");
         assert_eq!(dma_f.stats(), dma_t.stats());
     }
@@ -442,6 +506,7 @@ mod tests {
                 1,
                 16,
                 16,
+                None,
             )
             .unwrap_err();
         assert!(matches!(err, TranslateError::PageFault { .. }));
@@ -453,7 +518,7 @@ mod tests {
         let va = rig.base;
         let mut dma = StreamDma::new();
         let mut ctx = rig.ctx();
-        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 1, 16, 16)
+        dma.mvin(&mut Profiler::default(), &mut ctx, 0, va, 1, 16, 16, None)
             .unwrap();
         // Cold access: one walk, so stall cycles are substantial.
         assert!(dma.stats().translation_stall_cycles > 0);

@@ -20,7 +20,7 @@ use crate::config::{Dataflow, GemminiConfig};
 use crate::dma::{MemCtx as DmaMemCtx, StreamDma};
 use crate::isa::{Instruction, LocalAddr};
 use crate::mesh::{MatrixUnit, MeshTiming};
-use crate::peripherals::readout_row;
+use crate::peripherals::readout_row_into;
 use crate::scratchpad::{Accumulator, Scratchpad};
 use crate::trace::{AttributionKind, Component, CycleAttribution, Profiler, StallCause, Tracer};
 use gemmini_dnn::graph::Activation;
@@ -141,6 +141,34 @@ struct PendingC {
     b_cols: u16,
 }
 
+/// Reusable flat buffers for the functional hot path. Each issue clears and
+/// refills what it needs; capacity persists across calls, so after the first
+/// few tiles the steady state performs zero heap allocations (pinned by the
+/// `alloc_guard` integration test).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// mvin landing zone: DMA bytes before the local-memory deposit.
+    dma: Vec<u8>,
+    /// Widened scratchpad-sourced bias rows for the WS compute path.
+    d: Vec<i32>,
+    /// Mesh output block (`a_rows * dim` int32s).
+    out: Vec<i32>,
+    /// mvout staging: read-out bytes handed to the DMA.
+    store: Vec<u8>,
+    /// Recycled output-stationary partial-sum buffer (one OS block is live
+    /// at a time, so a single spare suffices).
+    os_spare: Vec<i32>,
+}
+
+/// PE-resident output-stationary partial sums: `rows` rows of `dim` int32s,
+/// flat. In timing-only mode `vals` stays empty and only `rows` (the block
+/// height, which the flush's timing needs) is tracked.
+#[derive(Debug)]
+struct OsPartials {
+    rows: usize,
+    vals: Vec<i32>,
+}
+
 /// One generated accelerator instance: spatial array + local memories +
 /// DMA + the ROB-style scoreboard.
 ///
@@ -174,7 +202,8 @@ pub struct Accelerator {
     b_ready: Cycle,
     /// Output-stationary mode: partial sums resident in the PEs, flushed to
     /// the accumulator by the next arming preload (or a Flush).
-    os_c: Option<Vec<Vec<i32>>>,
+    os_c: Option<OsPartials>,
+    scratch: Scratch,
     trace: Option<Vec<String>>,
     profiler: Profiler,
     stats: ExecStats,
@@ -210,6 +239,7 @@ impl Accelerator {
             pending_c: None,
             b_ready: 0,
             os_c: None,
+            scratch: Scratch::default(),
             trace: None,
             profiler: Profiler::new(),
             config,
@@ -234,6 +264,14 @@ impl Accelerator {
     /// unit's next interval begins at or after its free time.
     fn attribution_frontier(&self) -> Cycle {
         self.load_free.min(self.ex_free).min(self.store_free)
+    }
+
+    /// Unconditionally folds the attribution log's settled intervals (it
+    /// normally compacts itself at a size threshold). The allocation-guard
+    /// test calls this between its warm-up and measured passes so the
+    /// measured pass starts from the log's steady state.
+    pub fn compact_attribution(&mut self) {
+        self.profiler.compact(self.attribution_frontier());
     }
 
     /// The configuration this instance was elaborated from.
@@ -306,6 +344,8 @@ impl Accelerator {
         stride: u64,
     ) -> Result<Cycle, AccelError> {
         let start = self.load_free;
+        // The stream feeds the peripheral directly; nothing is deposited,
+        // so no destination buffer is needed even functionally.
         let xfer = self.dma.mvin(
             &mut self.profiler,
             ctx,
@@ -314,6 +354,7 @@ impl Accelerator {
             rows,
             row_bytes,
             stride,
+            None,
         )?;
         self.profiler.span(
             AttributionKind::Load,
@@ -338,8 +379,9 @@ impl Accelerator {
     ///
     /// Timing and memory traffic follow the raw stream (that is the whole
     /// point of the block: k²-fold less DRAM traffic than a materialized
-    /// patch matrix); functional contents come from `patch_data` when
-    /// running functionally.
+    /// patch matrix); functional contents come from `patch_data` — flat,
+    /// `patch_rows` equal-length rows packed back to back — when running
+    /// functionally.
     ///
     /// # Errors
     ///
@@ -348,8 +390,8 @@ impl Accelerator {
     ///
     /// # Panics
     ///
-    /// Panics if `patch_data` is provided with a length other than
-    /// `patch_rows`.
+    /// Panics if `patch_data` is provided with a length not divisible into
+    /// `patch_rows` equal rows.
     #[allow(clippy::too_many_arguments)]
     pub fn mvin_im2col(
         &mut self,
@@ -360,10 +402,13 @@ impl Accelerator {
         raw_stride: u64,
         sp_row: u32,
         patch_rows: u16,
-        patch_data: Option<&[Vec<i8>]>,
+        patch_data: Option<&[i8]>,
     ) -> Result<Cycle, AccelError> {
         if let Some(d) = patch_data {
-            assert_eq!(d.len(), patch_rows as usize, "patch_data length mismatch");
+            assert!(
+                patch_rows > 0 && d.len() % patch_rows as usize == 0,
+                "patch_data length must divide into patch_rows equal rows"
+            );
         }
         let local = LocalAddr::Sp { row: sp_row };
         self.check_sp_range(local, sp_row, patch_rows)?;
@@ -373,6 +418,8 @@ impl Accelerator {
             patch_rows,
         ));
         let start = self.load_free.max(dep);
+        // The raw stream feeds the im2col block, not the scratchpad, so
+        // the DMA needs no destination buffer.
         let xfer = self.dma.mvin(
             &mut self.profiler,
             ctx,
@@ -381,6 +428,7 @@ impl Accelerator {
             raw_rows,
             raw_row_bytes,
             raw_stride,
+            None,
         )?;
         // Patch generation streams at one row per cycle behind the DMA.
         let done = xfer.done + patch_rows as u64;
@@ -394,9 +442,11 @@ impl Accelerator {
         );
         self.profiler.maybe_compact(self.attribution_frontier());
         if ctx.data.is_some() {
-            if let Some(rows) = patch_data {
-                for (i, vals) in rows.iter().enumerate() {
-                    self.sp.write_row(sp_row as usize + i, vals);
+            if let Some(flat) = patch_data {
+                let row_len = flat.len() / patch_rows as usize;
+                for i in 0..patch_rows as usize {
+                    self.sp
+                        .write_row(sp_row as usize + i, &flat[i * row_len..(i + 1) * row_len]);
                 }
             }
         }
@@ -410,7 +460,8 @@ impl Accelerator {
 
     /// Streams `rows` rows of `row_bytes` bytes to memory directly from a
     /// peripheral unit (e.g. the pooling block's output), bypassing the
-    /// local memories. `data` supplies the bytes when running functionally.
+    /// local memories. `data` supplies the bytes when running functionally,
+    /// packed `rows * row_bytes` flat.
     ///
     /// # Errors
     ///
@@ -422,7 +473,7 @@ impl Accelerator {
         rows: usize,
         row_bytes: u64,
         stride: u64,
-        data: Option<&[Vec<u8>]>,
+        data: Option<&[u8]>,
     ) -> Result<Cycle, AccelError> {
         let start = self.store_free.max(self.ex_free);
         let xfer = self.dma.mvout(
@@ -674,6 +725,7 @@ impl Accelerator {
             rows as usize,
             row_bytes,
             stride,
+            Some(&mut self.scratch.dma),
         )?;
         self.profiler.span(
             AttributionKind::Load,
@@ -684,30 +736,28 @@ impl Accelerator {
             StallCause::None,
         );
 
-        // Functional: deposit rows.
-        if let Some(data_rows) = xfer.rows {
+        // Functional: deposit rows straight from the flat DMA arena.
+        if ctx.data.is_some() {
+            let rb = row_bytes as usize;
             match local {
                 LocalAddr::Sp { row } => {
-                    for (i, bytes) in data_rows.iter().enumerate() {
-                        let vals: Vec<i8> = bytes.iter().map(|&b| b as i8).collect();
-                        self.sp.write_row(row as usize + i, &vals);
+                    for i in 0..rows as usize {
+                        self.sp.write_row_bytes(
+                            row as usize + i,
+                            &self.scratch.dma[i * rb..(i + 1) * rb],
+                        );
                     }
                 }
                 LocalAddr::Acc { row, accumulate } => {
-                    for (i, bytes) in data_rows.iter().enumerate() {
-                        let vals: Vec<i32> = if self.state.ld_shrink {
+                    for i in 0..rows as usize {
+                        let bytes = &self.scratch.dma[i * rb..(i + 1) * rb];
+                        let r = row as usize + i;
+                        match (self.state.ld_shrink, accumulate) {
                             // Widen int8 payload to int32 on the way in.
-                            bytes.iter().map(|&b| b as i8 as i32).collect()
-                        } else {
-                            bytes
-                                .chunks_exact(4)
-                                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                                .collect()
-                        };
-                        if accumulate {
-                            self.acc.accumulate_row(row as usize + i, &vals);
-                        } else {
-                            self.acc.write_row(row as usize + i, &vals);
+                            (true, false) => self.acc.write_row_widen(r, bytes),
+                            (true, true) => self.acc.accumulate_row_widen(r, bytes),
+                            (false, false) => self.acc.write_row_i32le(r, bytes),
+                            (false, true) => self.acc.accumulate_row_i32le(r, bytes),
                         }
                     }
                 }
@@ -727,15 +777,29 @@ impl Accelerator {
         Ok(xfer.done)
     }
 
+    /// Returns an output-stationary partial-sum buffer to the arena so the
+    /// next arming preload reuses its capacity.
+    fn recycle_os(&mut self, mut os: OsPartials) {
+        os.vals.clear();
+        self.scratch.os_spare = os.vals;
+    }
+
     /// Writes PE-resident output-stationary partial sums to the armed
     /// accumulator destination and disarms. No-op when nothing is pending.
     fn flush_os_partials(&mut self, functional: bool) -> Result<(), AccelError> {
-        let (Some(cvals), Some(dest)) = (self.os_c.take(), self.pending_c) else {
-            self.os_c = None;
+        let taken = self.os_c.take();
+        let Some(dest) = self.pending_c else {
+            if let Some(os) = taken {
+                self.recycle_os(os);
+            }
             return Ok(());
         };
-        let rows = cvals.len() as u16;
+        let Some(os) = taken else {
+            return Ok(());
+        };
+        let rows = os.rows as u16;
         if rows == 0 {
+            self.recycle_os(os);
             return Ok(());
         }
         self.check_acc_range(
@@ -761,7 +825,9 @@ impl Accelerator {
             StallCause::None,
         );
         if functional {
-            for (i, row_vals) in cvals.iter().enumerate() {
+            let dim = self.config.dim();
+            for i in 0..os.rows {
+                let row_vals = &os.vals[i * dim..(i + 1) * dim];
                 if dest.accumulate {
                     self.acc.accumulate_row(dest.row as usize + i, row_vals);
                 } else {
@@ -773,6 +839,7 @@ impl Accelerator {
         self.stats.ex_busy += done - start;
         self.stats.finish = self.stats.finish.max(done);
         self.ex_free = done;
+        self.recycle_os(os);
         Ok(())
     }
 
@@ -812,11 +879,15 @@ impl Accelerator {
             LocalAddr::Sp { row } => {
                 self.check_sp_range(b, row, b_rows)?;
                 start = start.max(Self::range_max(&self.sp_wr, row, b_rows));
-                // Functional: load B into the array.
-                let rows: Vec<&[i8]> = (0..b_rows as usize)
-                    .map(|i| &self.sp.row(row as usize + i)[..b_cols as usize])
-                    .collect();
-                self.matrix_unit.preload(&rows);
+                // Functional: load B into the array, zero-copy from the
+                // scratchpad's contiguous row region.
+                let dim = self.sp.dim();
+                self.matrix_unit.preload_flat(
+                    self.sp.rows_flat(row as usize, b_rows as usize),
+                    b_rows as usize,
+                    b_cols as usize,
+                    dim,
+                );
                 let done = start + self.timing.preload_cycles(b_rows as usize);
                 Self::mark(&mut self.sp_rd, row, b_rows, done);
             }
@@ -842,8 +913,10 @@ impl Accelerator {
         self.b_ready = done;
         self.pending_c = Some(c_dest);
         if matches!(self.state.dataflow, Dataflow::OutputStationary) {
-            // Arm a fresh PE-resident output block.
-            self.os_c = Some(Vec::new());
+            // Arm a fresh PE-resident output block, reusing the recycled
+            // buffer's capacity.
+            let vals = std::mem::take(&mut self.scratch.os_spare);
+            self.os_c = Some(OsPartials { rows: 0, vals });
         }
         self.stats.ex_busy += done - start;
         self.stats.preloads += 1;
@@ -911,27 +984,32 @@ impl Accelerator {
 
         if ctx.data.is_some() {
             let dim = self.config.dim();
+            let a_flat = self.sp.rows_flat(a_row as usize, a_rows as usize);
+            let b_flat = self.sp.rows_flat(b_row as usize, a_cols as usize);
             let os = self.os_c.as_mut().expect("armed above");
-            if os.len() < a_rows as usize {
-                os.resize(a_rows as usize, vec![0i32; dim]);
+            if os.rows < a_rows as usize {
+                // Grow the flat block, preserving existing partials.
+                os.vals.resize(a_rows as usize * dim, 0);
+                os.rows = a_rows as usize;
             }
-            for (i, out_row) in os.iter_mut().enumerate().take(a_rows as usize) {
-                let a_vals = self.sp.row(a_row as usize + i);
-                for (j, out) in out_row.iter_mut().enumerate() {
-                    let mut acc = 0i32;
-                    for (kk, &a_val) in a_vals.iter().enumerate().take(a_cols as usize) {
-                        let b_vals = self.sp.row(b_row as usize + kk);
-                        acc = acc.wrapping_add(a_val as i32 * b_vals[j] as i32);
+            // k-middle / j-inner: the inner loop reads one contiguous B row
+            // and updates one contiguous output row. int32 wrapping adds
+            // commute, so the result is identical to the j-outer form.
+            for i in 0..a_rows as usize {
+                let a_vals = &a_flat[i * dim..i * dim + a_cols as usize];
+                let out_row = &mut os.vals[i * dim..(i + 1) * dim];
+                for (kk, &a_val) in a_vals.iter().enumerate() {
+                    let av = a_val as i32;
+                    let b_vals = &b_flat[kk * dim..(kk + 1) * dim];
+                    for (out, &bv) in out_row.iter_mut().zip(b_vals) {
+                        *out = out.wrapping_add(av * bv as i32);
                     }
-                    *out = out.wrapping_add(acc);
                 }
             }
         } else if let Some(os) = self.os_c.as_mut() {
             // Track the block height for the flush's timing in
             // timing-only mode.
-            if os.len() < a_rows as usize {
-                os.resize(a_rows as usize, Vec::new());
-            }
+            os.rows = os.rows.max(a_rows as usize);
         }
 
         self.stats.macs += a_rows as u64 * a_cols as u64 * c.b_cols.max(1) as u64;
@@ -985,32 +1063,20 @@ impl Accelerator {
             .max(Self::range_max(&self.acc_wr, c.row, a_rows))
             .max(Self::range_max(&self.acc_rd, c.row, a_rows));
 
-        // Optional bias operand.
-        let d_rows: Option<Vec<Vec<i32>>> = match d {
-            LocalAddr::None => None,
+        // Optional bias operand: resolve hazards here; the functional view
+        // is built below (accumulator-sourced bias reads zero-copy,
+        // scratchpad-sourced bias widens into the reused arena).
+        match d {
+            LocalAddr::None => {}
             LocalAddr::Acc { row, .. } => {
                 self.check_acc_range(d, row, a_rows)?;
                 start = start.max(Self::range_max(&self.acc_wr, row, a_rows));
-                let rows = (0..a_rows as usize)
-                    .map(|i| self.acc.row(row as usize + i).to_vec())
-                    .collect();
-                Some(rows)
             }
             LocalAddr::Sp { row } => {
                 self.check_sp_range(d, row, a_rows)?;
                 start = start.max(Self::range_max(&self.sp_wr, row, a_rows));
-                let rows = (0..a_rows as usize)
-                    .map(|i| {
-                        self.sp
-                            .row(row as usize + i)
-                            .iter()
-                            .map(|&x| x as i32)
-                            .collect()
-                    })
-                    .collect();
-                Some(rows)
             }
-        };
+        }
 
         let done = start + self.timing.compute_cycles(a_rows as usize);
         self.profiler.span(
@@ -1022,16 +1088,35 @@ impl Accelerator {
             StallCause::None,
         );
 
-        // Functional compute.
+        // Functional compute: flat strided operand views into the local
+        // memories, output into the reused arena, no per-tile allocation.
         if ctx.data.is_some() {
-            let a_slices: Vec<&[i8]> = (0..a_rows as usize)
-                .map(|i| &self.sp.row(a_row as usize + i)[..a_cols as usize])
-                .collect();
-            let d_slices: Option<Vec<&[i32]>> = d_rows
-                .as_ref()
-                .map(|r| r.iter().map(|v| v.as_slice()).collect());
-            let result = self.matrix_unit.compute(&a_slices, d_slices.as_deref());
-            for (i, row_vals) in result.iter().enumerate() {
+            let dim = self.config.dim();
+            if let LocalAddr::Sp { row } = d {
+                let src = self.sp.rows_flat(row as usize, a_rows as usize);
+                self.scratch.d.clear();
+                self.scratch.d.extend(src.iter().map(|&x| x as i32));
+            }
+            self.scratch.out.clear();
+            self.scratch.out.resize(a_rows as usize * dim, 0);
+            let a_flat = self.sp.rows_flat(a_row as usize, a_rows as usize);
+            let d_view: Option<(&[i32], usize)> = match d {
+                LocalAddr::None => None,
+                LocalAddr::Acc { row, .. } => {
+                    Some((self.acc.rows_flat(row as usize, a_rows as usize), dim))
+                }
+                LocalAddr::Sp { .. } => Some((self.scratch.d.as_slice(), dim)),
+            };
+            self.matrix_unit.compute_into(
+                a_flat,
+                a_rows as usize,
+                a_cols as usize,
+                dim,
+                d_view,
+                &mut self.scratch.out,
+            );
+            for i in 0..a_rows as usize {
+                let row_vals = &self.scratch.out[i * dim..(i + 1) * dim];
                 if c.accumulate {
                     self.acc.accumulate_row(c.row as usize + i, row_vals);
                 } else {
@@ -1059,40 +1144,40 @@ impl Accelerator {
         cols: u16,
     ) -> Result<Cycle, AccelError> {
         self.check_dims("mvout", 0, cols)?;
-        let (dep, row_data): (Cycle, Option<Vec<Vec<u8>>>) = match local {
+        // Stage the read-out rows flat in the reused store arena; the
+        // accumulator path applies the activation/scale datapath per value
+        // on the way.
+        let functional = ctx.data.is_some();
+        if functional {
+            self.scratch.store.clear();
+        }
+        let dep: Cycle = match local {
             LocalAddr::Acc { row, .. } => {
                 self.check_acc_range(local, row, rows)?;
-                let dep = Self::range_max(&self.acc_wr, row, rows);
-                let data = ctx.data.is_some().then(|| {
-                    (0..rows as usize)
-                        .map(|i| {
-                            readout_row(
-                                &self.acc.row(row as usize + i)[..cols as usize],
-                                self.state.activation,
-                                self.state.acc_scale,
-                            )
-                            .iter()
-                            .map(|&v| v as u8)
-                            .collect()
-                        })
-                        .collect()
-                });
-                (dep, data)
+                if functional {
+                    for i in 0..rows as usize {
+                        readout_row_into(
+                            &self.acc.row(row as usize + i)[..cols as usize],
+                            self.state.activation,
+                            self.state.acc_scale,
+                            &mut self.scratch.store,
+                        );
+                    }
+                }
+                Self::range_max(&self.acc_wr, row, rows)
             }
             LocalAddr::Sp { row } => {
                 self.check_sp_range(local, row, rows)?;
-                let dep = Self::range_max(&self.sp_wr, row, rows);
-                let data = ctx.data.is_some().then(|| {
-                    (0..rows as usize)
-                        .map(|i| {
+                if functional {
+                    for i in 0..rows as usize {
+                        self.scratch.store.extend(
                             self.sp.row(row as usize + i)[..cols as usize]
                                 .iter()
-                                .map(|&v| v as u8)
-                                .collect()
-                        })
-                        .collect()
-                });
-                (dep, data)
+                                .map(|&v| v as u8),
+                        );
+                    }
+                }
+                Self::range_max(&self.sp_wr, row, rows)
             }
             LocalAddr::None => {
                 return Err(AccelError::BadLocalAddress {
@@ -1117,7 +1202,7 @@ impl Accelerator {
             rows as usize,
             row_bytes,
             stride,
-            row_data.as_deref(),
+            functional.then_some(&self.scratch.store[..]),
         )?;
         self.profiler.span(
             AttributionKind::Store,

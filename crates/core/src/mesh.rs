@@ -79,8 +79,37 @@ impl<T: MacElement> MatrixUnitOf<T> {
         }
     }
 
+    /// Loads the stationary operand from a flat strided buffer (`b_rows`
+    /// rows of `b_cols` live elements, rows `stride` apart) — the
+    /// allocation-free counterpart of [`Self::preload`] that consumes a
+    /// scratchpad region zero-copy. Positions outside the block are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds `dim` in either direction or the buffer
+    /// is too short for its row count and stride.
+    pub fn preload_flat(&mut self, b: &[T], b_rows: usize, b_cols: usize, stride: usize) {
+        assert!(b_rows <= self.dim, "too many stationary rows");
+        assert!(b_cols <= self.dim, "stationary row too long");
+        assert!(stride >= b_cols, "B stride shorter than its rows");
+        if b_rows > 0 {
+            assert!(
+                b.len() >= (b_rows - 1) * stride + b_cols,
+                "B buffer too short"
+            );
+        }
+        self.b.fill(T::default());
+        for r in 0..b_rows {
+            self.b[r * self.dim..r * self.dim + b_cols]
+                .copy_from_slice(&b[r * stride..r * stride + b_cols]);
+        }
+    }
+
     /// Streams `a_rows` through the array, returning `C = A·B (+ D)`.
     /// Each output row has `dim` elements.
+    ///
+    /// This is the row-slice convenience API; the engine's hot path uses
+    /// [`Self::compute_into`] with flat, caller-owned buffers.
     ///
     /// # Panics
     ///
@@ -92,25 +121,84 @@ impl<T: MacElement> MatrixUnitOf<T> {
         }
         let mut out = Vec::with_capacity(a_rows.len());
         for (i, a) in a_rows.iter().enumerate() {
-            assert!(a.len() <= self.dim, "moving row too long");
             let mut row = vec![T::Acc::default(); self.dim];
-            for (j, r) in row.iter_mut().enumerate() {
-                let mut acc = T::Acc::default();
-                for (k, &av) in a.iter().enumerate() {
-                    acc = T::mac(acc, av, self.b[k * self.dim + j]);
-                }
-                if let Some(d) = d_rows {
-                    let drow = d[i];
-                    if j < drow.len() {
-                        acc = T::acc_add(acc, drow[j]);
-                    }
-                }
-                *r = acc;
-            }
-            self.macs += (a.len() * self.dim) as u64;
+            self.compute_row_into(a, d_rows.map(|d| d[i]), &mut row);
             out.push(row);
         }
         out
+    }
+
+    /// Streams a flat A block through the array, writing `C = A·B (+ D)`
+    /// into the caller-provided `out` buffer — the allocation-free hot
+    /// path. `a` holds `a_rows` rows of `a_cols` live elements, rows
+    /// `a_stride` elements apart (so a scratchpad region is consumed
+    /// zero-copy); `d`, when present, is `(rows, stride)` with `dim` live
+    /// bias elements per row; `out` receives `a_rows` rows of `dim`
+    /// elements, densely packed.
+    ///
+    /// The MAC loop runs k-outer / j-inner: the inner loop reads one
+    /// contiguous stationary row and updates one contiguous output row,
+    /// which autovectorizes. Each output element still accumulates its
+    /// products in ascending-`k` order with the bias added last — exactly
+    /// the order [`Self::compute`] used — so results are bit-identical
+    /// for the f32 instance too, not merely numerically close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_cols > dim`, a buffer is too short for its
+    /// row-count/stride, or `out` is not exactly `a_rows * dim` elements.
+    pub fn compute_into(
+        &mut self,
+        a: &[T],
+        a_rows: usize,
+        a_cols: usize,
+        a_stride: usize,
+        d: Option<(&[T::Acc], usize)>,
+        out: &mut [T::Acc],
+    ) {
+        assert!(a_cols <= self.dim, "moving row too long");
+        assert!(a_stride >= a_cols, "A stride shorter than its rows");
+        if a_rows > 0 {
+            assert!(
+                a.len() >= (a_rows - 1) * a_stride + a_cols,
+                "A buffer too short"
+            );
+            if let Some((dbuf, dstride)) = d {
+                assert!(dstride >= self.dim, "D stride shorter than its rows");
+                assert!(
+                    dbuf.len() >= (a_rows - 1) * dstride + self.dim,
+                    "D buffer too short"
+                );
+            }
+        }
+        assert_eq!(out.len(), a_rows * self.dim, "output buffer size mismatch");
+        for i in 0..a_rows {
+            let a_row = &a[i * a_stride..i * a_stride + a_cols];
+            let d_row = d.map(|(dbuf, dstride)| &dbuf[i * dstride..i * dstride + self.dim]);
+            let out_row = &mut out[i * self.dim..(i + 1) * self.dim];
+            self.compute_row_into(a_row, d_row, out_row);
+        }
+    }
+
+    /// One row of the flat hot path: `out = a·B (+ d)`, with `d` allowed
+    /// to be shorter than `dim` (bias applies only where present, the
+    /// ragged semantics of [`Self::compute`]).
+    fn compute_row_into(&mut self, a: &[T], d: Option<&[T::Acc]>, out: &mut [T::Acc]) {
+        assert!(a.len() <= self.dim, "moving row too long");
+        debug_assert_eq!(out.len(), self.dim);
+        out.fill(T::Acc::default());
+        for (k, &av) in a.iter().enumerate() {
+            let b_row = &self.b[k * self.dim..(k + 1) * self.dim];
+            for (o, &bv) in out.iter_mut().zip(b_row) {
+                *o = T::mac(*o, av, bv);
+            }
+        }
+        if let Some(d) = d {
+            for (o, &dv) in out.iter_mut().zip(d) {
+                *o = T::acc_add(*o, dv);
+            }
+        }
+        self.macs += (a.len() * self.dim) as u64;
     }
 
     /// Total MACs performed since construction.
@@ -247,6 +335,83 @@ mod tests {
         mu.preload(&[&[1, 0, 0, 0]]);
         mu.compute(&[&[1, 2, 3, 4]], None);
         assert_eq!(mu.macs(), 16);
+    }
+
+    #[test]
+    fn flat_compute_matches_row_api_with_stride_and_bias() {
+        let dim = 8;
+        let a = Tensor::<i8>::random(&[dim, dim], 3);
+        let b = Tensor::<i8>::random(&[dim, dim], 4);
+        let d: Vec<i32> = (0..dim * dim).map(|i| i as i32 * 7 - 100).collect();
+        let b_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+
+        // Reference: the row-slice API on the same operands.
+        let mut mu_ref = MatrixUnit::new(dim);
+        mu_ref.preload(&b_rows);
+        let a_rows: Vec<&[i8]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let d_rows: Vec<&[i32]> = (0..dim).map(|r| &d[r * dim..(r + 1) * dim]).collect();
+        let want = mu_ref.compute(&a_rows, Some(&d_rows));
+
+        // Flat path, including a non-trivial A view: stride dim with only
+        // 5 live columns per row, matching a ragged block.
+        let a_cols = 5;
+        let a_rows_ragged: Vec<&[i8]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..r * dim + a_cols])
+            .collect();
+        let want_ragged = mu_ref.compute(&a_rows_ragged, None);
+
+        let mut mu = MatrixUnit::new(dim);
+        mu.preload(&b_rows);
+        let mut out = vec![0i32; dim * dim];
+        mu.compute_into(a.as_slice(), dim, dim, dim, Some((&d, dim)), &mut out);
+        for i in 0..dim {
+            assert_eq!(&out[i * dim..(i + 1) * dim], want[i].as_slice(), "row {i}");
+        }
+        mu.compute_into(a.as_slice(), dim, a_cols, dim, None, &mut out);
+        for i in 0..dim {
+            assert_eq!(
+                &out[i * dim..(i + 1) * dim],
+                want_ragged[i].as_slice(),
+                "ragged row {i}"
+            );
+        }
+        assert_eq!(mu.macs(), mu_ref.macs(), "mac accounting must match");
+    }
+
+    #[test]
+    fn flat_compute_f32_is_bit_identical() {
+        let dim = 6;
+        let a = Tensor::<f32>::random(&[dim, dim], 11);
+        let b = Tensor::<f32>::random(&[dim, dim], 12);
+        let b_rows: Vec<&[f32]> = (0..dim)
+            .map(|r| &b.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let a_rows: Vec<&[f32]> = (0..dim)
+            .map(|r| &a.as_slice()[r * dim..(r + 1) * dim])
+            .collect();
+        let mut mu_ref = MatrixUnitF32::new(dim);
+        mu_ref.preload(&b_rows);
+        let want = mu_ref.compute(&a_rows, None);
+
+        let mut mu = MatrixUnitF32::new(dim);
+        mu.preload(&b_rows);
+        let mut out = vec![0f32; dim * dim];
+        mu.compute_into(a.as_slice(), dim, dim, dim, None, &mut out);
+        for i in 0..dim {
+            for j in 0..dim {
+                // Bit equality, not approximate: the accumulation order
+                // per output element is unchanged by the loop reorder.
+                assert_eq!(
+                    out[i * dim + j].to_bits(),
+                    want[i][j].to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

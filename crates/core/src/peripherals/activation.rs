@@ -31,18 +31,34 @@ pub const RELU6_CLAMP: i8 = 6;
 pub fn readout_row(acc: &[i32], activation: Activation, scale: f32) -> Vec<i8> {
     let params = QuantParams::new(scale);
     acc.iter()
-        .map(|&x| {
-            let x = match activation {
-                Activation::None => x,
-                Activation::Relu | Activation::Relu6 => x.max(0),
-            };
-            let y = requantize(x, params);
-            match activation {
-                Activation::Relu6 => y.min(RELU6_CLAMP),
-                _ => y,
-            }
-        })
+        .map(|&x| readout_value(x, activation, params))
         .collect()
+}
+
+/// The per-element read-out datapath: activation in accumulator space, then
+/// scale-and-saturate, then the ReLU6 output clamp.
+#[inline]
+pub fn readout_value(x: i32, activation: Activation, params: QuantParams) -> i8 {
+    let x = match activation {
+        Activation::None => x,
+        Activation::Relu | Activation::Relu6 => x.max(0),
+    };
+    let y = requantize(x, params);
+    match activation {
+        Activation::Relu6 => y.min(RELU6_CLAMP),
+        _ => y,
+    }
+}
+
+/// Appends one accumulator row's read-out to `out` as store-stream bytes
+/// (each int8 output reinterpreted as `u8`) — the allocation-free variant
+/// [`readout_row`] the engine's mvout path uses with a reused arena.
+pub fn readout_row_into(acc: &[i32], activation: Activation, scale: f32, out: &mut Vec<u8>) {
+    let params = QuantParams::new(scale);
+    out.extend(
+        acc.iter()
+            .map(|&x| readout_value(x, activation, params) as u8),
+    );
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ pub mod pooling;
 pub mod scalar;
 pub mod transpose;
 
-pub use activation::readout_row;
+pub use activation::{readout_row, readout_row_into, readout_value};
 pub use im2col::Im2colUnit;
 pub use pooling::PoolingUnit;
 pub use scalar::ScalarUnit;

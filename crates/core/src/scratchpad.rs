@@ -65,6 +65,21 @@ impl Scratchpad {
         &self.data[row * self.dim..(row + 1) * self.dim]
     }
 
+    /// Reads `n` consecutive rows as one contiguous slice (`n * dim`
+    /// elements, row stride `dim`) — the zero-copy operand view the mesh's
+    /// flat compute path consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    pub fn rows_flat(&self, row: usize, n: usize) -> &[i8] {
+        assert!(
+            row + n <= self.rows,
+            "scratchpad rows {row}+{n} out of range"
+        );
+        &self.data[row * self.dim..(row + n) * self.dim]
+    }
+
     /// Overwrites row `row` with `values` (shorter slices zero-fill the
     /// remainder, matching the DMA's behaviour for partial rows).
     ///
@@ -80,6 +95,26 @@ impl Scratchpad {
         let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
         dst[..values.len()].copy_from_slice(values);
         dst[values.len()..].fill(0);
+    }
+
+    /// Overwrites row `row` from raw DMA bytes (each byte reinterpreted as
+    /// int8), zero-filling the remainder — the mvin deposit path, without
+    /// an intermediate `Vec<i8>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `bytes` is longer than a row.
+    pub fn write_row_bytes(&mut self, row: usize, bytes: &[u8]) {
+        assert!(row < self.rows, "scratchpad row {row} out of range");
+        assert!(
+            bytes.len() <= self.dim,
+            "row data longer than scratchpad width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, &b) in dst.iter_mut().zip(bytes) {
+            *d = b as i8;
+        }
+        dst[bytes.len()..].fill(0);
     }
 
     /// The bank-conflict timing model (shared with the DMA and mesh).
@@ -131,6 +166,21 @@ impl Accumulator {
         &self.data[row * self.dim..(row + 1) * self.dim]
     }
 
+    /// Reads `n` consecutive rows as one contiguous slice (`n * dim`
+    /// elements, row stride `dim`) — the zero-copy bias view for the
+    /// mesh's flat compute path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the accumulator.
+    pub fn rows_flat(&self, row: usize, n: usize) -> &[i32] {
+        assert!(
+            row + n <= self.rows,
+            "accumulator rows {row}+{n} out of range"
+        );
+        &self.data[row * self.dim..(row + n) * self.dim]
+    }
+
     /// Overwrites row `row` with `values`, zero-filling the remainder.
     ///
     /// # Panics
@@ -161,6 +211,77 @@ impl Accumulator {
         let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
         for (d, &v) in dst.iter_mut().zip(values) {
             *d = d.wrapping_add(v);
+        }
+    }
+
+    /// Overwrites row `row` from little-endian int32 DMA bytes (complete
+    /// 4-byte groups only, matching the DMA's element framing),
+    /// zero-filling the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or the bytes exceed a row.
+    pub fn write_row_i32le(&mut self, row: usize, bytes: &[u8]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        let n = bytes.len() / 4;
+        assert!(n <= self.dim, "row data longer than accumulator width");
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+            *d = i32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        dst[n..].fill(0);
+    }
+
+    /// Adds little-endian int32 DMA bytes elementwise into row `row`
+    /// (the accumulate-bit mvin path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or the bytes exceed a row.
+    pub fn accumulate_row_i32le(&mut self, row: usize, bytes: &[u8]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        let n = bytes.len() / 4;
+        assert!(n <= self.dim, "row data longer than accumulator width");
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+            *d = d.wrapping_add(i32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        let _ = n;
+    }
+
+    /// Overwrites row `row` from int8 DMA bytes widened to int32 (the
+    /// shrunk-mvin path), zero-filling the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `bytes` is longer than a row.
+    pub fn write_row_widen(&mut self, row: usize, bytes: &[u8]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        assert!(
+            bytes.len() <= self.dim,
+            "row data longer than accumulator width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, &b) in dst.iter_mut().zip(bytes) {
+            *d = b as i8 as i32;
+        }
+        dst[bytes.len()..].fill(0);
+    }
+
+    /// Adds int8 DMA bytes (widened to int32) elementwise into row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `bytes` is longer than a row.
+    pub fn accumulate_row_widen(&mut self, row: usize, bytes: &[u8]) {
+        assert!(row < self.rows, "accumulator row {row} out of range");
+        assert!(
+            bytes.len() <= self.dim,
+            "row data longer than accumulator width"
+        );
+        let dst = &mut self.data[row * self.dim..(row + 1) * self.dim];
+        for (d, &b) in dst.iter_mut().zip(bytes) {
+            *d = d.wrapping_add(b as i8 as i32);
         }
     }
 }

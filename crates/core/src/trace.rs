@@ -92,6 +92,13 @@ impl Profiler {
         self.log.maybe_compact(frontier);
     }
 
+    /// Unconditionally folds settled intervals up to `frontier` — lets a
+    /// caller (e.g. the allocation-guard test) reach the log's steady
+    /// state at a known point instead of at the size threshold.
+    pub fn compact(&mut self, frontier: Cycle) {
+        self.log.compact(frontier);
+    }
+
     /// The exact attribution of `[0, total)` recorded so far.
     pub fn attribution(&self, total: Cycle) -> CycleAttribution {
         self.log.finish(total)

@@ -63,7 +63,7 @@ fn mvin_im2col_deposits_patches_with_raw_traffic() {
     let mut accel = Accelerator::new(GemminiConfig::edge());
     let base = r.base;
     let mut ctx = r.ctx();
-    let patches: Vec<Vec<i8>> = (0..4).map(|i| vec![i as i8 + 1; 16]).collect();
+    let patches: Vec<i8> = (0..4).flat_map(|i| [i as i8 + 1; 16]).collect();
     let done = accel
         .mvin_im2col(&mut ctx, base, 8, 32, 32, 100, 4, Some(&patches))
         .unwrap();
@@ -81,7 +81,7 @@ fn mvin_im2col_zero_raw_rows_is_generation_only() {
     let mut accel = Accelerator::new(GemminiConfig::edge());
     let base = r.base;
     let mut ctx = r.ctx();
-    let patches: Vec<Vec<i8>> = vec![vec![7i8; 8]];
+    let patches = vec![7i8; 8];
     accel
         .mvin_im2col(&mut ctx, base, 0, 32, 32, 0, 1, Some(&patches))
         .unwrap();
@@ -94,7 +94,7 @@ fn mvout_raw_streams_peripheral_output() {
     let mut r = rig();
     let mut accel = Accelerator::new(GemminiConfig::edge());
     let base = r.base;
-    let rows: Vec<Vec<u8>> = vec![vec![0xaa; 8], vec![0xbb; 8]];
+    let rows: Vec<u8> = [[0xaau8; 8], [0xbbu8; 8]].concat();
     {
         let mut ctx = r.ctx();
         accel

@@ -21,9 +21,21 @@ use crate::tensor::Tensor;
 /// assert_eq!(to_nhwc(&t), vec![1, 3, 2, 4]);
 /// ```
 pub fn to_nhwc<T: Copy + Default>(t: &Tensor<T>) -> Vec<T> {
+    let mut out = Vec::new();
+    to_nhwc_into(t, &mut out);
+    out
+}
+
+/// [`to_nhwc`] into a caller-provided buffer, reusing its capacity.
+///
+/// The buffer is cleared first; after the call it holds exactly the NHWC
+/// serialization. Hot callers (the SoC runtime's per-layer staging) keep
+/// one buffer alive across layers to avoid per-tile allocation.
+pub fn to_nhwc_into<T: Copy + Default>(t: &Tensor<T>, out: &mut Vec<T>) {
     assert_eq!(t.shape().len(), 4, "layout conversion needs a 4-D tensor");
     let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
-    let mut out = Vec::with_capacity(t.len());
+    out.clear();
+    out.reserve(t.len());
     for ni in 0..n {
         for y in 0..h {
             for x in 0..w {
@@ -33,7 +45,6 @@ pub fn to_nhwc<T: Copy + Default>(t: &Tensor<T>) -> Vec<T> {
             }
         }
     }
-    out
 }
 
 /// Deserializes NHWC bytes into an NCHW tensor of the given shape.
@@ -48,8 +59,21 @@ pub fn from_nhwc<T: Copy + Default>(
     h: usize,
     w: usize,
 ) -> Tensor<T> {
-    assert_eq!(data.len(), n * c * h * w, "layout size mismatch");
     let mut t = Tensor::<T>::zeros(&[n, c, h, w]);
+    from_nhwc_into(data, &mut t);
+    t
+}
+
+/// [`from_nhwc`] into a pre-shaped NCHW tensor, avoiding the allocation.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D or `data` does not match its element
+/// count.
+pub fn from_nhwc_into<T: Copy + Default>(data: &[T], t: &mut Tensor<T>) {
+    assert_eq!(t.shape().len(), 4, "layout conversion needs a 4-D tensor");
+    let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    assert_eq!(data.len(), n * c * h * w, "layout size mismatch");
     let mut i = 0;
     for ni in 0..n {
         for y in 0..h {
@@ -61,7 +85,6 @@ pub fn from_nhwc<T: Copy + Default>(
             }
         }
     }
-    t
 }
 
 #[cfg(test)]
@@ -74,6 +97,19 @@ mod tests {
         let nhwc = to_nhwc(&t);
         let back = from_nhwc(&nhwc, 2, 3, 4, 5);
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_capacity() {
+        let t = Tensor::<i8>::random(&[2, 3, 4, 5], 3);
+        let mut buf = Vec::with_capacity(t.len());
+        let ptr = buf.as_ptr();
+        to_nhwc_into(&t, &mut buf);
+        assert_eq!(buf, to_nhwc(&t));
+        assert_eq!(ptr, buf.as_ptr(), "capacity reused, no reallocation");
+        let mut back = Tensor::<i8>::zeros(&[2, 3, 4, 5]);
+        from_nhwc_into(&buf, &mut back);
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -350,6 +350,12 @@ pub struct AttributionLog {
     spans: Vec<AttributionSpan>,
     folded: CycleAttribution,
     folded_until: Cycle,
+    /// Retained scratch for `compact`: settled spans awaiting the fold.
+    /// Capacity is kept across calls so steady-state compaction performs
+    /// no heap allocation.
+    settle_scratch: Vec<AttributionSpan>,
+    /// Retained scratch for the sweep-line boundary events.
+    event_scratch: Vec<(Cycle, usize, bool)>,
 }
 
 impl AttributionLog {
@@ -393,30 +399,46 @@ impl AttributionLog {
     }
 
     /// Unconditionally folds everything below `frontier`.
+    ///
+    /// Kept (unsettled) spans are compacted in place — every input span
+    /// yields at most one kept entry, so the write index never passes the
+    /// read index — and the settled side reuses a retained scratch vector,
+    /// making steady-state compaction allocation-free.
     pub fn compact(&mut self, frontier: Cycle) {
         if frontier <= self.folded_until {
             return;
         }
-        let mut settled: Vec<AttributionSpan> = Vec::new();
-        let mut kept: Vec<AttributionSpan> = Vec::with_capacity(self.spans.len() / 2);
-        for &span in &self.spans {
+        let mut settled = std::mem::take(&mut self.settle_scratch);
+        settled.clear();
+        let mut kept = 0;
+        for read in 0..self.spans.len() {
+            let span = self.spans[read];
             if span.end <= frontier {
                 settled.push(span);
             } else if span.start >= frontier {
-                kept.push(span);
+                self.spans[kept] = span;
+                kept += 1;
             } else {
                 settled.push(AttributionSpan {
                     end: frontier,
                     ..span
                 });
-                kept.push(AttributionSpan {
+                self.spans[kept] = AttributionSpan {
                     start: frontier,
                     ..span
-                });
+                };
+                kept += 1;
             }
         }
-        partition_into(&settled, self.folded_until, frontier, &mut self.folded);
-        self.spans = kept;
+        self.spans.truncate(kept);
+        partition_with(
+            &mut self.event_scratch,
+            &settled,
+            self.folded_until,
+            frontier,
+            &mut self.folded,
+        );
+        self.settle_scratch = settled;
         self.folded_until = frontier;
     }
 
@@ -449,11 +471,25 @@ impl AttributionLog {
 /// resulting bucket cycles are added to `out`. Spans are clamped to
 /// `[lo, hi)`.
 fn partition_into(spans: &[AttributionSpan], lo: Cycle, hi: Cycle, out: &mut CycleAttribution) {
+    let mut events = Vec::new();
+    partition_with(&mut events, spans, lo, hi, out);
+}
+
+/// [`partition_into`] with a caller-provided event buffer so hot callers
+/// (the log's own `compact`) can reuse capacity across invocations.
+fn partition_with(
+    events: &mut Vec<(Cycle, usize, bool)>,
+    spans: &[AttributionSpan],
+    lo: Cycle,
+    hi: Cycle,
+    out: &mut CycleAttribution,
+) {
+    events.clear();
     if spans.is_empty() || hi <= lo {
         return;
     }
     // Boundary events: (position, kind, open/close).
-    let mut events: Vec<(Cycle, usize, bool)> = Vec::with_capacity(spans.len() * 2);
+    events.reserve(spans.len() * 2);
     for span in spans {
         let start = span.start.max(lo);
         let end = span.end.min(hi);
@@ -466,7 +502,7 @@ fn partition_into(spans: &[AttributionSpan], lo: Cycle, hi: Cycle, out: &mut Cyc
     let mut active = [0u64; KIND_COUNT];
     let mut prev: Cycle = 0;
     let mut have_prev = false;
-    for &(pos, kind, open) in &events {
+    for &(pos, kind, open) in events.iter() {
         if have_prev && pos > prev {
             // Charge the elementary interval to the highest-priority
             // active kind, if any.

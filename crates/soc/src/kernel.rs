@@ -167,6 +167,9 @@ pub struct TiledMatmulKernel {
     /// re-mvins operands every iteration); `true` is the reuse-optimized
     /// variant this repo adds as an ablation (see DESIGN.md).
     tile_reuse: bool,
+    /// Reused staging buffer for functional im2col patch blocks (capacity
+    /// persists across tiles, so steady-state steps do not allocate).
+    patch_scratch: Vec<i8>,
 }
 
 impl TiledMatmulKernel {
@@ -239,6 +242,7 @@ impl TiledMatmulKernel {
             a_base: [0, a_cap],
             b_base: [2 * a_cap, 2 * a_cap + b_cap],
             tile_reuse: false,
+            patch_scratch: Vec::new(),
         }
     }
 
@@ -343,11 +347,23 @@ impl TiledMatmulKernel {
                     let cols = self.block_cols_k(kblk);
                     let raw_va = p.input.add((iy0 * p.row_pitch) as u64);
                     let raw_rows = if kbi == 0 { n_iy } else { 0 };
-                    let patch_data: Option<Vec<Vec<i8>>> = p.patches.as_ref().map(|t| {
-                        (0..m_rows)
-                            .map(|r| (0..cols).map(|c| t[(p0 + r, col0 + c)]).collect())
-                            .collect()
-                    });
+                    // Stage the patch block flat in the reused scratch:
+                    // patch rows are contiguous runs of the materialized
+                    // patch matrix, so each row is one memcpy.
+                    let patch_data = match p.patches.as_ref() {
+                        Some(t) => {
+                            let k_full = t.shape()[1];
+                            let flat = t.as_slice();
+                            self.patch_scratch.clear();
+                            for r in 0..m_rows {
+                                let base = (p0 + r) * k_full + col0;
+                                self.patch_scratch
+                                    .extend_from_slice(&flat[base..base + cols]);
+                            }
+                            Some(self.patch_scratch.as_slice())
+                        }
+                        None => None,
+                    };
                     env.accel.mvin_im2col(
                         &mut env.ctx,
                         raw_va,
@@ -356,7 +372,7 @@ impl TiledMatmulKernel {
                         p.row_pitch as u64,
                         self.a_base[slot] + (kbi * self.plan.tm * self.dim) as u32,
                         m_rows as u16,
-                        patch_data.as_deref(),
+                        patch_data,
                     )?;
                 }
             }
@@ -649,8 +665,9 @@ pub struct PoolKernel {
     out_w: usize,
     window: usize,
     unit: PoolingUnit,
-    /// Functional pooled rows (`channels * out_h` rows of `out_w` bytes).
-    out_data: Option<Vec<Vec<u8>>>,
+    /// Functional pooled output, flat: `channels * out_h` rows of `out_w`
+    /// bytes packed back to back.
+    out_data: Option<Vec<u8>>,
     done: bool,
 }
 
@@ -666,7 +683,7 @@ impl PoolKernel {
         in_hw: (usize, usize),
         out_hw: (usize, usize),
         window: usize,
-        out_data: Option<Vec<Vec<u8>>>,
+        out_data: Option<Vec<u8>>,
     ) -> Self {
         Self {
             input,
@@ -1232,8 +1249,9 @@ mod tests {
         let mut r = rig();
         let va_in = r.alloc(4 * 8 * 8);
         let va_out = r.alloc(4 * 4 * 4);
-        // Functional pooled rows: 4 channels * 4 rows of 4 bytes, value 9.
-        let rows: Vec<Vec<u8>> = (0..16).map(|_| vec![9u8; 4]).collect();
+        // Functional pooled rows: 4 channels * 4 rows of 4 bytes, value 9,
+        // packed flat.
+        let rows = vec![9u8; 64];
         let mut accel = Accelerator::new(cfg.clone());
         let mut kernel = PoolKernel::new(&cfg, va_in, va_out, 4, (8, 8), (4, 4), 2, Some(rows));
         run_kernel(&mut r, &mut accel, &mut kernel);

@@ -617,9 +617,8 @@ impl NetworkExecution {
                                 PoolKind::Max => maxpool2d(&t, spec),
                                 PoolKind::Avg => avgpool2d_i8(&t, spec),
                             };
-                            let nhwc = to_nhwc(&pooled);
-                            // NHWC rows: oh rows of ow*c bytes.
-                            nhwc.chunks(ow * channels).map(as_u8).collect::<Vec<_>>()
+                            // NHWC bytes, flat: oh rows of ow*c bytes.
+                            as_u8(&to_nhwc(&pooled))
                         });
                     // Stream NHWC rows: treat the feature map as 1 "channel"
                     // of (h, w*c) for the row geometry.
