@@ -10,7 +10,9 @@
 //!
 //! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
 //! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
-//! supervised multi-process execution.
+//! supervised multi-process execution. `--prune` is accepted but inert
+//! (the dataflow axis has no insensitivity rule — both dataflows always
+//! simulate).
 
 use gemmini_bench::{section, sharded_sweep_map};
 use gemmini_soc::checkpoint::debug_fingerprint;

@@ -5,7 +5,8 @@
 //!
 //! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
 //! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
-//! supervised multi-process execution.
+//! supervised multi-process execution. `--prune` is accepted but inert
+//! (no axis-insensitivity rule covers a network sweep).
 
 use gemmini_bench::{quick_mode, quick_resnet, resnet_workload, section, sharded_sweep};
 use gemmini_dnn::zoo;

@@ -14,7 +14,10 @@
 //! file; `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` run
 //! the sweep as supervised multi-process shards; `--trace <path>` writes
 //! a Chrome `trace_event` JSON timeline of the first design point.
-//! `tests/golden_figures.rs` guards the quick-mode numbers.
+//! `--prune` is accepted but inert: this grid sweeps hosts and
+//! accelerator variants, for which no axis-insensitivity rule exists, so
+//! every point always runs. `tests/golden_figures.rs` guards the
+//! quick-mode numbers.
 
 use gemmini_bench::figures::{fig7_points, FIG7_VARIANTS};
 use gemmini_bench::{

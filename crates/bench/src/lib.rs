@@ -13,6 +13,7 @@ use gemmini_core::trace::{export_chrome_trace, Tracer};
 use gemmini_core::AccelError;
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
 use gemmini_mem::json::{FromJson, Json, ToJson};
+use gemmini_soc::prune::{summarize, Attributed, PrunePolicy};
 use gemmini_soc::run::{run_networks, run_networks_traced, RunOptions, SocReport};
 use gemmini_soc::shard::{run_sharded, ShardCli, ShardSpec};
 use gemmini_soc::SocConfig;
@@ -81,6 +82,16 @@ pub fn resume_flag() -> bool {
     std::env::args().any(|a| a == "--resume")
 }
 
+/// Whether attribution-guided pruning was requested: the last of
+/// `--prune` / `--no-prune` on the command line wins, and the default is
+/// off — pruning must always be an explicit opt-in because it replaces
+/// simulations with predictions.
+pub fn prune_flag() -> bool {
+    std::env::args()
+        .rfind(|a| a == "--prune" || a == "--no-prune")
+        .is_some_and(|a| a == "--prune")
+}
+
 /// The `--trace <path>` argument: where to write a Chrome `trace_event`
 /// JSON file for one representative run (open it in `chrome://tracing`
 /// or Perfetto).
@@ -112,14 +123,34 @@ pub fn export_trace_run(path: &Path, label: &str, config: &SocConfig, nets: &[Ne
 /// Sweep options resolved from the shared CLI conventions: `--json`
 /// wires the checkpoint path, `--resume` enables skip-completed mode.
 pub fn sweep_cli_options() -> SweepOptions {
+    sweep_cli_options_with(None)
+}
+
+/// [`sweep_cli_options`] plus this sweep's prune policy: `--prune`
+/// activates `policy` (and warns when the binary has no
+/// axis-insensitivity rule for its grid, in which case every point still
+/// runs); `--no-prune`, or neither flag, leaves pruning off.
+pub fn sweep_cli_options_with(policy: Option<PrunePolicy>) -> SweepOptions {
     let checkpoint = json_path();
     let resume = resume_flag();
     if resume && checkpoint.is_none() {
         eprintln!("warning: --resume has no effect without --json <path>");
     }
+    let prune = if prune_flag() {
+        if policy.is_none() {
+            eprintln!(
+                "warning: --prune: no axis-insensitivity rule for this sweep's grid; \
+                 running every point"
+            );
+        }
+        policy
+    } else {
+        None
+    };
     SweepOptions {
         checkpoint,
         resume,
+        prune,
         ..SweepOptions::default()
     }
 }
@@ -185,7 +216,24 @@ pub fn shard_child_command(spec: ShardSpec) -> Command {
 pub fn sharded_sweep_map<I, T, F>(items: Vec<(String, u64, I)>, f: F) -> Option<Vec<SweepResult<T>>>
 where
     I: Send,
-    T: ToJson + FromJson + Send,
+    T: ToJson + FromJson + Clone + Attributed + Send,
+    F: Fn(I) -> Result<T, AccelError> + Sync,
+{
+    sharded_sweep_map_with(items, None, f)
+}
+
+/// [`sharded_sweep_map`] plus the sweep's prune policy (activated only
+/// under `--prune`, see [`sweep_cli_options_with`]). When results come
+/// back from a merge or a supervised run, a prune summary is printed
+/// from the stitched entries, mirroring the in-process executor's line.
+pub fn sharded_sweep_map_with<I, T, F>(
+    items: Vec<(String, u64, I)>,
+    policy: Option<PrunePolicy>,
+    f: F,
+) -> Option<Vec<SweepResult<T>>>
+where
+    I: Send,
+    T: ToJson + FromJson + Clone + Attributed + Send,
     F: Fn(I) -> Result<T, AccelError> + Sync,
 {
     let cli = match ShardCli::from_args(std::env::args().skip(1)) {
@@ -195,8 +243,22 @@ where
             std::process::exit(2);
         }
     };
-    match run_sharded(items, &cli, sweep_cli_options(), shard_child_command, f) {
-        Ok(results) => results,
+    let opts = sweep_cli_options_with(policy);
+    let prune_active = opts.prune.is_some();
+    let stitched = cli.supervise.is_some() || !cli.merge.is_empty();
+    match run_sharded(items, &cli, opts, shard_child_command, f) {
+        Ok(results) => {
+            if let (Some(results), true, true) = (&results, prune_active, stitched) {
+                let s = summarize(results);
+                eprintln!(
+                    "sweep: pruned {}/{} point(s) across shards ({} simulated)",
+                    s.pruned,
+                    s.total(),
+                    s.ran
+                );
+            }
+            results
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -208,11 +270,20 @@ where
 /// drop-in sharded replacement for `run_sweep_with(points,
 /// sweep_cli_options())` in the figure binaries.
 pub fn sharded_sweep(points: Vec<DesignPoint>) -> Option<Vec<SweepResult<SocReport>>> {
+    sharded_sweep_with(points, None)
+}
+
+/// [`sharded_sweep`] plus the sweep's prune policy (activated only under
+/// `--prune`).
+pub fn sharded_sweep_with(
+    points: Vec<DesignPoint>,
+    policy: Option<PrunePolicy>,
+) -> Option<Vec<SweepResult<SocReport>>> {
     let items = points
         .into_iter()
         .map(|p| (p.label.clone(), p.fingerprint(), p))
         .collect();
-    sharded_sweep_map(items, |p: DesignPoint| {
+    sharded_sweep_map_with(items, policy, |p: DesignPoint| {
         run_networks(&p.config, &p.networks, &p.options)
     })
 }

@@ -52,16 +52,38 @@ fn stderr(out: &Output) -> String {
 /// Wall-clock is the one field allowed to differ (it measures host time,
 /// not simulation results).
 fn assert_checkpoints_equal_modulo_wall(a: &Path, b: &Path) {
+    assert_checkpoints_equivalent(a, b, true);
+}
+
+/// Like [`assert_checkpoints_equal_modulo_wall`] but indifferent to line
+/// order — a pruned sweep persists in phase order (bases first, members
+/// as they are decided) while a merge stitches in grid order.
+fn assert_checkpoints_equal_modulo_wall_and_order(a: &Path, b: &Path) {
+    assert_checkpoints_equivalent(a, b, false);
+}
+
+fn assert_checkpoints_equivalent(a: &Path, b: &Path, ordered: bool) {
     let ca = Checkpoint::<SocReport>::load(a).expect("checkpoint a loads");
     let cb = Checkpoint::<SocReport>::load(b).expect("checkpoint b loads");
     assert_eq!(ca.len(), cb.len(), "{} vs {}", a.display(), b.display());
-    for (ea, eb) in ca.entries().iter().zip(cb.entries()) {
-        assert_eq!(ea.label, eb.label, "label order must match");
+    let mut ea_sorted: Vec<_> = ca.entries().iter().collect();
+    let mut eb_sorted: Vec<_> = cb.entries().iter().collect();
+    if !ordered {
+        ea_sorted.sort_by_key(|e| &e.label);
+        eb_sorted.sort_by_key(|e| &e.label);
+    }
+    for (ea, eb) in ea_sorted.into_iter().zip(eb_sorted) {
+        assert_eq!(ea.label, eb.label, "label sets/order must match");
         assert_eq!(ea.fingerprint, eb.fingerprint, "point '{}'", ea.label);
         assert_eq!(
             ea.payload.to_json().encode(),
             eb.payload.to_json().encode(),
             "payload for '{}' must be bit-identical",
+            ea.label
+        );
+        assert_eq!(
+            ea.pruned, eb.pruned,
+            "prune evidence for '{}' must agree",
             ea.label
         );
     }
@@ -135,12 +157,13 @@ fn resume_progress_reports_true_grid_position() {
     assert_eq!(Checkpoint::<u64>::load(&ckpt).unwrap().len(), 5);
 
     // The resume serves 5 cached points and runs the remaining 3; its
-    // progress lines must report whole-grid positions, not [1/3]..[3/3].
+    // progress lines must report whole-grid positions with cached
+    // provenance, not [1/3]..[3/3].
     let resumed = run(SMOKE, &["--json", ckpt.to_str().unwrap(), "--resume"], &[]);
     let err = stderr(&resumed);
     assert!(resumed.status.success(), "{err}");
     assert!(err.contains("skipped 5/8 completed points"), "{err}");
-    for line in ["[6/8]", "[7/8]", "[8/8]"] {
+    for line in ["[6/8, 5 cached]", "[7/8, 5 cached]", "[8/8, 5 cached]"] {
         assert!(
             err.contains(line),
             "expected progress line {line} in: {err}"
@@ -253,6 +276,155 @@ fn fig8_supervised_shards_bit_identical_to_single_process() {
         "fig8 tables must be bit-identical between single-process and sharded runs"
     );
     assert_checkpoints_equal_modulo_wall(&single, &sharded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Attribution-guided pruning across every multi-process path: crash
+/// mid-basis-phase and resume, resume again over a fully-pruned file
+/// (every entry replayed), resume past a hand-deleted group (cached and
+/// pruned provenance in one progress line), and a supervised 2-shard
+/// run with a crash — all bit-identical to the plain pruned sweep.
+#[test]
+fn fig8_prune_survives_crash_resume_and_shards() {
+    let dir = scratch_dir("fig8_prune");
+    let pruned = dir.join("pruned.jsonl");
+    let crash = dir.join("crash.jsonl");
+    let sharded = dir.join("sharded.jsonl");
+
+    let baseline = run(
+        FIG8,
+        &["--quick", "--prune", "--json", pruned.to_str().unwrap()],
+        &[],
+    );
+    let err = stderr(&baseline);
+    assert!(baseline.status.success(), "{err}");
+    assert!(
+        err.contains("sweep: pruned 24/32 point(s) via tlb-entries attribution"),
+        "quick fig8 must prune 24 of 32 points: {err}"
+    );
+    let entries = Checkpoint::<SocReport>::load(&pruned).unwrap();
+    assert_eq!(entries.len(), 32);
+    for e in entries.entries() {
+        if let Some(ev) = &e.pruned {
+            assert!(
+                e.label.starts_with(&format!(
+                    "{} shared=",
+                    ev.basis_label.split(" shared=").next().unwrap()
+                )),
+                "evidence must name the point's own group basis: {} vs {}",
+                e.label,
+                ev.basis_label
+            );
+        }
+    }
+
+    // Crash after 3 of the 8 basis points; the retry resumes past the
+    // cached bases, finishes the rest, and prunes the members.
+    let crashed = run(
+        FIG8,
+        &["--quick", "--prune", "--json", crash.to_str().unwrap()],
+        &[("GEMMINI_TEST_CRASH_AFTER", "3")],
+    );
+    assert!(!crashed.status.success(), "the crash hook must fire");
+    let resumed = run(
+        FIG8,
+        &[
+            "--quick",
+            "--prune",
+            "--json",
+            crash.to_str().unwrap(),
+            "--resume",
+        ],
+        &[],
+    );
+    let err = stderr(&resumed);
+    assert!(resumed.status.success(), "{err}");
+    assert!(err.contains("skipped 3/32 completed points"), "{err}");
+    assert_eq!(stdout(&baseline), stdout(&resumed), "crash+resume drifts");
+
+    // A second resume replays every entry — run *and* pruned — without
+    // simulating anything.
+    let replayed = run(
+        FIG8,
+        &[
+            "--quick",
+            "--prune",
+            "--json",
+            crash.to_str().unwrap(),
+            "--resume",
+        ],
+        &[],
+    );
+    let err = stderr(&replayed);
+    assert!(replayed.status.success(), "{err}");
+    assert!(
+        err.contains("skipped 32/32 completed points (24 pruned replayed)"),
+        "{err}"
+    );
+    assert_eq!(stdout(&baseline), stdout(&replayed), "full replay drifts");
+
+    // Delete one whole group (basis + its three pruned members) from the
+    // checkpoint: the resume must re-run the basis — with both cached
+    // and pruned provenance in its progress line — and re-prune the
+    // members from fresh evidence.
+    let text = std::fs::read_to_string(&crash).unwrap();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !(l.contains("\"label\":\"private=32 ") && l.contains("filters=true")))
+        .collect();
+    assert_eq!(kept.len(), 28, "one group of four removed");
+    std::fs::write(&crash, format!("{}\n", kept.join("\n"))).unwrap();
+    let regrown = run(
+        FIG8,
+        &[
+            "--quick",
+            "--prune",
+            "--json",
+            crash.to_str().unwrap(),
+            "--resume",
+        ],
+        &[],
+    );
+    let err = stderr(&regrown);
+    assert!(regrown.status.success(), "{err}");
+    assert!(
+        err.contains("skipped 28/32 completed points (21 pruned replayed)"),
+        "{err}"
+    );
+    assert!(
+        err.contains("[29/32, 7 cached, 21 pruned] private=32 shared=0 filters=true"),
+        "progress must carry cached and pruned provenance: {err}"
+    );
+    assert_eq!(stdout(&baseline), stdout(&regrown), "group regrow drifts");
+
+    // Supervised 2-shard run with a crash: whole groups stay on one
+    // shard, each worker prunes its own members, and the merged file
+    // matches the plain pruned sweep — evidence included.
+    let supervised = run(
+        FIG8,
+        &[
+            "--quick",
+            "--prune",
+            "--json",
+            sharded.to_str().unwrap(),
+            "--shards",
+            "2",
+        ],
+        &[
+            ("GEMMINI_TEST_CRASH_AFTER", "2"),
+            ("GEMMINI_TEST_CRASH_SHARD", "0"),
+        ],
+    );
+    let err = stderr(&supervised);
+    assert!(supervised.status.success(), "supervisor recovers: {err}");
+    assert!(err.contains("retrying from its checkpoint"), "{err}");
+    assert!(
+        err.contains("sweep: pruned 24/32 point(s) across shards (8 simulated)"),
+        "{err}"
+    );
+    assert_eq!(stdout(&baseline), stdout(&supervised), "sharded drifts");
+    assert_checkpoints_equal_modulo_wall_and_order(&pruned, &sharded);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

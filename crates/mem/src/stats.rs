@@ -390,10 +390,207 @@ pub struct CycleAttribution {
     pub idle: u64,
 }
 
+/// One of the seven exclusive [`CycleAttribution`] buckets, as a value.
+///
+/// The variants are ordered exactly like [`CycleAttribution::rows`], so
+/// dominance ties (rare, but possible on tiny synthetic runs) resolve to
+/// the earlier report row deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleBucket {
+    /// Spatial-array (or execute-unit) busy cycles.
+    Compute,
+    /// Load-unit streaming cycles.
+    Load,
+    /// Store-unit streaming cycles.
+    Store,
+    /// DMA cycles stalled on the TLB hierarchy.
+    TlbStall,
+    /// Local-memory cycles waiting on a busy SRAM bank.
+    BankConflict,
+    /// DMA cycles waiting on the bus → L2 → DRAM path.
+    Dram,
+    /// Cycles no unit was busy.
+    Idle,
+}
+
+impl CycleBucket {
+    /// Every bucket, in report order.
+    pub const ALL: [CycleBucket; 7] = [
+        CycleBucket::Compute,
+        CycleBucket::Load,
+        CycleBucket::Store,
+        CycleBucket::TlbStall,
+        CycleBucket::BankConflict,
+        CycleBucket::Dram,
+        CycleBucket::Idle,
+    ];
+
+    /// The bucket's report-row name (matches [`CycleAttribution::rows`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleBucket::Compute => "compute",
+            CycleBucket::Load => "load",
+            CycleBucket::Store => "store",
+            CycleBucket::TlbStall => "tlb-stall",
+            CycleBucket::BankConflict => "bank-conflict",
+            CycleBucket::Dram => "dram",
+            CycleBucket::Idle => "idle",
+        }
+    }
+
+    /// Parses a report-row name back into a bucket.
+    pub fn parse(name: &str) -> Option<CycleBucket> {
+        CycleBucket::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+impl ToJson for CycleBucket {
+    fn to_json(&self) -> Json {
+        Json::from(self.name())
+    }
+}
+
+impl FromJson for CycleBucket {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let name = value.as_str()?;
+        CycleBucket::parse(name)
+            .ok_or_else(|| JsonError::new(format!("unknown cycle bucket '{name}'")))
+    }
+}
+
+/// A swept hardware axis, classified by which attribution buckets it can
+/// move. This is the sensitivity side of attribution-guided pruning: a
+/// point whose dominant bucket an axis cannot touch — and whose movable
+/// share of cycles is already small — will land within tolerance of its
+/// basis point no matter where the axis is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepAxis {
+    /// TLB sizing (private/shared entries, filter registers): can only
+    /// move cycles that are stalled on translation.
+    TlbEntries,
+    /// Scratchpad/accumulator banking: can only move bank-conflict
+    /// cycles.
+    ScratchpadBanks,
+    /// Memory-system partitioning (scratchpad vs L2 capacity): moves the
+    /// whole DRAM path and the streaming cycles behind it.
+    MemoryPartition,
+}
+
+impl SweepAxis {
+    /// The axis's stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepAxis::TlbEntries => "tlb-entries",
+            SweepAxis::ScratchpadBanks => "scratchpad-banks",
+            SweepAxis::MemoryPartition => "memory-partition",
+        }
+    }
+
+    /// Parses a report name back into an axis.
+    pub fn parse(name: &str) -> Option<SweepAxis> {
+        [
+            SweepAxis::TlbEntries,
+            SweepAxis::ScratchpadBanks,
+            SweepAxis::MemoryPartition,
+        ]
+        .into_iter()
+        .find(|a| a.name() == name)
+    }
+
+    /// The buckets this axis can move. Everything outside this set is
+    /// structurally insensitive to the axis: compute cycles do not care
+    /// how many TLB entries exist, and DRAM service time does not care
+    /// how the scratchpad is banked.
+    pub fn movable_buckets(self) -> &'static [CycleBucket] {
+        match self {
+            SweepAxis::TlbEntries => &[CycleBucket::TlbStall],
+            SweepAxis::ScratchpadBanks => &[CycleBucket::BankConflict],
+            SweepAxis::MemoryPartition => &[
+                CycleBucket::Dram,
+                CycleBucket::BankConflict,
+                CycleBucket::Load,
+                CycleBucket::Store,
+            ],
+        }
+    }
+
+    /// Whether `bucket` is in this axis's movable set.
+    pub fn can_move(self, bucket: CycleBucket) -> bool {
+        self.movable_buckets().contains(&bucket)
+    }
+}
+
+impl ToJson for SweepAxis {
+    fn to_json(&self) -> Json {
+        Json::from(self.name())
+    }
+}
+
+impl FromJson for SweepAxis {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let name = value.as_str()?;
+        SweepAxis::parse(name).ok_or_else(|| JsonError::new(format!("unknown sweep axis '{name}'")))
+    }
+}
+
 impl CycleAttribution {
     /// Creates zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The cycle count of one bucket.
+    pub fn of(&self, bucket: CycleBucket) -> u64 {
+        match bucket {
+            CycleBucket::Compute => self.compute,
+            CycleBucket::Load => self.load,
+            CycleBucket::Store => self.store,
+            CycleBucket::TlbStall => self.tlb_stall,
+            CycleBucket::BankConflict => self.bank_conflict,
+            CycleBucket::Dram => self.dram,
+            CycleBucket::Idle => self.idle,
+        }
+    }
+
+    /// The bucket holding the most cycles. Ties resolve to the earlier
+    /// report row; an all-zero attribution is dominated by `Idle`.
+    pub fn dominant(&self) -> CycleBucket {
+        let mut best = CycleBucket::Idle;
+        let mut best_cycles = 0u64;
+        // Strict `>` in report order: the first maximal row sticks.
+        for bucket in CycleBucket::ALL {
+            let cycles = self.of(bucket);
+            if cycles > best_cycles {
+                best = bucket;
+                best_cycles = cycles;
+            }
+        }
+        if best_cycles == 0 {
+            CycleBucket::Idle
+        } else {
+            best
+        }
+    }
+
+    /// Fraction of total cycles in one bucket; `0.0` for an empty
+    /// attribution.
+    pub fn fraction(&self, bucket: CycleBucket) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.of(bucket) as f64 / self.total() as f64
+        }
+    }
+
+    /// Combined fraction of total cycles across a set of buckets; `0.0`
+    /// for an empty attribution.
+    pub fn fraction_of(&self, buckets: &[CycleBucket]) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            let sum: u64 = buckets.iter().map(|&b| self.of(b)).sum();
+            sum as f64 / self.total() as f64
+        }
     }
 
     /// Sum of every bucket — by construction the run's total cycles.
@@ -615,6 +812,75 @@ mod tests {
         // Round trip.
         assert_eq!(CycleAttribution::from_json(&a.to_json()).unwrap(), a);
         assert_eq!(a.rows().iter().map(|&(_, v)| v).sum::<u64>(), a.total());
+    }
+
+    #[test]
+    fn bucket_names_match_report_rows() {
+        let a = CycleAttribution {
+            compute: 1,
+            load: 2,
+            store: 3,
+            tlb_stall: 4,
+            bank_conflict: 5,
+            dram: 6,
+            idle: 7,
+        };
+        for (bucket, (name, cycles)) in CycleBucket::ALL.into_iter().zip(a.rows()) {
+            assert_eq!(bucket.name(), name);
+            assert_eq!(a.of(bucket), cycles);
+            assert_eq!(CycleBucket::parse(name), Some(bucket));
+            assert_eq!(CycleBucket::from_json(&bucket.to_json()).unwrap(), bucket);
+        }
+        assert_eq!(CycleBucket::parse("nope"), None);
+    }
+
+    #[test]
+    fn dominance_and_fractions() {
+        let a = CycleAttribution {
+            compute: 50,
+            load: 20,
+            store: 10,
+            tlb_stall: 5,
+            bank_conflict: 1,
+            dram: 4,
+            idle: 10,
+        };
+        assert_eq!(a.dominant(), CycleBucket::Compute);
+        assert!((a.fraction(CycleBucket::Compute) - 0.5).abs() < 1e-12);
+        assert!((a.fraction_of(&[CycleBucket::TlbStall, CycleBucket::Dram]) - 0.09).abs() < 1e-12);
+        // Ties resolve to the earlier report row.
+        let tied = CycleAttribution {
+            load: 7,
+            store: 7,
+            ..CycleAttribution::default()
+        };
+        assert_eq!(tied.dominant(), CycleBucket::Load);
+        // Empty attributions are idle-dominated with zero fractions.
+        let empty = CycleAttribution::default();
+        assert_eq!(empty.dominant(), CycleBucket::Idle);
+        assert_eq!(empty.fraction(CycleBucket::Compute), 0.0);
+        assert_eq!(empty.fraction_of(&[CycleBucket::Dram]), 0.0);
+    }
+
+    #[test]
+    fn sweep_axis_sensitivity() {
+        assert!(SweepAxis::TlbEntries.can_move(CycleBucket::TlbStall));
+        assert!(!SweepAxis::TlbEntries.can_move(CycleBucket::Compute));
+        assert!(!SweepAxis::TlbEntries.can_move(CycleBucket::Dram));
+        assert!(SweepAxis::ScratchpadBanks.can_move(CycleBucket::BankConflict));
+        assert!(!SweepAxis::ScratchpadBanks.can_move(CycleBucket::Dram));
+        assert!(SweepAxis::MemoryPartition.can_move(CycleBucket::Dram));
+        assert!(SweepAxis::MemoryPartition.can_move(CycleBucket::Load));
+        assert!(!SweepAxis::MemoryPartition.can_move(CycleBucket::Compute));
+        for axis in [
+            SweepAxis::TlbEntries,
+            SweepAxis::ScratchpadBanks,
+            SweepAxis::MemoryPartition,
+        ] {
+            assert_eq!(SweepAxis::parse(axis.name()), Some(axis));
+            assert_eq!(SweepAxis::from_json(&axis.to_json()).unwrap(), axis);
+        }
+        assert_eq!(SweepAxis::parse("nope"), None);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! {"v":1,"label":"private=4 shared=0","fingerprint":1234,"wall_nanos":512000,"payload":{...}}
 //! ```
 //!
+//! A point skipped by attribution-guided pruning ([`crate::prune`])
+//! persists the same shape plus a `"pruned"` object naming its evidence
+//! (basis label + fingerprint, the swept axis, the basis's dominant
+//! bucket and movable-cycle fraction, and the tolerance); its payload is
+//! the basis's payload served as a prediction and its `wall_nanos` is 0.
+//! The field is optional, so version-1 files from before pruning decode
+//! unchanged.
+//!
 //! [`SweepResult`]: crate::sweep::SweepResult
 
 use std::fmt::Write as _;
@@ -31,6 +39,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
+
+use crate::prune::PruneEvidence;
 
 /// Current checkpoint line format version.
 pub const FORMAT_VERSION: u64 = 1;
@@ -89,20 +99,28 @@ pub struct CheckpointEntry<T> {
     /// Wall-clock the point took when it actually ran.
     pub wall: Duration,
     /// The point's result payload (a `SocReport` for the figure sweeps).
+    /// For a pruned point this is the basis point's payload served as a
+    /// prediction.
     pub payload: T,
+    /// Prune evidence when the point was skipped rather than simulated;
+    /// `None` (and an absent JSON field) for every point that ran.
+    pub pruned: Option<PruneEvidence>,
 }
 
 impl<T: ToJson> CheckpointEntry<T> {
     /// Encodes the entry as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
-        Json::obj([
+        let mut fields = vec![
             ("v", Json::from(FORMAT_VERSION)),
             ("label", Json::from(self.label.clone())),
             ("fingerprint", Json::from(self.fingerprint)),
             ("wall_nanos", Json::from(self.wall.as_nanos() as u64)),
             ("payload", self.payload.to_json()),
-        ])
-        .encode()
+        ];
+        if let Some(evidence) = &self.pruned {
+            fields.push(("pruned", evidence.to_json()));
+        }
+        Json::obj(fields).encode()
     }
 }
 
@@ -126,6 +144,10 @@ impl<T: FromJson> CheckpointEntry<T> {
             fingerprint: value.field("fingerprint")?.as_u64()?,
             wall: Duration::from_nanos(value.field("wall_nanos")?.as_u64()?),
             payload: T::from_json(value.field("payload")?)?,
+            pruned: value
+                .get("pruned")
+                .map(PruneEvidence::from_json)
+                .transpose()?,
         })
     }
 }
@@ -373,6 +395,7 @@ mod tests {
             fingerprint,
             wall: Duration::from_micros(payload),
             payload,
+            pruned: None,
         }
     }
 
@@ -386,6 +409,30 @@ mod tests {
         let line = e.encode();
         assert!(!line.contains('\n'), "entries must be single lines");
         assert_eq!(CheckpointEntry::<u64>::decode(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn pruned_entry_round_trips_and_plain_lines_stay_plain() {
+        use gemmini_mem::stats::{CycleBucket, SweepAxis};
+        // A run entry encodes without a "pruned" field, so pre-prune
+        // version-1 files and fresh run lines are byte-compatible.
+        let plain = entry("p", 7, 9);
+        assert!(!plain.encode().contains("pruned"));
+        let pruned = CheckpointEntry {
+            pruned: Some(PruneEvidence {
+                basis_label: "p".to_string(),
+                basis_fingerprint: 7,
+                axis: SweepAxis::TlbEntries,
+                dominant: CycleBucket::Compute,
+                dominance: 0.8,
+                movable_fraction: 0.03,
+                tolerance: 0.05,
+            }),
+            ..entry("q", 8, 9)
+        };
+        let line = pruned.encode();
+        assert!(line.contains("\"pruned\""));
+        assert_eq!(CheckpointEntry::<u64>::decode(&line).unwrap(), pruned);
     }
 
     #[test]

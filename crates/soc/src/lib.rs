@@ -33,6 +33,11 @@
 //!   of named [`soc::SocConfig`] points across a worker pool with
 //!   per-point fault isolation and deterministic result ordering; every
 //!   figure binary drives its sweep through this.
+//! * [`prune`] — attribution-guided sweep pruning: skips grid points
+//!   whose dominant cycle bucket the swept axis provably cannot move,
+//!   serving the group basis's report as a prediction and recording the
+//!   evidence (basis + dominant bucket + axis-insensitivity rule) in the
+//!   checkpoint.
 //! * [`shard`] — sharded multi-process sweeps on top of [`sweep`]:
 //!   deterministic `--shard i/N` strided planning, a crash-resilient
 //!   supervisor that retries killed worker processes from their
@@ -57,6 +62,7 @@
 pub mod checkpoint;
 pub mod kernel;
 pub mod os;
+pub mod prune;
 pub mod roofline;
 pub mod run;
 pub mod runtime;
@@ -65,6 +71,7 @@ pub mod soc;
 pub mod sweep;
 pub mod tiling;
 
+pub use prune::{Attributed, PruneEvidence, PrunePolicy, PruneSummary};
 pub use run::{run_networks, CoreReport, RunOptions, SocReport};
 pub use shard::{run_sharded, ShardCli, ShardError, ShardSpec};
 pub use soc::{CoreConfig, SocConfig};

@@ -1,0 +1,375 @@
+//! Attribution-guided sweep pruning.
+//!
+//! A sweep grid usually varies one hardware axis inside groups of
+//! otherwise-identical design points (e.g. fig8 sweeps the shared-TLB
+//! size for each `(private, filters)` combination). Once one point of a
+//! group — its *basis* — has run, its [`CycleAttribution`] tells us
+//! which bucket dominates its cycle count. If the swept axis cannot move
+//! that bucket ([`SweepAxis::movable_buckets`]), and the buckets it *can*
+//! move hold at most the policy's declared tolerance of total cycles,
+//! then no setting of the axis can shift the point's total by more than
+//! that tolerance: the remaining group members are skipped and served
+//! the basis's report as a prediction.
+//!
+//! Soundness invariants (enforced by `crates/soc/tests/prune.rs` and the
+//! CI `pruned` job):
+//!
+//! * Pruning never alters an *emitted* report: every point that runs
+//!   produces bit-identical output to the unpruned sweep, because the
+//!   decision layer only ever removes work — it never re-orders or
+//!   re-parameterizes the simulations that do run.
+//! * Every pruned point's checkpoint entry carries [`PruneEvidence`]:
+//!   the basis label + fingerprint, the dominant bucket, and the
+//!   axis-insensitivity rule that justified the skip. `--resume` replays
+//!   a pruned entry only while its basis fingerprint still matches the
+//!   grid; `--merge` re-validates the same agreement across shards.
+//! * The basis of a group is always simulated, never predicted.
+
+use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
+use gemmini_mem::stats::{CycleAttribution, CycleBucket, SweepAxis};
+
+use crate::run::SocReport;
+use crate::sweep::SweepResult;
+
+/// Payloads that can expose a [`CycleAttribution`] to the prune layer.
+///
+/// The default implementation returns `None`, which makes every point
+/// undecidable and therefore always simulated — so payload types that
+/// carry no attribution (smoke-test integers, reduced summaries) pass
+/// through the pruned executor unchanged.
+pub trait Attributed {
+    /// The payload's cycle attribution, if it carries one.
+    fn cycle_attribution(&self) -> Option<&CycleAttribution> {
+        None
+    }
+}
+
+impl Attributed for SocReport {
+    fn cycle_attribution(&self) -> Option<&CycleAttribution> {
+        Some(&self.attribution)
+    }
+}
+
+/// Smoke-test sweeps carry bare integers; they are never prunable.
+impl Attributed for u64 {}
+
+/// One prune group: a basis point that is always simulated, plus the
+/// members that may be predicted from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneGroup {
+    /// Label of the point whose attribution decides the group. Pick the
+    /// axis-pessimal setting (e.g. the smallest TLB along a TLB axis) so
+    /// the movable-bucket fraction is measured where it is largest.
+    pub basis: String,
+    /// Labels of the points that may be skipped. Must not contain the
+    /// basis.
+    pub members: Vec<String>,
+}
+
+/// A prune policy: the swept axis, the per-point tolerance, and the
+/// grid's group structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunePolicy {
+    /// The hardware axis this sweep varies within each group.
+    pub axis: SweepAxis,
+    /// Maximum fraction of a basis's total cycles the axis may plausibly
+    /// move for its members to be pruned. Also the declared bound on the
+    /// relative total-cycle error of a predicted point.
+    pub tolerance: f64,
+    /// The grid's groups. Labels absent from every group always run.
+    pub groups: Vec<PruneGroup>,
+}
+
+/// The outcome of [`PrunePolicy::decide`] for one member point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneDecision {
+    /// The point must be simulated.
+    Run(RunReason),
+    /// The point may be skipped; the evidence names why.
+    Prune(PruneEvidence),
+}
+
+/// Why a grouped point still has to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunReason {
+    /// The basis's dominant bucket is one the axis can move.
+    DominantMovable,
+    /// The axis-movable buckets hold more than the tolerance.
+    MovableAboveTolerance,
+    /// The runner-up bucket trails the dominant by less than the
+    /// movable share, so the prediction could not promise the dominant
+    /// bucket survives the axis.
+    DominanceFragile,
+    /// The basis carries no attribution (functional run, bare payload).
+    NoAttribution,
+}
+
+/// The recorded justification for skipping a point, persisted verbatim
+/// in its checkpoint entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneEvidence {
+    /// Label of the simulated basis point the prediction copies.
+    pub basis_label: String,
+    /// The basis design point's config fingerprint at decision time;
+    /// resume and merge refuse to replay the entry if the grid's basis
+    /// fingerprint has drifted.
+    pub basis_fingerprint: u64,
+    /// The swept axis the rule is about.
+    pub axis: SweepAxis,
+    /// The basis's dominant cycle bucket.
+    pub dominant: CycleBucket,
+    /// Fraction of the basis's total cycles in the dominant bucket.
+    pub dominance: f64,
+    /// Fraction of the basis's total cycles in the axis-movable buckets.
+    pub movable_fraction: f64,
+    /// The policy tolerance the movable fraction was tested against.
+    pub tolerance: f64,
+}
+
+impl PruneEvidence {
+    /// A one-line human rendering of the axis-insensitivity rule.
+    pub fn rule(&self) -> String {
+        format!(
+            "{} cannot move {}-dominated basis '{}' ({:.1}% dominant, movable {:.2}% <= {:.2}%)",
+            self.axis.name(),
+            self.dominant.name(),
+            self.basis_label,
+            self.dominance * 100.0,
+            self.movable_fraction * 100.0,
+            self.tolerance * 100.0,
+        )
+    }
+}
+
+impl ToJson for PruneEvidence {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("basis_label", Json::from(self.basis_label.as_str())),
+            ("basis_fingerprint", Json::from(self.basis_fingerprint)),
+            ("axis", self.axis.to_json()),
+            ("dominant", self.dominant.to_json()),
+            ("dominance", Json::from(self.dominance)),
+            ("movable_fraction", Json::from(self.movable_fraction)),
+            ("tolerance", Json::from(self.tolerance)),
+        ])
+    }
+}
+
+impl FromJson for PruneEvidence {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            basis_label: value.field("basis_label")?.as_str()?.to_string(),
+            basis_fingerprint: value.field("basis_fingerprint")?.as_u64()?,
+            axis: SweepAxis::from_json(value.field("axis")?)?,
+            dominant: CycleBucket::from_json(value.field("dominant")?)?,
+            dominance: value.field("dominance")?.as_f64()?,
+            movable_fraction: value.field("movable_fraction")?.as_f64()?,
+            tolerance: value.field("tolerance")?.as_f64()?,
+        })
+    }
+}
+
+impl PrunePolicy {
+    /// A policy over `axis` with the default 5% tolerance and no groups.
+    pub fn new(axis: SweepAxis, tolerance: f64) -> Self {
+        Self {
+            axis,
+            tolerance,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a group (builder style).
+    pub fn group(
+        mut self,
+        basis: impl Into<String>,
+        members: impl IntoIterator<Item = String>,
+    ) -> Self {
+        self.groups.push(PruneGroup {
+            basis: basis.into(),
+            members: members.into_iter().collect(),
+        });
+        self
+    }
+
+    /// The group whose member (not basis) set contains `label`.
+    pub fn group_of_member(&self, label: &str) -> Option<&PruneGroup> {
+        self.groups
+            .iter()
+            .find(|g| g.members.iter().any(|m| m == label))
+    }
+
+    /// Whether `label` is some group's basis.
+    pub fn is_basis(&self, label: &str) -> bool {
+        self.groups.iter().any(|g| g.basis == label)
+    }
+
+    /// Decides whether a member point with basis attribution `attr` may
+    /// be skipped. `basis_label`/`basis_fingerprint` identify the grid's
+    /// current basis design point and are recorded as evidence.
+    pub fn decide(
+        &self,
+        basis_label: &str,
+        basis_fingerprint: u64,
+        attr: Option<&CycleAttribution>,
+    ) -> PruneDecision {
+        let Some(attr) = attr else {
+            return PruneDecision::Run(RunReason::NoAttribution);
+        };
+        let dominant = attr.dominant();
+        if self.axis.can_move(dominant) {
+            return PruneDecision::Run(RunReason::DominantMovable);
+        }
+        let movable_fraction = attr.fraction_of(self.axis.movable_buckets());
+        if movable_fraction > self.tolerance {
+            return PruneDecision::Run(RunReason::MovableAboveTolerance);
+        }
+        // The axis perturbs more than its movable buckets: removing (or
+        // adding) stall cycles shifts how the remaining work overlaps,
+        // so even non-movable buckets can drift by up to roughly the
+        // movable share. A dominant whose lead over the runner-up is
+        // inside that band might not survive the axis — run the point.
+        let second = CycleBucket::ALL
+            .iter()
+            .filter(|&&b| b != dominant)
+            .map(|&b| attr.fraction(b))
+            .fold(0.0_f64, f64::max);
+        if attr.fraction(dominant) - second <= movable_fraction {
+            return PruneDecision::Run(RunReason::DominanceFragile);
+        }
+        PruneDecision::Prune(PruneEvidence {
+            basis_label: basis_label.to_string(),
+            basis_fingerprint,
+            axis: self.axis,
+            dominant,
+            dominance: attr.fraction(dominant),
+            movable_fraction,
+            tolerance: self.tolerance,
+        })
+    }
+}
+
+/// Run/prune accounting over a finished sweep, for progress summaries
+/// and the `--json` document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneSummary {
+    /// Points that were simulated (fresh or served from a run entry).
+    pub ran: usize,
+    /// Points that were skipped with evidence.
+    pub pruned: usize,
+}
+
+impl PruneSummary {
+    /// Total points the sweep covered.
+    pub fn total(&self) -> usize {
+        self.ran + self.pruned
+    }
+
+    /// Fraction of points skipped; `0.0` for an empty sweep.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.total() as f64
+        }
+    }
+}
+
+impl ToJson for PruneSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ran", Json::from(self.ran as u64)),
+            ("pruned", Json::from(self.pruned as u64)),
+        ])
+    }
+}
+
+/// Tallies a result slice into a [`PruneSummary`].
+pub fn summarize<T>(results: &[SweepResult<T>]) -> PruneSummary {
+    let pruned = results.iter().filter(|r| r.pruned.is_some()).count();
+    PruneSummary {
+        ran: results.len() - pruned,
+        pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(compute: u64, tlb: u64, dram: u64) -> CycleAttribution {
+        CycleAttribution {
+            compute,
+            tlb_stall: tlb,
+            dram,
+            ..CycleAttribution::default()
+        }
+    }
+
+    fn policy() -> PrunePolicy {
+        PrunePolicy::new(SweepAxis::TlbEntries, 0.05)
+            .group("basis", ["m1".to_string(), "m2".to_string()])
+    }
+
+    #[test]
+    fn compute_dominated_point_with_small_tlb_share_prunes() {
+        // 90% compute, 3% tlb-stall, 7% dram: a TLB axis cannot move it.
+        let d = policy().decide("basis", 42, Some(&attr(900, 30, 70)));
+        let PruneDecision::Prune(ev) = d else {
+            panic!("expected a prune, got {d:?}");
+        };
+        assert_eq!(ev.basis_label, "basis");
+        assert_eq!(ev.basis_fingerprint, 42);
+        assert_eq!(ev.axis, SweepAxis::TlbEntries);
+        assert_eq!(ev.dominant, CycleBucket::Compute);
+        assert!((ev.dominance - 0.9).abs() < 1e-12);
+        assert!((ev.movable_fraction - 0.03).abs() < 1e-12);
+        assert!(ev.rule().contains("tlb-entries"));
+        assert!(ev.rule().contains("compute"));
+        // Evidence survives a JSON round trip exactly.
+        assert_eq!(PruneEvidence::from_json(&ev.to_json()).unwrap(), ev);
+    }
+
+    #[test]
+    fn movable_dominant_or_large_movable_share_runs() {
+        // TLB-stall dominated: the axis can move the dominant bucket.
+        assert_eq!(
+            policy().decide("basis", 0, Some(&attr(10, 900, 90))),
+            PruneDecision::Run(RunReason::DominantMovable)
+        );
+        // Compute dominated but 10% tlb-stall > 5% tolerance.
+        assert_eq!(
+            policy().decide("basis", 0, Some(&attr(800, 100, 100))),
+            PruneDecision::Run(RunReason::MovableAboveTolerance)
+        );
+        // No attribution at all (functional run): must simulate.
+        assert_eq!(
+            policy().decide("basis", 0, None),
+            PruneDecision::Run(RunReason::NoAttribution)
+        );
+        // Compute barely ahead of dram (1% lead) with a 3% movable
+        // share: the lead is inside the perturbation band.
+        assert_eq!(
+            policy().decide("basis", 0, Some(&attr(480, 30, 470))),
+            PruneDecision::Run(RunReason::DominanceFragile)
+        );
+    }
+
+    #[test]
+    fn group_lookup() {
+        let p = policy();
+        assert!(p.is_basis("basis"));
+        assert!(!p.is_basis("m1"));
+        assert_eq!(p.group_of_member("m2").unwrap().basis, "basis");
+        assert!(p.group_of_member("basis").is_none());
+        assert!(p.group_of_member("unknown").is_none());
+    }
+
+    #[test]
+    fn summary_accounting() {
+        let s = PruneSummary { ran: 8, pruned: 24 };
+        assert_eq!(s.total(), 32);
+        assert!((s.pruned_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(PruneSummary::default().pruned_fraction(), 0.0);
+    }
+}

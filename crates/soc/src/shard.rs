@@ -40,6 +40,7 @@ use std::process::{Command, Stdio};
 use std::time::Duration;
 
 use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointWriter};
+use crate::prune::{Attributed, PrunePolicy};
 use crate::sweep::{sweep_map_checkpointed, SweepOptions, SweepResult, CRASH_AFTER_ENV};
 use gemmini_core::AccelError;
 use gemmini_mem::json::{FromJson, ToJson};
@@ -122,6 +123,38 @@ pub fn shard_items<X>(items: Vec<X>, spec: ShardSpec) -> Vec<X> {
         .enumerate()
         .filter(|(position, _)| spec.owns(*position))
         .map(|(_, item)| item)
+        .collect()
+}
+
+/// Like [`shard_items`], but partitions whole prune groups instead of
+/// individual points: a group's basis and members always land on the
+/// same shard, so each worker can make (and persist) its own prune
+/// decisions without cross-process coordination. Slots are assigned to
+/// groups by first appearance in grid order — still a pure function of
+/// the grid and the policy, so workers, supervisor and merge agree.
+pub fn shard_items_grouped<I>(
+    items: Vec<(String, u64, I)>,
+    spec: ShardSpec,
+    policy: &PrunePolicy,
+) -> Vec<(String, u64, I)> {
+    let mut slot_of_key: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    let mut next_slot = 0usize;
+    items
+        .into_iter()
+        .filter(|(label, ..)| {
+            // A member shares its group basis's slot; a basis or an
+            // ungrouped point keys on its own label.
+            let key = policy
+                .group_of_member(label)
+                .map_or(label.as_str(), |g| g.basis.as_str());
+            let slot = *slot_of_key.entry(key.to_string()).or_insert_with(|| {
+                let slot = next_slot;
+                next_slot += 1;
+                slot
+            });
+            spec.owns(slot)
+        })
         .collect()
 }
 
@@ -367,6 +400,14 @@ pub enum MergeError {
         /// design point changed since the shard ran).
         stale: Vec<String>,
     },
+    /// Pruned entries whose recorded evidence the stitched set cannot
+    /// back: the named basis is missing, was itself pruned, or carries a
+    /// different fingerprint than the evidence — the shards disagree on
+    /// the prune decision and must run again.
+    PruneMismatch {
+        /// Labels of the pruned points with unbacked evidence.
+        disagreeing: Vec<String>,
+    },
 }
 
 fn preview(labels: &[String]) -> String {
@@ -408,6 +449,13 @@ impl fmt::Display for MergeError {
                 }
                 Ok(())
             }
+            Self::PruneMismatch { disagreeing } => write!(
+                f,
+                "shards disagree on prune decisions: {} pruned point(s) whose basis is missing, \
+                 pruned, or fingerprint-mismatched ({})",
+                disagreeing.len(),
+                preview(disagreeing)
+            ),
         }
     }
 }
@@ -451,10 +499,33 @@ pub fn merge_shards<T: FromJson>(
             None => missing.push(label.clone()),
         }
     }
-    if missing.is_empty() && stale.is_empty() {
+    if !missing.is_empty() || !stale.is_empty() {
+        return Err(MergeError::Incomplete { missing, stale });
+    }
+    // Every pruned entry must be backed by the stitched set itself: its
+    // basis present, really simulated, and carrying the fingerprint the
+    // evidence recorded. Anything else means the shards pruned against a
+    // different grid than the one being merged.
+    let by_label: std::collections::HashMap<&str, (&u64, bool)> = entries
+        .iter()
+        .map(|e| (e.label.as_str(), (&e.fingerprint, e.pruned.is_some())))
+        .collect();
+    let disagreeing: Vec<String> = entries
+        .iter()
+        .filter(|e| {
+            e.pruned.as_ref().is_some_and(|ev| {
+                !matches!(
+                    by_label.get(ev.basis_label.as_str()),
+                    Some((fp, false)) if **fp == ev.basis_fingerprint
+                )
+            })
+        })
+        .map(|e| e.label.clone())
+        .collect();
+    if disagreeing.is_empty() {
         Ok(entries)
     } else {
-        Err(MergeError::Incomplete { missing, stale })
+        Err(MergeError::PruneMismatch { disagreeing })
     }
 }
 
@@ -483,6 +554,7 @@ pub fn entry_result<T>(entry: CheckpointEntry<T>) -> SweepResult<T> {
         outcome: Ok(entry.payload),
         wall: entry.wall,
         cached: true,
+        pruned: entry.pruned,
     }
 }
 
@@ -666,7 +738,7 @@ pub fn run_sharded<I, T, F, C>(
 ) -> Result<Option<Vec<SweepResult<T>>>, ShardError>
 where
     I: Send,
-    T: ToJson + FromJson + Send,
+    T: ToJson + FromJson + Clone + Attributed + Send,
     F: Fn(I) -> Result<T, AccelError> + Sync,
     C: Fn(ShardSpec) -> Command + Sync,
 {
@@ -688,7 +760,12 @@ where
             .ok_or(ShardError::NeedsCheckpoint("--shard"))?;
         disarm_crash_hook_for_other_shards(spec);
         let grid_total = items.len();
-        let slice = shard_items(items, spec);
+        // With pruning on, partition whole groups so every member's
+        // basis runs (and its attribution is decided) in this process.
+        let slice = match &opts.prune {
+            Some(policy) => shard_items_grouped(items, spec, policy),
+            None => shard_items(items, spec),
+        };
         let slice_len = slice.len();
         let shard_file = shard_path(&base, spec);
         let run_opts = SweepOptions {
@@ -795,6 +872,120 @@ mod tests {
     }
 
     #[test]
+    fn grouped_slices_partition_the_grid_and_keep_groups_whole() {
+        use gemmini_mem::stats::SweepAxis;
+        // Grid: two groups of three plus two ungrouped points, interleaved.
+        let labels = ["b0", "m0a", "m0b", "lone0", "b1", "m1a", "m1b", "lone1"];
+        let items: Vec<(String, u64, usize)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((*l).to_string(), i as u64, i))
+            .collect();
+        let policy = PrunePolicy::new(SweepAxis::TlbEntries, 0.05)
+            .group("b0", ["m0a".to_string(), "m0b".to_string()])
+            .group("b1", ["m1a".to_string(), "m1b".to_string()]);
+        let spec = |index| ShardSpec { index, count: 2 };
+        let s0 = shard_items_grouped(items.clone(), spec(0), &policy);
+        let s1 = shard_items_grouped(items.clone(), spec(1), &policy);
+        // Slots by first appearance: b0-group=0, lone0=1, b1-group=2, lone1=3.
+        let labels_of =
+            |s: &[(String, u64, usize)]| s.iter().map(|(l, ..)| l.clone()).collect::<Vec<_>>();
+        assert_eq!(labels_of(&s0), ["b0", "m0a", "m0b", "b1", "m1a", "m1b"]);
+        assert_eq!(labels_of(&s1), ["lone0", "lone1"]);
+        // Exact partition, grid order preserved within each slice.
+        let mut all: Vec<usize> = s0.iter().chain(&s1).map(|&(_, _, i)| i).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_rejects_prune_evidence_the_stitched_set_cannot_back() {
+        use crate::checkpoint::CheckpointWriter;
+        use crate::prune::PruneEvidence;
+        use gemmini_mem::stats::{CycleBucket, SweepAxis};
+        let evidence = |basis: &str, fp: u64| PruneEvidence {
+            basis_label: basis.to_string(),
+            basis_fingerprint: fp,
+            axis: SweepAxis::TlbEntries,
+            dominant: CycleBucket::Compute,
+            dominance: 0.9,
+            movable_fraction: 0.02,
+            tolerance: 0.05,
+        };
+        let entry = |label: &str, fp: u64, pruned: Option<PruneEvidence>| CheckpointEntry {
+            label: label.to_string(),
+            fingerprint: fp,
+            wall: Duration::ZERO,
+            payload: 7u64,
+            pruned,
+        };
+        let write = |name: &str, entries: Vec<CheckpointEntry<u64>>| {
+            let path = temp_path(name);
+            let w = CheckpointWriter::create(&path).unwrap();
+            for e in &entries {
+                w.append(e).unwrap();
+            }
+            path
+        };
+        let expected = vec![
+            ("basis".to_string(), 1u64),
+            ("ok".to_string(), 2),
+            ("drifted".to_string(), 3),
+        ];
+
+        // Sound: both pruned entries name the stitched basis fingerprint.
+        let sound = write(
+            "merge_prune_sound.jsonl",
+            vec![
+                entry("basis", 1, None),
+                entry("ok", 2, Some(evidence("basis", 1))),
+                entry("drifted", 3, Some(evidence("basis", 1))),
+            ],
+        );
+        assert!(merge_shards::<u64>(&expected, std::slice::from_ref(&sound)).is_ok());
+        std::fs::remove_file(&sound).unwrap();
+
+        // Unsound: 'drifted' was pruned against a basis fingerprint the
+        // stitched set does not hold — the shards disagree on the grid.
+        let unsound = write(
+            "merge_prune_unsound.jsonl",
+            vec![
+                entry("basis", 1, None),
+                entry("ok", 2, Some(evidence("basis", 1))),
+                entry("drifted", 3, Some(evidence("basis", 999))),
+            ],
+        );
+        match merge_shards::<u64>(&expected, std::slice::from_ref(&unsound)) {
+            Err(MergeError::PruneMismatch { disagreeing }) => {
+                assert_eq!(disagreeing, vec!["drifted".to_string()]);
+            }
+            other => panic!("expected a prune mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&unsound).unwrap();
+
+        // Also unsound: evidence naming a basis that is itself pruned.
+        let circular = write(
+            "merge_prune_circular.jsonl",
+            vec![
+                entry("basis", 1, Some(evidence("ok", 2))),
+                entry("ok", 2, Some(evidence("basis", 1))),
+                entry("drifted", 3, None),
+            ],
+        );
+        match merge_shards::<u64>(&expected, std::slice::from_ref(&circular)) {
+            Err(MergeError::PruneMismatch { disagreeing }) => {
+                assert_eq!(
+                    disagreeing,
+                    vec!["basis".to_string(), "ok".to_string()],
+                    "a predicted basis cannot back another prediction"
+                );
+            }
+            other => panic!("expected a prune mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&circular).unwrap();
+    }
+
+    #[test]
     fn shard_paths_embed_the_spec() {
         let spec = ShardSpec { index: 1, count: 4 };
         assert_eq!(
@@ -840,12 +1031,14 @@ mod tests {
                 fingerprint: 1,
                 wall: Duration::ZERO,
                 payload: 10u64,
+                pruned: None,
             },
             CheckpointEntry {
                 label: "b".into(),
                 fingerprint: 99,
                 wall: Duration::ZERO,
                 payload: 20u64,
+                pruned: None,
             },
         ] {
             writer.append(&entry).unwrap();
@@ -881,6 +1074,7 @@ mod tests {
                 fingerprint: i,
                 wall: Duration::from_micros(i),
                 payload: i * 100,
+                pruned: None,
             };
             if i % 2 == 0 {
                 w0.append(&entry).unwrap();

@@ -35,9 +35,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use std::collections::HashMap;
+
 use crate::checkpoint::{
     compact, debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
 };
+use crate::prune::{Attributed, PruneDecision, PruneEvidence, PrunePolicy};
 use crate::run::{run_networks, RunOptions, SocReport};
 use crate::soc::SocConfig;
 use gemmini_core::AccelError;
@@ -139,9 +142,26 @@ pub struct SweepResult<T> {
     pub wall: Duration,
     /// Whether the result was served from a checkpoint instead of run.
     pub cached: bool,
+    /// Evidence when the point was skipped by attribution-guided
+    /// pruning: `outcome` then holds the basis point's report served as
+    /// a prediction, not a simulation of this point. `None` for every
+    /// point that actually ran.
+    pub pruned: Option<PruneEvidence>,
 }
 
 impl<T> SweepResult<T> {
+    /// Synthesizes a pruned entry: `predicted` is the basis point's
+    /// payload served under this point's label, justified by `evidence`.
+    pub fn pruned_from(label: impl Into<String>, predicted: T, evidence: PruneEvidence) -> Self {
+        Self {
+            label: label.into(),
+            outcome: Ok(predicted),
+            wall: Duration::ZERO,
+            cached: false,
+            pruned: Some(evidence),
+        }
+    }
+
     /// The successful report, if any.
     pub fn ok(&self) -> Option<&T> {
         self.outcome.as_ref().ok()
@@ -183,6 +203,15 @@ pub struct SweepOptions {
     /// True grid size for progress-line positions; `0` means "the
     /// submitted item count". Set together with `progress_done`.
     pub progress_total: usize,
+    /// Attribution-guided pruning policy; `None` (the default) simulates
+    /// every point. See [`crate::prune`].
+    pub prune: Option<PrunePolicy>,
+    /// Of `progress_done`, how many points were served from the
+    /// checkpoint — rendered as a `N cached` segment in progress lines.
+    pub progress_cached: usize,
+    /// Of `progress_done`, how many points were pruned — rendered as a
+    /// `M pruned` segment in progress lines.
+    pub progress_pruned: usize,
 }
 
 impl Default for SweepOptions {
@@ -194,6 +223,9 @@ impl Default for SweepOptions {
             resume: false,
             progress_done: 0,
             progress_total: 0,
+            prune: None,
+            progress_cached: 0,
+            progress_pruned: 0,
         }
     }
 }
@@ -293,6 +325,17 @@ where
         total
     };
     let done_offset = opts.progress_done;
+    // Cached/pruned points are accounted separately inside the bracket
+    // (`[28/32, 9 cached, 6 pruned]`) so a resumed or pruned sweep's
+    // position is honest about how much real simulation is happening.
+    // Fresh unpruned sweeps keep the historical `[k/n]` form exactly.
+    let mut provenance = String::new();
+    if opts.progress_cached > 0 {
+        provenance.push_str(&format!(", {} cached", opts.progress_cached));
+    }
+    if opts.progress_pruned > 0 {
+        provenance.push_str(&format!(", {} pruned", opts.progress_pruned));
+    }
     let sweep_start = Instant::now();
 
     let run_one = |label: &str, item: I, done: &AtomicUsize| -> SweepResult<T> {
@@ -311,7 +354,7 @@ where
             let elapsed = sweep_start.elapsed().as_secs_f64();
             let rate = finished as f64 / elapsed.max(1e-9);
             eprintln!(
-                "[{}/{grid_total}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
+                "[{}/{grid_total}{provenance}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
                 finished + done_offset,
                 wall.as_secs_f64()
             );
@@ -321,6 +364,7 @@ where
             outcome,
             wall,
             cached: false,
+            pruned: None,
         }
     };
 
@@ -380,7 +424,18 @@ where
 ///
 /// A killed sweep therefore loses at most its in-flight points, and a
 /// resumed sweep re-executes only stale or missing ones. With
-/// `opts.checkpoint == None` this is exactly [`sweep_map`].
+/// `opts.checkpoint == None` and `opts.prune == None` this is exactly
+/// [`sweep_map`].
+///
+/// With `opts.prune` set, execution is two-phased: group bases (and every
+/// ungrouped point) run first, then each group's basis attribution
+/// decides — via [`PrunePolicy::decide`] — whether the remaining members
+/// are skipped with a synthesized prediction or simulated in a second
+/// phase. Pruned points persist as first-class checkpoint entries
+/// carrying their [`PruneEvidence`]; on resume they are replayed only
+/// while the policy is still active *and* the recorded basis fingerprint
+/// still matches the grid (any drift re-runs the point — the safe
+/// direction).
 pub fn sweep_map_checkpointed<I, T, F>(
     items: Vec<(String, u64, I)>,
     opts: SweepOptions,
@@ -388,20 +443,30 @@ pub fn sweep_map_checkpointed<I, T, F>(
 ) -> Vec<SweepResult<T>>
 where
     I: Send,
-    T: ToJson + FromJson + Send,
+    T: ToJson + FromJson + Clone + Attributed + Send,
     F: Fn(I) -> Result<T, AccelError> + Sync,
 {
-    let Some(path) = opts.checkpoint.clone() else {
+    let path = opts.checkpoint.clone();
+    if path.is_none() && opts.prune.is_none() {
         let plain = items
             .into_iter()
             .map(|(label, _, item)| (label, item))
             .collect();
         return sweep_map(plain, opts, f);
-    };
+    }
 
     let total = items.len();
-    let mut checkpoint = if opts.resume {
-        match Checkpoint::<T>::load(&path) {
+    let policy = opts.prune.clone();
+    // The grid's own label → (fingerprint, slot) map: prune evidence is
+    // validated against it, and group bases are looked up through it.
+    let grid: HashMap<String, (u64, usize)> = items
+        .iter()
+        .enumerate()
+        .map(|(idx, (label, fingerprint, _))| (label.clone(), (*fingerprint, idx)))
+        .collect();
+
+    let mut checkpoint = match (&path, opts.resume) {
+        (Some(path), true) => match Checkpoint::<T>::load(path) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!(
@@ -410,70 +475,127 @@ where
                 );
                 Checkpoint::default()
             }
-        }
-    } else {
-        Checkpoint::default()
+        },
+        _ => Checkpoint::default(),
     };
 
-    // Serve completed points from the checkpoint; queue the rest.
+    // Serve completed points from the checkpoint; queue the rest. A
+    // persisted *pruned* entry replays only while pruning is still on and
+    // its recorded basis fingerprint matches the grid's current basis —
+    // otherwise the prediction's justification is gone and the point must
+    // really run.
     let mut slots: Vec<Option<SweepResult<T>>> = (0..total).map(|_| None).collect();
     let mut to_run: Vec<(usize, String, u64, I)> = Vec::new();
+    let mut cached_run = 0usize;
+    let mut cached_pruned = 0usize;
     for (idx, (label, fingerprint, item)) in items.into_iter().enumerate() {
-        match checkpoint.take(&label, fingerprint) {
-            Some(entry) => {
-                slots[idx] = Some(SweepResult {
-                    label,
-                    outcome: Ok(entry.payload),
-                    wall: entry.wall,
-                    cached: true,
-                });
-            }
-            None => to_run.push((idx, label, fingerprint, item)),
+        let served = match checkpoint.take(&label, fingerprint) {
+            Some(entry) => match entry.pruned {
+                None => {
+                    cached_run += 1;
+                    slots[idx] = Some(SweepResult {
+                        label: label.clone(),
+                        outcome: Ok(entry.payload),
+                        wall: entry.wall,
+                        cached: true,
+                        pruned: None,
+                    });
+                    true
+                }
+                Some(evidence) => {
+                    let basis_current = grid
+                        .get(&evidence.basis_label)
+                        .is_some_and(|&(fp, _)| fp == evidence.basis_fingerprint);
+                    if policy.is_some() && basis_current {
+                        cached_pruned += 1;
+                        slots[idx] = Some(SweepResult {
+                            label: label.clone(),
+                            outcome: Ok(entry.payload),
+                            wall: entry.wall,
+                            cached: true,
+                            pruned: Some(evidence),
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+            None => false,
+        };
+        if !served {
+            to_run.push((idx, label, fingerprint, item));
         }
     }
     let skipped = total - to_run.len();
     if opts.resume {
-        let stale = checkpoint.stale_lines;
-        eprintln!(
-            "sweep: resume from {}: skipped {skipped}/{total} completed points{}",
-            path.display(),
-            if stale > 0 {
-                format!(" ({stale} stale/partial lines ignored)")
-            } else {
-                String::new()
-            }
-        );
+        if let Some(path) = &path {
+            let stale = checkpoint.stale_lines;
+            eprintln!(
+                "sweep: resume from {}: skipped {skipped}/{total} completed points{}{}",
+                path.display(),
+                if cached_pruned > 0 {
+                    format!(" ({cached_pruned} pruned replayed)")
+                } else {
+                    String::new()
+                },
+                if stale > 0 {
+                    format!(" ({stale} stale/partial lines ignored)")
+                } else {
+                    String::new()
+                }
+            );
+        }
     }
 
     // Fresh runs truncate; resumes append (re-run entries shadow stale
     // ones on the next load). A checkpoint the filesystem refuses to
     // open degrades to an unpersisted sweep rather than losing the run.
-    let writer = if opts.resume {
-        CheckpointWriter::append_to(&path)
-    } else {
-        CheckpointWriter::create(&path)
-    };
-    let writer = match writer {
-        Ok(w) => Some(w),
-        Err(e) => {
-            eprintln!(
-                "sweep: cannot write checkpoint {}: {e}; results will not be persisted",
-                path.display()
-            );
-            None
+    let writer = match &path {
+        Some(path) => {
+            let writer = if opts.resume {
+                CheckpointWriter::append_to(path)
+            } else {
+                CheckpointWriter::create(path)
+            };
+            match writer {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!(
+                        "sweep: cannot write checkpoint {}: {e}; results will not be persisted",
+                        path.display()
+                    );
+                    None
+                }
+            }
         }
+        None => None,
     };
 
-    let order: Vec<usize> = to_run.iter().map(|(idx, ..)| *idx).collect();
-    let work: Vec<(String, (String, u64, I))> = to_run
-        .into_iter()
-        .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
-        .collect();
+    // Split what's left into phase 1 — group bases and ungrouped points,
+    // which must really run — and the group members whose fate phase 1's
+    // attributions decide. A member whose basis is not even in the grid
+    // can never be predicted and runs in phase 1 too.
+    let mut phase1: Vec<(usize, String, u64, I)> = Vec::new();
+    let mut candidates: Vec<(usize, String, u64, I)> = Vec::new();
+    for entry in to_run {
+        let deferred = policy.as_ref().is_some_and(|p| {
+            !p.is_basis(&entry.1)
+                && p.group_of_member(&entry.1)
+                    .is_some_and(|g| grid.contains_key(&g.basis))
+        });
+        if deferred {
+            candidates.push(entry);
+        } else {
+            phase1.push(entry);
+        }
+    }
 
     // Test-only crash hook (CI and the shard supervisor tests): on a
     // fresh sweep, simulate a hard crash as the k+1-th execution begins,
     // leaving exactly k completed points in the checkpoint. Resumed
-    // sweeps (skipped > 0) never crash, so a retry completes.
+    // sweeps (skipped > 0) never crash, so a retry completes. The
+    // counter is shared across both execution phases.
     let crash_hook = if skipped == 0 {
         std::env::var(CRASH_AFTER_ENV)
             .ok()
@@ -483,15 +605,9 @@ where
         None
     };
 
-    // The inner executor sees only the points that still need to run;
-    // progress lines must nevertheless report whole-grid positions.
-    let mut run_opts = opts.clone();
-    run_opts.progress_done = skipped;
-    run_opts.progress_total = total;
-
     let writer_ref = &writer;
     let crash_hook = &crash_hook;
-    let ran = sweep_map_walled(work, run_opts, move |(label, fingerprint, item)| {
+    let run_point = move |(label, fingerprint, item): (String, u64, I)| {
         if let Some((k, started)) = crash_hook {
             if started.fetch_add(1, Ordering::SeqCst) >= *k {
                 eprintln!("sweep: {CRASH_AFTER_ENV} hook: aborting before '{label}'");
@@ -510,6 +626,7 @@ where
                 fingerprint,
                 wall,
                 payload,
+                pruned: None,
             };
             if let Err(e) = w.append(&entry) {
                 eprintln!("sweep: checkpoint append failed for '{}': {e}", entry.label);
@@ -518,9 +635,105 @@ where
         } else {
             Ok((payload, wall))
         }
-    });
+    };
+
+    // Phase 1: bases and ungrouped points. The inner executor sees only
+    // the points that still need to run; progress lines must nevertheless
+    // report whole-grid positions and provenance.
+    let mut run_opts = opts.clone();
+    run_opts.progress_done = skipped;
+    run_opts.progress_total = total;
+    run_opts.progress_cached = cached_run;
+    run_opts.progress_pruned = cached_pruned;
+    let phase1_count = phase1.len();
+    let order: Vec<usize> = phase1.iter().map(|(idx, ..)| *idx).collect();
+    let work: Vec<(String, (String, u64, I))> = phase1
+        .into_iter()
+        .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
+        .collect();
+    let ran = sweep_map_walled(work, run_opts, &run_point);
     for (idx, result) in order.into_iter().zip(ran) {
         slots[idx] = Some(result);
+    }
+
+    // Decide each remaining member against its basis's attribution: prune
+    // with evidence (persisted like any completed point, wall 0), or send
+    // it to phase 2 to really run.
+    let mut newly_pruned = 0usize;
+    let mut phase2: Vec<(usize, String, u64, I)> = Vec::new();
+    for (idx, label, fingerprint, item) in candidates {
+        let policy = policy.as_ref().expect("candidates imply a policy");
+        let group = policy
+            .group_of_member(&label)
+            .expect("candidates are group members");
+        let decision = grid
+            .get(&group.basis)
+            .and_then(|&(basis_fp, basis_idx)| {
+                let basis = slots[basis_idx].as_ref()?;
+                // A basis must be a real simulation: a failed basis has
+                // no payload, and a (stale-file) predicted basis is not
+                // evidence.
+                if basis.pruned.is_some() {
+                    return None;
+                }
+                let attr = basis.ok().and_then(|payload| payload.cycle_attribution());
+                Some(policy.decide(&group.basis, basis_fp, attr))
+            })
+            .unwrap_or(PruneDecision::Run(crate::prune::RunReason::NoAttribution));
+        match decision {
+            PruneDecision::Prune(evidence) => {
+                let (_, basis_idx) = grid[&group.basis];
+                let predicted = slots[basis_idx]
+                    .as_ref()
+                    .and_then(|b| b.ok())
+                    .expect("a prune decision implies a successful basis")
+                    .clone();
+                if let Some(w) = &writer {
+                    let entry = CheckpointEntry {
+                        label: label.clone(),
+                        fingerprint,
+                        wall: Duration::ZERO,
+                        payload: predicted,
+                        pruned: Some(evidence.clone()),
+                    };
+                    if let Err(e) = w.append(&entry) {
+                        eprintln!("sweep: checkpoint append failed for '{label}': {e}");
+                    }
+                    slots[idx] = Some(SweepResult::pruned_from(label, entry.payload, evidence));
+                } else {
+                    slots[idx] = Some(SweepResult::pruned_from(label, predicted, evidence));
+                }
+                newly_pruned += 1;
+            }
+            PruneDecision::Run(_) => phase2.push((idx, label, fingerprint, item)),
+        }
+    }
+
+    // Phase 2: members the evidence could not excuse.
+    if !phase2.is_empty() {
+        let mut run_opts = opts.clone();
+        run_opts.progress_done = skipped + phase1_count + newly_pruned;
+        run_opts.progress_total = total;
+        run_opts.progress_cached = cached_run;
+        run_opts.progress_pruned = cached_pruned + newly_pruned;
+        let order: Vec<usize> = phase2.iter().map(|(idx, ..)| *idx).collect();
+        let work: Vec<(String, (String, u64, I))> = phase2
+            .into_iter()
+            .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
+            .collect();
+        let ran = sweep_map_walled(work, run_opts, &run_point);
+        for (idx, result) in order.into_iter().zip(ran) {
+            slots[idx] = Some(result);
+        }
+    }
+
+    if policy.is_some() && opts.progress {
+        let pruned_total = cached_pruned + newly_pruned;
+        eprintln!(
+            "sweep: pruned {pruned_total}/{total} point(s) via {} attribution ({} simulated, {cached_run} cached)",
+            policy.as_ref().map_or("?", |p| p.axis.name()),
+            total - pruned_total - cached_run,
+        );
     }
 
     // A resumed completion has appended re-run entries over stale ones;
@@ -529,7 +742,8 @@ where
     // label is already unique.)
     if opts.resume && writer.is_some() {
         drop(writer);
-        match compact(&path) {
+        let path = path.as_ref().expect("a writer implies a path");
+        match compact(path) {
             Ok(c) if c.dropped > 0 && opts.progress => eprintln!(
                 "sweep: compacted checkpoint {}: kept {}, reclaimed {} shadowed/stale lines",
                 path.display(),
@@ -546,7 +760,7 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.expect("every point is either cached or executed"))
+        .map(|slot| slot.expect("every point is either cached, pruned, or executed"))
         .collect()
 }
 

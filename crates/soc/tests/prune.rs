@@ -1,0 +1,225 @@
+//! Soundness tests for attribution-guided sweep pruning
+//! (`gemmini_soc::prune`), the headline guarantee being twofold:
+//!
+//! 1. **Subset bit-identity** — every point the pruned sweep actually
+//!    runs produces a report bit-identical to the same point in the
+//!    full, unpruned sweep. Pruning only removes work; it never
+//!    re-orders or re-parameterizes what does run.
+//! 2. **Evidence audit** — force-running every pruned point (which the
+//!    full sweep does) shows its dominant cycle bucket equals the one
+//!    recorded in the prune evidence, and its total cycle count lies
+//!    within the evidence's declared tolerance of the predicted
+//!    (basis) total.
+//!
+//! Failures print the offending point's full attribution so a broken
+//! axis-insensitivity rule is debuggable from the test log alone.
+
+use gemmini_dnn::graph::{Activation, Layer, Network};
+use gemmini_mem::json::ToJson;
+use gemmini_mem::stats::SweepAxis;
+use gemmini_soc::run::{RunOptions, SocReport};
+use gemmini_soc::sweep::{run_sweep_with, DesignPoint, SweepOptions, SweepResult};
+use gemmini_soc::{PrunePolicy, SocConfig};
+use gemmini_vm::tlb::TlbConfig;
+use proptest::prelude::*;
+
+/// The shared-L2-TLB settings each group sweeps (`0` = none); the basis
+/// is the no-L2 point — axis-pessimal, the most stall-prone setting —
+/// mirroring the fig8 policy shape. The private TLB stays fixed and
+/// tiny so the basis actually feels translation pressure.
+const SHARED_TLBS: [u32; 3] = [0, 64, 256];
+
+fn small_net(m: usize, k: usize, n: usize) -> Network {
+    let mut net = Network::new(format!("mm_{m}x{k}x{n}"));
+    net.push(
+        "fc1",
+        Layer::Matmul {
+            m,
+            k,
+            n,
+            activation: Activation::Relu,
+        },
+    );
+    net.push(
+        "fc2",
+        Layer::Matmul {
+            m,
+            k: n,
+            n: 8,
+            activation: Activation::None,
+        },
+    );
+    net
+}
+
+fn label(m: usize, k: usize, n: usize, filters: bool, shared: u32) -> String {
+    format!("mm {m}x{k}x{n} filters={filters} shared={shared}")
+}
+
+/// A grid shaped like the figure sweeps: one TLB-axis group per
+/// (dims, filters) pair, submitted in group-member order so slot
+/// indices line up between the full and the pruned sweep.
+fn grid(dims: &[(usize, usize, usize)], tolerance: f64) -> (Vec<DesignPoint>, PrunePolicy) {
+    let mut points = Vec::new();
+    let mut policy = PrunePolicy::new(SweepAxis::TlbEntries, tolerance);
+    for &(m, k, n) in dims {
+        for filters in [false, true] {
+            for shared in SHARED_TLBS {
+                let mut cfg = SocConfig::edge_single_core();
+                cfg.cores[0].translation.private = TlbConfig::private(2);
+                cfg.cores[0].translation.shared = TlbConfig::shared(shared);
+                cfg.cores[0].translation.filter_registers = filters;
+                points.push(DesignPoint::new(
+                    label(m, k, n, filters, shared),
+                    cfg,
+                    vec![small_net(m, k, n)],
+                    RunOptions::timing(),
+                ));
+            }
+            policy = policy.group(
+                label(m, k, n, filters, SHARED_TLBS[0]),
+                SHARED_TLBS[1..]
+                    .iter()
+                    .map(|&s| label(m, k, n, filters, s))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+    (points, policy)
+}
+
+fn opts(prune: Option<PrunePolicy>) -> SweepOptions {
+    SweepOptions {
+        threads: 2,
+        progress: false,
+        prune,
+        ..SweepOptions::default()
+    }
+}
+
+fn attribution_rows(report: &SocReport) -> String {
+    report
+        .attribution
+        .rows()
+        .iter()
+        .map(|(name, cycles)| format!("{name}={cycles}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Checks both soundness invariants of one (full, pruned) sweep pair;
+/// returns how many points were pruned, or the first violation as text.
+fn audit(
+    full: &[SweepResult<SocReport>],
+    pruned: &[SweepResult<SocReport>],
+) -> Result<usize, String> {
+    assert_eq!(full.len(), pruned.len());
+    let mut skips = 0;
+    for (f, p) in full.iter().zip(pruned) {
+        assert_eq!(f.label, p.label);
+        let real = f.expect_ok();
+        match &p.pruned {
+            None => {
+                // Subset bit-identity: the executed report must match
+                // the full sweep's, down to its JSON encoding.
+                if real.to_json().encode() != p.expect_ok().to_json().encode() {
+                    return Err(format!(
+                        "'{}' ran under pruning but differs from the full sweep\n  full: {}",
+                        f.label,
+                        attribution_rows(real)
+                    ));
+                }
+            }
+            Some(ev) => {
+                skips += 1;
+                let predicted = p.expect_ok();
+                if real.attribution.dominant() != ev.dominant {
+                    return Err(format!(
+                        "'{}': dominant bucket moved under the swept axis: evidence says {}, \
+                         force-run says {}\n  evidence: {}\n  force-run: {}",
+                        p.label,
+                        ev.dominant.name(),
+                        real.attribution.dominant().name(),
+                        ev.rule(),
+                        attribution_rows(real)
+                    ));
+                }
+                let want = predicted.attribution.total() as f64;
+                let got = real.attribution.total() as f64;
+                let err = (got - want).abs() / want;
+                if err > ev.tolerance {
+                    return Err(format!(
+                        "'{}': predicted {want} cycles, force-run {got} ({:.2}% off > {:.2}% \
+                         tolerance)\n  evidence: {}\n  force-run: {}",
+                        p.label,
+                        err * 100.0,
+                        ev.tolerance * 100.0,
+                        ev.rule(),
+                        attribution_rows(real)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(skips)
+}
+
+/// A deterministic compute-bound grid must actually prune (every basis
+/// is matmul-dominated with a tiny tlb-stall share) and pass the audit.
+#[test]
+fn compute_bound_grid_prunes_and_stays_sound() {
+    let (points, policy) = grid(&[(96, 96, 96), (80, 64, 80)], 0.25);
+    let full = run_sweep_with(points.clone(), opts(None));
+    let pruned = run_sweep_with(points, opts(Some(policy)));
+    let skips = audit(&full, &pruned).unwrap_or_else(|msg| panic!("{msg}"));
+    assert!(
+        skips > 0,
+        "a generous 25% tolerance must prune at least one member of a compute-bound grid"
+    );
+    // Bases are never predicted.
+    for p in &pruned {
+        if let Some(ev) = &p.pruned {
+            let basis = pruned
+                .iter()
+                .find(|r| r.label == ev.basis_label)
+                .expect("evidence names a grid point");
+            assert!(basis.pruned.is_none(), "a basis must be simulated");
+        }
+    }
+}
+
+/// A zero tolerance can never prune: any nonzero movable fraction
+/// exceeds it, so the pruned sweep degenerates to the full sweep.
+#[test]
+fn zero_tolerance_runs_everything() {
+    let (points, policy) = grid(&[(16, 24, 16)], 0.0);
+    let full = run_sweep_with(points.clone(), opts(None));
+    let pruned = run_sweep_with(points, opts(Some(policy)));
+    let skips = audit(&full, &pruned).unwrap_or_else(|msg| panic!("{msg}"));
+    assert_eq!(skips, 0, "zero tolerance must simulate every point");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random grids and tolerances: whatever the policy decides, the
+    /// executed subset is bit-identical to the full sweep and every
+    /// prune decision survives its force-run audit.
+    #[test]
+    fn pruning_is_sound_on_random_grids(
+        m in 4usize..32,
+        k in 4usize..48,
+        n in 4usize..32,
+        m2 in 4usize..24,
+        k2 in 4usize..32,
+        n2 in 4usize..24,
+        tolerance in prop::sample::select(vec![0.01, 0.05, 0.25, 0.75]),
+    ) {
+        let (points, policy) = grid(&[(m, k, n), (m2, k2, n2)], tolerance);
+        let full = run_sweep_with(points.clone(), opts(None));
+        let pruned = run_sweep_with(points, opts(Some(policy)));
+        if let Err(msg) = audit(&full, &pruned) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}

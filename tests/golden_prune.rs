@@ -1,0 +1,92 @@
+//! Golden-pinned prune decisions: the quick-mode fig8 sweep, run with
+//! the binary's own prune policy, must keep making exactly the decision
+//! set checked in under `tests/golden/fig8_prune.json`.
+//!
+//! This guards the *decision layer*, not just the numbers: a drift in
+//! the attribution model, the axis-insensitivity rule, or the fig8
+//! policy shows up here as a changed pruned/run set (or changed
+//! evidence) even when every simulated cycle count is untouched. Bless
+//! intentional changes with:
+//!
+//! ```text
+//! GEMMINI_BLESS=1 cargo test --test golden_prune
+//! ```
+
+use std::path::PathBuf;
+
+use gemmini_bench::figures::{fig8_points, fig8_prune_json, fig8_prune_policy};
+use gemmini_bench::{quick_resnet, SweepOptions};
+use gemmini_mem::json::Json;
+use gemmini_soc::sweep::run_sweep_with;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn bless_mode() -> bool {
+    std::env::var("GEMMINI_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn check_golden(name: &str, actual: &Json) {
+    let path = golden_path(name);
+    let encoded = actual.encode();
+    if bless_mode() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, format!("{encoded}\n")).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with GEMMINI_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let golden = Json::parse(golden.trim()).expect("golden file parses");
+    assert_eq!(
+        &golden,
+        actual,
+        "{name}: prune decisions drifted from the golden file.\n\
+         golden: {}\n\
+         actual: {encoded}\n\
+         If the policy/model change is intentional, regenerate with \
+         GEMMINI_BLESS=1 cargo test --test golden_prune",
+        golden.encode()
+    );
+}
+
+#[test]
+fn fig8_prune_decisions_match_golden() {
+    let net = quick_resnet();
+    let results = run_sweep_with(
+        fig8_points(&net),
+        SweepOptions {
+            threads: 1,
+            progress: false,
+            prune: Some(fig8_prune_policy()),
+            ..SweepOptions::default()
+        },
+    );
+
+    // The acceptance floor the CI `pruned` job also checks end to end:
+    // at least 20% of the quick grid is skipped, every skip names its
+    // evidence, and no basis is ever predicted.
+    let pruned: Vec<_> = results.iter().filter(|r| r.pruned.is_some()).collect();
+    assert!(
+        pruned.len() * 5 >= results.len(),
+        "only {}/{} quick-mode fig8 points pruned (need >= 20%)",
+        pruned.len(),
+        results.len()
+    );
+    let policy = fig8_prune_policy();
+    for r in &results {
+        if let Some(ev) = &r.pruned {
+            assert!(!ev.basis_label.is_empty());
+            assert!(!policy.is_basis(&r.label), "a basis must never be pruned");
+        }
+    }
+
+    check_golden("fig8_prune.json", &fig8_prune_json(&results));
+}
