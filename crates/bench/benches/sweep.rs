@@ -1,12 +1,15 @@
 //! Sweep-executor throughput (points/sec at one worker versus several)
-//! and the cost of the default-off trace instrumentation: a run with a
-//! disabled tracer should be indistinguishable from a plain run, and a
-//! buffered tracer bounds what `GEMMINI_TRACE` costs.
+//! and the cost of the default-off observation layers: a run with a
+//! disabled tracer should be indistinguishable from a plain run, a
+//! buffered tracer bounds what `GEMMINI_TRACE` costs, and a live metrics
+//! registry (relaxed atomics on the hot path) must stay within the <5%
+//! overhead budget `--status`/`--metrics` promise.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemmini_core::metrics::Metrics;
 use gemmini_core::trace::Tracer;
 use gemmini_dnn::graph::{Activation, Layer, Network};
-use gemmini_soc::run::{run_networks_traced, RunOptions};
+use gemmini_soc::run::{run_networks_metered, run_networks_traced, RunOptions};
 use gemmini_soc::soc::SocConfig;
 use gemmini_soc::sweep::{run_sweep_with, DesignPoint, SweepOptions};
 use std::hint::black_box;
@@ -102,5 +105,49 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_throughput, bench_trace_overhead);
+/// One timing-mode run with the metrics handle disabled (one untaken
+/// branch per instrumentation site) versus a live shared registry
+/// absorbing every counter increment and histogram observation — the
+/// steady-state overhead of `--status`/`--metrics`.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let net = tiny_matmul_net();
+    let cfg = SocConfig::edge_single_core();
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.bench_function("disabled", |bench| {
+        bench.iter(|| {
+            let report = run_networks_metered(
+                &cfg,
+                std::slice::from_ref(&net),
+                &RunOptions::timing(),
+                &Metrics::disabled(),
+            )
+            .unwrap();
+            black_box(report.cores[0].total_cycles)
+        })
+    });
+    group.bench_function("enabled", |bench| {
+        // One registry across iterations, as a sweep shares one across
+        // points; counters saturate long before u64 wraps.
+        let (metrics, registry) = Metrics::enabled();
+        bench.iter(|| {
+            let report = run_networks_metered(
+                &cfg,
+                std::slice::from_ref(&net),
+                &RunOptions::timing(),
+                &metrics,
+            )
+            .unwrap();
+            black_box(report.cores[0].total_cycles)
+        });
+        black_box(registry.snapshot());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_throughput,
+    bench_trace_overhead,
+    bench_metrics_overhead
+);
 criterion_main!(benches);

@@ -12,13 +12,16 @@
 //! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
 //! supervised multi-process execution. `--prune` is accepted but inert
 //! (the dataflow axis has no insensitivity rule — both dataflows always
-//! simulate).
+//! simulate). `--trace <path>` re-runs one representative shape per
+//! dataflow with a buffered tracer (WS on pid lane 0, OS on lane 1) and
+//! exports the combined Chrome `trace_event` JSON.
 
-use gemmini_bench::{section, sharded_sweep_map};
+use gemmini_bench::{section, sharded_sweep_map, trace_path};
 use gemmini_soc::checkpoint::debug_fingerprint;
 
 use gemmini_core::config::{Dataflow, GemminiConfig};
 use gemmini_core::isa::{Instruction, LocalAddr};
+use gemmini_core::trace::{export_chrome_trace, Tracer};
 use gemmini_core::{Accelerator, MemCtx};
 use gemmini_dnn::graph::Activation;
 use gemmini_mem::addr::PAGE_SIZE;
@@ -28,8 +31,9 @@ use gemmini_vm::page_table::AddressSpace;
 use gemmini_vm::translator::{TranslationConfig, TranslationSystem};
 
 /// Runs a (dim·mb) × (dim·kb) × dim GEMM column with the given dataflow,
-/// timing-only; returns total cycles.
-fn run(dataflow: Dataflow, mb: usize, kb: usize) -> u64 {
+/// timing-only; returns total cycles. `tracer` feeds the `--trace`
+/// export and is the disabled (free) handle on sweep runs.
+fn run(dataflow: Dataflow, mb: usize, kb: usize, tracer: Tracer) -> u64 {
     let cfg = GemminiConfig::edge();
     let dim = cfg.dim() as u16;
     let mut frames = FrameAllocator::new();
@@ -38,6 +42,7 @@ fn run(dataflow: Dataflow, mb: usize, kb: usize) -> u64 {
     let mut mem = MemorySystem::default();
     let mut translation = TranslationSystem::new(TranslationConfig::default());
     let mut accel = Accelerator::new(cfg);
+    accel.set_tracer(tracer);
     let mut ctx = MemCtx {
         space: &space,
         translation: &mut translation,
@@ -175,7 +180,9 @@ fn main() {
                 })
         })
         .collect();
-    let Some(results) = sharded_sweep_map(tasks, |(df, mb, kb)| Ok(run(df, mb, kb))) else {
+    let Some(results) = sharded_sweep_map(tasks, |(df, mb, kb)| {
+        Ok(run(df, mb, kb, Tracer::disabled()))
+    }) else {
         return; // shard worker: the checkpoint file is the output
     };
     for (&(mb, kb), pair) in shapes.iter().zip(results.chunks(2)) {
@@ -193,4 +200,20 @@ fn main() {
     println!();
     println!("Deep-K shapes favor OS (one accumulator trip per output block);");
     println!("tall-M shapes favor WS (the stationary operand amortizes).");
+
+    // --trace: both dataflows on the balanced 4×4 shape into one file,
+    // each in its own pid lane so Perfetto shows them side by side.
+    if let Some(path) = trace_path() {
+        let (tracer, sink) = Tracer::buffered();
+        run(Dataflow::WeightStationary, 4, 4, tracer.with_pid(0));
+        run(Dataflow::OutputStationary, 4, 4, tracer.with_pid(1));
+        let events = sink.lock().expect("trace sink lock").take();
+        export_chrome_trace(&path, &events)
+            .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+        eprintln!(
+            "trace: wrote {} events for 'WS/OS m=4 k=4' to {}",
+            events.len(),
+            path.display()
+        );
+    }
 }

@@ -6,9 +6,13 @@
 //! Shares the sweep CLI: `--json` / `--resume` checkpointing, and
 //! `--shards N` / `--shard i/N` / `--merge <shard.jsonl>...` for
 //! supervised multi-process execution. `--prune` is accepted but inert
-//! (no axis-insensitivity rule covers a network sweep).
+//! (no axis-insensitivity rule covers a network sweep). `--trace <path>`
+//! exports a Chrome `trace_event` JSON of the ResNet-style workload on
+//! the edge configuration.
 
-use gemmini_bench::{quick_mode, quick_resnet, resnet_workload, section, sharded_sweep};
+use gemmini_bench::{
+    export_trace_run, quick_mode, quick_resnet, resnet_workload, section, sharded_sweep, trace_path,
+};
 use gemmini_dnn::zoo;
 use gemmini_soc::run::{CoreReport, SocReport};
 use gemmini_soc::sweep::DesignPoint;
@@ -57,6 +61,15 @@ fn main() {
     let Some(results) = sharded_sweep(sweep) else {
         return; // shard worker: the checkpoint file is the output
     };
+
+    if let Some(path) = trace_path() {
+        export_trace_run(
+            &path,
+            extreme_net.name(),
+            &SocConfig::edge_single_core(),
+            std::slice::from_ref(&extreme_net),
+        );
+    }
 
     section("Per-inference energy on the edge configuration (1 GHz)");
     println!(

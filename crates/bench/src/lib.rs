@@ -8,13 +8,17 @@
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::OnceLock;
 
+use gemmini_core::metrics::Metrics;
 use gemmini_core::trace::{export_chrome_trace, Tracer};
 use gemmini_core::AccelError;
 use gemmini_dnn::graph::{Activation, Layer, Network, PoolKind};
 use gemmini_mem::json::{FromJson, Json, ToJson};
 use gemmini_soc::prune::{summarize, Attributed, PrunePolicy};
-use gemmini_soc::run::{run_networks, run_networks_traced, RunOptions, SocReport};
+use gemmini_soc::run::{
+    run_networks, run_networks_metered, run_networks_traced, RunOptions, SocReport,
+};
 use gemmini_soc::shard::{run_sharded, ShardCli, ShardSpec};
 use gemmini_soc::SocConfig;
 
@@ -99,6 +103,39 @@ pub fn trace_path() -> Option<PathBuf> {
     arg_value("--trace").map(PathBuf::from)
 }
 
+/// The `--status <path>` argument: where the sweep rewrites its live
+/// JSON heartbeat ([`gemmini_soc::telemetry::Heartbeat`]) — atomically,
+/// on every point completion and every ~2 s. `watch cat <path>` is the
+/// intended consumer; under `--shards` the supervisor aggregates its
+/// children's heartbeats here.
+pub fn status_path() -> Option<PathBuf> {
+    arg_value("--status").map(PathBuf::from)
+}
+
+/// The `--metrics <path>` argument: where to write the final live-metrics
+/// registry snapshot as Prometheus text exposition when the sweep ends.
+pub fn metrics_path() -> Option<PathBuf> {
+    arg_value("--metrics").map(PathBuf::from)
+}
+
+/// The process-wide live-metrics handle: one shared registry, enabled
+/// iff `--status` or `--metrics` was passed; otherwise the disabled
+/// (free) handle. Shared so the sweep executor's point counters and
+/// every simulated point's engine/DMA/TLB/DRAM instrumentation land in
+/// the same registry that the heartbeat and exposition files export.
+pub fn cli_metrics() -> Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS
+        .get_or_init(|| {
+            if status_path().is_some() || metrics_path().is_some() {
+                Metrics::enabled().0
+            } else {
+                Metrics::disabled()
+            }
+        })
+        .clone()
+}
+
 /// Re-runs one design point in timing mode with a buffered tracer and
 /// writes the collected events to `path` as Chrome `trace_event` JSON —
 /// the shared implementation behind every figure binary's `--trace`.
@@ -151,6 +188,9 @@ pub fn sweep_cli_options_with(policy: Option<PrunePolicy>) -> SweepOptions {
         checkpoint,
         resume,
         prune,
+        metrics: cli_metrics(),
+        status: status_path(),
+        prometheus: metrics_path(),
         ..SweepOptions::default()
     }
 }
@@ -283,8 +323,9 @@ pub fn sharded_sweep_with(
         .into_iter()
         .map(|p| (p.label.clone(), p.fingerprint(), p))
         .collect();
-    sharded_sweep_map_with(items, policy, |p: DesignPoint| {
-        run_networks(&p.config, &p.networks, &p.options)
+    let metrics = cli_metrics();
+    sharded_sweep_map_with(items, policy, move |p: DesignPoint| {
+        run_networks_metered(&p.config, &p.networks, &p.options, &metrics)
     })
 }
 
@@ -457,6 +498,19 @@ mod tests {
         assert_eq!(
             forwarded_args(args(&["--merge", "a.jsonl", "b.jsonl", "--quick"])),
             args(&["--quick"])
+        );
+        // Telemetry flags forward unchanged: each child derives its own
+        // per-shard status/metrics paths from the base paths.
+        assert_eq!(
+            forwarded_args(args(&[
+                "--shards",
+                "2",
+                "--status",
+                "status.json",
+                "--metrics",
+                "metrics.prom"
+            ])),
+            args(&["--status", "status.json", "--metrics", "metrics.prom"])
         );
     }
 

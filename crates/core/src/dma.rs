@@ -7,6 +7,7 @@
 //! registers exist to remove exactly those stalls), and every byte shows up
 //! as L2/DRAM traffic.
 
+use crate::metrics::{Counter as MetricCounter, HistKind};
 use crate::trace::{AttributionKind, Component, Profiler, StallCause};
 use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
 use gemmini_mem::dram::MainMemory;
@@ -261,6 +262,10 @@ impl StreamDma {
             };
             prof.event(Component::Dma, name, now, finish, StallCause::None);
         }
+        let metrics = prof.metrics();
+        metrics.inc(MetricCounter::DmaBursts);
+        metrics.add(MetricCounter::DmaBytes, bytes);
+        metrics.observe(HistKind::DmaBurstCycles, finish.saturating_sub(now));
         Ok(DmaTransfer {
             done: finish,
             bytes,

@@ -20,6 +20,7 @@ use crate::config::{Dataflow, GemminiConfig};
 use crate::dma::{MemCtx as DmaMemCtx, StreamDma};
 use crate::isa::{Instruction, LocalAddr};
 use crate::mesh::{MatrixUnit, MeshTiming};
+use crate::metrics::Counter as MetricCounter;
 use crate::peripherals::readout_row_into;
 use crate::scratchpad::{Accumulator, Scratchpad};
 use crate::trace::{AttributionKind, Component, CycleAttribution, Profiler, StallCause, Tracer};
@@ -252,6 +253,14 @@ impl Accelerator {
     /// this only controls span emission for the Chrome export.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.profiler.set_tracer(tracer);
+    }
+
+    /// Attaches a live-metrics handle, shared with the scratchpad's bank
+    /// timing model: compute tiles, DMA bursts and bank conflicts record
+    /// into it. Pure observation — timing and results are unaffected.
+    pub fn set_metrics(&mut self, metrics: crate::metrics::Metrics) {
+        self.sp.timing_mut().set_metrics(metrics.clone());
+        self.profiler.set_metrics(metrics);
     }
 
     /// The exact cycle-attribution of the run so far: every cycle of
@@ -663,7 +672,14 @@ impl Accelerator {
                 d,
                 a_rows,
                 a_cols,
-            } => self.do_compute(ctx, a, d, a_rows, a_cols),
+            } => {
+                self.profiler.metrics().inc(MetricCounter::TilesIssued);
+                let done = self.do_compute(ctx, a, d, a_rows, a_cols);
+                if done.is_ok() {
+                    self.profiler.metrics().inc(MetricCounter::TilesRetired);
+                }
+                done
+            }
             Instruction::Flush => {
                 self.flush_os_partials(ctx.data.is_some())?;
                 let t = self.now();

@@ -29,6 +29,8 @@
 //! * [`trace`] — the profiler every timed operation reports into: the
 //!   always-on cycle-attribution log plus the optional Chrome-trace event
 //!   sink (re-exported from `gemmini_mem::trace`).
+//! * [`metrics`] — the live-telemetry registry handle threaded through the
+//!   same components (re-exported from `gemmini_mem::metrics`).
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod dma;
 pub mod engine;
 pub mod isa;
 pub mod mesh;
+pub mod metrics;
 pub mod peripherals;
 pub mod scratchpad;
 pub mod trace;

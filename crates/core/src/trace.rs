@@ -15,17 +15,20 @@ pub use gemmini_mem::trace::{
     BufferSink, Component, EventSink, NullSink, StallCause, TraceEvent, Tracer, SOC_TRACE_PID,
 };
 
+use crate::metrics::Metrics;
 use gemmini_mem::Cycle;
 
-/// The attribution log and trace sink an accelerator reports into.
+/// The attribution log, trace sink and live-metrics handle an
+/// accelerator reports into.
 ///
 /// Attribution recording is always on (it is how the cycle-attribution
-/// report stays exact); sink emission costs one branch when no tracer is
-/// attached.
+/// report stays exact); sink emission and metric recording each cost one
+/// branch when disabled.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     log: AttributionLog,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl Profiler {
@@ -42,6 +45,17 @@ impl Profiler {
     /// The current sink handle (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches (or replaces) the live-metrics handle.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The current live-metrics handle (disabled by default).
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Whether a sink is attached.

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use gemmini_core::config::{Dataflow, GemminiConfig};
 use gemmini_core::isa::{Instruction, LocalAddr};
+use gemmini_core::metrics::{Counter, Metrics};
 use gemmini_core::{Accelerator, MemCtx};
 use gemmini_dnn::graph::Activation;
 use gemmini_mem::addr::{VirtAddr, PAGE_SIZE};
@@ -268,4 +269,48 @@ fn steady_state_tile_step_does_not_allocate() {
     // The pass above really did work: tighten against silent no-ops.
     assert!(accel.dma_stats().bytes_in > 0);
     assert!(accel.dma_stats().bytes_out > 0);
+}
+
+/// The same zero-allocation bound with a live metrics registry attached
+/// to the engine, translation system, and memory hierarchy: counters and
+/// histograms are fixed atomic arrays, so observation must stay free of
+/// heap traffic too. A regression here means a metrics call started
+/// allocating on the hot path.
+#[test]
+fn steady_state_with_live_metrics_does_not_allocate() {
+    let mut r = rig();
+    let cfg = GemminiConfig::edge();
+    let dim = cfg.dim();
+    let mut accel = Accelerator::new(cfg);
+    let (metrics, registry) = Metrics::enabled();
+    accel.set_metrics(metrics.clone());
+    r.translation.set_metrics(metrics.clone());
+    r.mem.set_metrics(metrics);
+
+    let payload: Vec<u8> = (0..9 * dim * dim).map(|i| (i % 251) as u8).collect();
+    r.fill(r.base, &payload);
+    let bias: Vec<u8> = (0..4 * dim * dim)
+        .flat_map(|i| ((i as i32 % 97) - 48).to_le_bytes())
+        .collect();
+    r.fill(r.base.add(8 * (dim * dim) as u64), &bias);
+
+    tile_pass(&mut accel, &mut r, dim);
+    tile_pass(&mut accel, &mut r, dim);
+    accel.compact_attribution();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    tile_pass(&mut accel, &mut r, dim);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "metered steady-state tile pass performed {} heap allocations",
+        after - before
+    );
+
+    // The registry really observed the pass (no vacuous zero-delta).
+    let snapshot = registry.snapshot();
+    assert!(snapshot.counter(Counter::TilesIssued) > 0);
+    assert!(snapshot.counter(Counter::DmaBursts) > 0);
+    assert!(snapshot.counter(Counter::TlbHits) > 0);
 }

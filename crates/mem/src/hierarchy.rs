@@ -10,6 +10,7 @@ use crate::addr::{lines_in_range, PhysAddr};
 use crate::bus::{Bus, BusConfig};
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::dram::{DramConfig, DramModel};
+use crate::metrics::{Counter, HistKind, Metrics};
 use crate::stats::TrafficStats;
 use crate::trace::{Component, StallCause, Tracer};
 use crate::Cycle;
@@ -67,6 +68,7 @@ pub struct MemorySystem {
     dram: DramModel,
     port_traffic: HashMap<PortId, TrafficStats>,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl MemorySystem {
@@ -86,6 +88,7 @@ impl MemorySystem {
             dram: DramModel::new(config.dram),
             port_traffic: HashMap::new(),
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -93,6 +96,12 @@ impl MemorySystem {
     /// into it. Disabled by default (one branch per access).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a live-metrics handle; L2 misses count line fills and
+    /// record DRAM service latency. Disabled by default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The configuration this hierarchy was built with.
@@ -130,6 +139,11 @@ impl MemorySystem {
                     bus_done + res.latency,
                     fill_done,
                     StallCause::CacheMiss,
+                );
+                self.metrics.inc(Counter::DramLineFills);
+                self.metrics.observe(
+                    HistKind::DramServiceCycles,
+                    fill_done.saturating_sub(bus_done + res.latency),
                 );
                 if res.writeback {
                     // The dirty victim's writeback occupies the DRAM channel

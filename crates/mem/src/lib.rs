@@ -25,6 +25,11 @@
 //! * [`json`] — a hand-rolled serde-free JSON value model shared by the
 //!   sweep checkpoint files and the figure binaries' machine-readable
 //!   output (the build environment has no crates.io access).
+//! * [`metrics`] — the live-telemetry substrate: a lock-free
+//!   [`metrics::MetricsRegistry`] of atomic counters, gauges and
+//!   log2-bucketed histograms behind a disabled-by-default
+//!   [`metrics::Metrics`] handle, with exact snapshot merging and
+//!   Prometheus text exposition.
 //!
 //! Timing and data are deliberately decoupled: the cache and DRAM models track
 //! only tags and busy-times, while [`dram::MainMemory`] holds actual bytes.
@@ -49,6 +54,7 @@ pub mod cache;
 pub mod dram;
 pub mod hierarchy;
 pub mod json;
+pub mod metrics;
 pub mod sram;
 pub mod stats;
 pub mod trace;

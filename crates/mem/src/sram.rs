@@ -6,6 +6,7 @@
 //! (Functional scratchpad *contents* live in `gemmini-core`; this is the
 //! timing/occupancy model only.)
 
+use crate::metrics::{Counter, Metrics};
 use crate::Cycle;
 
 /// Banked-SRAM configuration.
@@ -108,6 +109,8 @@ pub struct BankedSram {
     bank_free_at: Vec<Cycle>,
     accesses: u64,
     conflicts: u64,
+    metrics: Metrics,
+    in_conflict_run: bool,
 }
 
 impl BankedSram {
@@ -125,7 +128,17 @@ impl BankedSram {
             config,
             accesses: 0,
             conflicts: 0,
+            metrics: Metrics::disabled(),
+            in_conflict_run: false,
         }
+    }
+
+    /// Attaches a live-metrics handle; conflicting accesses count both
+    /// individual conflicts and maximal conflict *runs* (consecutive
+    /// delayed accesses with no clean access between them). Disabled by
+    /// default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The configuration this model was built with.
@@ -155,6 +168,13 @@ impl BankedSram {
         let start = now.max(self.bank_free_at[bank]);
         if start > now {
             self.conflicts += 1;
+            self.metrics.inc(Counter::SramBankConflicts);
+            if !self.in_conflict_run {
+                self.in_conflict_run = true;
+                self.metrics.inc(Counter::SramConflictRuns);
+            }
+        } else {
+            self.in_conflict_run = false;
         }
         self.accesses += 1;
         self.bank_free_at[bank] = start + 1; // one row per cycle per bank
@@ -230,6 +250,26 @@ mod tests {
         let done = sp.access_rows(0, 0, 8);
         assert_eq!(done, 8);
         assert_eq!(sp.conflicts(), 0);
+    }
+
+    #[test]
+    fn conflict_runs_count_maximal_streaks() {
+        use crate::metrics::{Counter, Metrics};
+        let (metrics, registry) = Metrics::enabled();
+        let mut sp = BankedSram::new(SramConfig::with_capacity_kb(64, 4, 16));
+        sp.set_metrics(metrics);
+        // Streak 1: three back-to-back conflicts on bank 0.
+        sp.access_row(0, 0);
+        sp.access_row(0, 4);
+        sp.access_row(0, 8);
+        sp.access_row(0, 12);
+        // A clean access (far future, bank free) ends the run.
+        sp.access_row(100, 0);
+        // Streak 2: one conflict.
+        sp.access_row(100, 4);
+        assert_eq!(registry.counter(Counter::SramBankConflicts), 4);
+        assert_eq!(registry.counter(Counter::SramConflictRuns), 2);
+        assert_eq!(sp.conflicts(), 4);
     }
 
     #[test]

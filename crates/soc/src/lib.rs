@@ -38,6 +38,10 @@
 //!   serving the group basis's report as a prediction and recording the
 //!   evidence (basis + dominant bucket + axis-insensitivity rule) in the
 //!   checkpoint.
+//! * [`telemetry`] — live sweep observability: atomic JSON heartbeat
+//!   files (`--status`), Prometheus text exposition (`--metrics`), and
+//!   the p50-based ETA derivation behind the progress lines and the
+//!   supervisor's fleet view.
 //! * [`shard`] — sharded multi-process sweeps on top of [`sweep`]:
 //!   deterministic `--shard i/N` strided planning, a crash-resilient
 //!   supervisor that retries killed worker processes from their
@@ -69,6 +73,7 @@ pub mod runtime;
 pub mod shard;
 pub mod soc;
 pub mod sweep;
+pub mod telemetry;
 pub mod tiling;
 
 pub use prune::{Attributed, PruneEvidence, PrunePolicy, PruneSummary};

@@ -6,6 +6,7 @@ use crate::os::OsState;
 use crate::runtime::{read_virt, LayerTiming, NetworkExecution};
 use crate::soc::{Soc, SocConfig};
 use gemmini_core::dma::DmaStats;
+use gemmini_core::metrics::Metrics;
 use gemmini_core::trace::{export_chrome_trace, Component, StallCause, Tracer, SOC_TRACE_PID};
 use gemmini_core::{AccelError, MemCtx};
 use gemmini_dnn::graph::{LayerClass, Network};
@@ -426,17 +427,40 @@ pub fn run_networks(
     nets: &[Network],
     options: &RunOptions,
 ) -> Result<SocReport, AccelError> {
+    run_networks_metered(config, nets, options, &Metrics::disabled())
+}
+
+/// Like [`run_networks`] (including the `GEMMINI_TRACE` lookup), but with
+/// a live-metrics handle: when enabled, every core's engine, scratchpad
+/// timing, translation hardware and the shared memory hierarchy record
+/// counters and latency histograms into the shared registry. Metrics are
+/// pure observation — the returned report is bit-identical to an
+/// unmetered run.
+///
+/// # Errors
+///
+/// Propagates the first accelerator error (e.g. a page fault) from any core.
+///
+/// # Panics
+///
+/// Panics if `nets.len()` differs from the configured core count.
+pub fn run_networks_metered(
+    config: &SocConfig,
+    nets: &[Network],
+    options: &RunOptions,
+    metrics: &Metrics,
+) -> Result<SocReport, AccelError> {
     match std::env::var("GEMMINI_TRACE") {
         Ok(path) if !path.is_empty() => {
             let (tracer, sink) = Tracer::buffered();
-            let report = run_networks_traced(config, nets, options, &tracer)?;
+            let report = run_networks_observed(config, nets, options, &tracer, metrics)?;
             let events = sink.lock().expect("trace sink lock").take();
             if let Err(e) = export_chrome_trace(Path::new(&path), &events) {
                 eprintln!("warning: could not write trace to {path}: {e}");
             }
             Ok(report)
         }
-        _ => run_networks_traced(config, nets, options, &Tracer::disabled()),
+        _ => run_networks_observed(config, nets, options, &Tracer::disabled(), metrics),
     }
 }
 
@@ -461,6 +485,29 @@ pub fn run_networks_traced(
     options: &RunOptions,
     tracer: &Tracer,
 ) -> Result<SocReport, AccelError> {
+    run_networks_observed(config, nets, options, tracer, &Metrics::disabled())
+}
+
+/// The fully-instrumented driver behind every `run_networks*` variant:
+/// an explicit trace-event sink *and* an explicit live-metrics handle,
+/// each independently optional (pass [`Tracer::disabled`] /
+/// [`Metrics::disabled`]). Both are pure observation; cycle results are
+/// identical in all four on/off combinations.
+///
+/// # Errors
+///
+/// Propagates the first accelerator error (e.g. a page fault) from any core.
+///
+/// # Panics
+///
+/// Panics if `nets.len()` differs from the configured core count.
+pub fn run_networks_observed(
+    config: &SocConfig,
+    nets: &[Network],
+    options: &RunOptions,
+    tracer: &Tracer,
+    metrics: &Metrics,
+) -> Result<SocReport, AccelError> {
     assert_eq!(
         nets.len(),
         config.cores.len(),
@@ -472,6 +519,13 @@ pub fn run_networks_traced(
         for core in &mut soc.cores {
             core.accel.set_tracer(tracer.with_pid(core.id as u64));
             core.translation.set_tracer(tracer.with_pid(core.id as u64));
+        }
+    }
+    if metrics.enabled_registry() {
+        soc.mem.set_metrics(metrics.clone());
+        for core in &mut soc.cores {
+            core.accel.set_metrics(metrics.clone());
+            core.translation.set_metrics(metrics.clone());
         }
     }
     let Soc {
@@ -719,6 +773,46 @@ mod tests {
             events.iter().any(|e| e.pid == SOC_TRACE_PID),
             "shared memory-hierarchy events"
         );
+    }
+
+    #[test]
+    fn metered_run_counts_events_without_changing_results() {
+        use gemmini_core::metrics::{Counter, HistKind, Metrics};
+        let cfg = SocConfig::edge_single_core();
+        let net = zoo::tiny_cnn();
+        let plain = run_networks(&cfg, std::slice::from_ref(&net), &RunOptions::timing()).unwrap();
+        let (metrics, registry) = Metrics::enabled();
+        let metered = run_networks_metered(
+            &cfg,
+            std::slice::from_ref(&net),
+            &RunOptions::timing(),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(plain, metered, "metrics must not perturb the simulation");
+        // Every instrumented component recorded something on a real net.
+        assert!(registry.counter(Counter::TilesIssued) > 0);
+        assert_eq!(
+            registry.counter(Counter::TilesIssued),
+            registry.counter(Counter::TilesRetired),
+            "every issued tile retires on a successful run"
+        );
+        assert!(registry.counter(Counter::DmaBursts) > 0);
+        assert!(registry.counter(Counter::DmaBytes) > 0);
+        assert!(registry.counter(Counter::TlbHits) > 0);
+        assert_eq!(
+            registry.counter(Counter::TlbMisses),
+            plain.cores[0].translation.walks,
+            "TLB misses equal the report's walk count"
+        );
+        assert!(registry.counter(Counter::DramLineFills) > 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.hist(HistKind::PtwWalkCycles).count,
+            plain.cores[0].translation.walks
+        );
+        assert!(snap.hist(HistKind::DmaBurstCycles).count > 0);
+        assert!(snap.hist(HistKind::DramServiceCycles).count > 0);
     }
 
     #[test]

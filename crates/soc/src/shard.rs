@@ -21,7 +21,12 @@
 //!   that shard with bounded exponential backoff. Because the child
 //!   resumes from its shard checkpoint, completed points are never
 //!   re-simulated: a crash loses at most the in-flight points of one
-//!   shard.
+//!   shard. With `--status`, the supervisor also reads each child's
+//!   heartbeat file (at the [`shard_path`] of the status base) every
+//!   ~2 s, renders a one-line `fleet:` view — per-shard phase,
+//!   progress, throughput, ETA and retry count — and rewrites the
+//!   absorbed aggregate [`Heartbeat`] at the base status path, so one
+//!   `watch cat` covers the whole fleet.
 //! * **Merge** — [`merge_shards`] loads the shard checkpoints, validates
 //!   every expected `(label, fingerprint)` pair against them (reporting
 //!   points that are missing or stale), and stitches the entries back in
@@ -37,11 +42,15 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointWriter};
 use crate::prune::{Attributed, PrunePolicy};
 use crate::sweep::{sweep_map_checkpointed, SweepOptions, SweepResult, CRASH_AFTER_ENV};
+use crate::telemetry::{format_eta, read_heartbeat, write_heartbeat, write_prometheus, Heartbeat};
+use gemmini_core::metrics::Counter;
 use gemmini_core::AccelError;
 use gemmini_mem::json::{FromJson, ToJson};
 
@@ -179,6 +188,11 @@ pub struct SupervisorOptions {
     pub max_attempts: usize,
     /// Backoff before the first retry; doubles per subsequent retry.
     pub backoff: Duration,
+    /// Per-shard crash-retry counters, indexed by shard index and bumped
+    /// the moment a retry is scheduled (not when it recovers), so the
+    /// fleet monitor can render live retry counts. `None` skips the
+    /// bookkeeping.
+    pub retry_counts: Option<Arc<Vec<AtomicU64>>>,
 }
 
 impl Default for SupervisorOptions {
@@ -186,6 +200,7 @@ impl Default for SupervisorOptions {
         Self {
             max_attempts: 3,
             backoff: Duration::from_millis(250),
+            retry_counts: None,
         }
     }
 }
@@ -321,6 +336,11 @@ where
         }
         last_status = status.to_string();
         if attempt < max_attempts {
+            if let Some(counts) = &opts.retry_counts {
+                if let Some(slot) = counts.get(spec.index) {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             let delay = backoff_delay(opts.backoff, attempt);
             eprintln!(
                 "supervisor: shard {spec} crashed ({last_status}); retrying from its checkpoint in {:.2}s (attempt {}/{max_attempts})",
@@ -380,6 +400,169 @@ where
             .collect()
     });
     results.into_iter().collect()
+}
+
+/// Reads every child heartbeat (at the [`shard_path`] of the status
+/// base) and folds them into one fleet [`Heartbeat`], stamping in the
+/// supervisor's retry counters. Children that have not written yet read
+/// as `None` and contribute nothing — the aggregate grows as the fleet
+/// comes up. Returns the aggregate plus the per-child reads for
+/// rendering.
+fn fleet_snapshot(
+    status_base: &Path,
+    specs: &[ShardSpec],
+    retry_counts: &[AtomicU64],
+) -> (Heartbeat, Vec<Option<Heartbeat>>) {
+    let children: Vec<Option<Heartbeat>> = specs
+        .iter()
+        .map(|spec| read_heartbeat(&shard_path(status_base, *spec)))
+        .collect();
+    let mut fleet = Heartbeat::starting(0);
+    for child in children.iter().flatten() {
+        fleet.absorb(child);
+    }
+    fleet.retries = retry_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    (fleet, children)
+}
+
+/// One `fleet:` progress line: a bracketed segment per shard (phase,
+/// position, throughput, ETA, retries) followed by the aggregate.
+fn fleet_line(
+    specs: &[ShardSpec],
+    children: &[Option<Heartbeat>],
+    retry_counts: &[AtomicU64],
+    fleet: &Heartbeat,
+) -> String {
+    let mut segments = Vec::with_capacity(specs.len());
+    for (spec, child) in specs.iter().zip(children) {
+        let mut seg = match child {
+            Some(hb) => {
+                let mut s = format!("{} {} {}/{}", spec.index, hb.phase, hb.done, hb.total);
+                if hb.phase == "run" {
+                    s.push_str(&format!(" {:.2}pts/s", hb.rate_pts_per_sec));
+                    if let Some(eta) = hb.eta_secs {
+                        s.push_str(&format!(" eta {}", format_eta(eta)));
+                    }
+                }
+                s
+            }
+            None => format!("{} starting", spec.index),
+        };
+        let retries = retry_counts
+            .get(spec.index)
+            .map_or(0, |c| c.load(Ordering::Relaxed));
+        if retries > 0 {
+            seg.push_str(&format!(" r{retries}"));
+        }
+        segments.push(format!("[{seg}]"));
+    }
+    let mut line = format!(
+        "fleet: {} | {}/{} pts",
+        segments.join(" "),
+        fleet.done,
+        fleet.total
+    );
+    if fleet.rate_pts_per_sec > 0.0 {
+        line.push_str(&format!(", {:.2} pts/s", fleet.rate_pts_per_sec));
+    }
+    if let Some(eta) = fleet.eta_secs {
+        line.push_str(&format!(", eta {}", format_eta(eta)));
+    }
+    if fleet.retries > 0 {
+        line.push_str(&format!(
+            ", {} retr{}",
+            fleet.retries,
+            if fleet.retries == 1 { "y" } else { "ies" }
+        ));
+    }
+    line
+}
+
+/// Background thread behind the supervisor's fleet view: every ~2 s it
+/// absorbs the children's heartbeats into an aggregate written at the
+/// base status path and prints a `fleet:` line (once at least one child
+/// has reported — silence instead of a wall of `starting` brackets).
+/// Dropping it stops and joins the thread; the supervisor then writes
+/// the final `done`/`failed` aggregate itself so the monitor can never
+/// overwrite the terminal state.
+struct FleetMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FleetMonitor {
+    fn spawn(
+        status_base: Option<PathBuf>,
+        specs: &[ShardSpec],
+        retry_counts: &Arc<Vec<AtomicU64>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let Some(base) = status_base else {
+            return Self { stop, handle: None };
+        };
+        let thread_stop = Arc::clone(&stop);
+        let specs = specs.to_vec();
+        let retry_counts = Arc::clone(retry_counts);
+        let handle = std::thread::spawn(move || {
+            loop {
+                // Check before the read-render pass so that after stop is
+                // raised we render exactly once more: the children have
+                // exited and written their final heartbeats by then, so a
+                // fleet too fast for the 2 s cadence still gets one line.
+                let stopping = thread_stop.load(Ordering::Relaxed);
+                let (fleet, children) = fleet_snapshot(&base, &specs, &retry_counts);
+                let _ = write_heartbeat(&base, &fleet);
+                if children.iter().any(Option::is_some) {
+                    eprintln!("{}", fleet_line(&specs, &children, &retry_counts, &fleet));
+                }
+                if stopping {
+                    break;
+                }
+                // Sleep in short slices so shutdown stays prompt.
+                for _ in 0..8 {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for FleetMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Writes the supervisor's terminal heartbeat (`done` or `failed`): the
+/// absorbed children with the final retry totals, ETA cleared. On
+/// success with `--metrics`, also renders the fleet's merged registry
+/// snapshot as Prometheus exposition at the base metrics path.
+fn finalize_fleet(
+    opts: &SweepOptions,
+    specs: &[ShardSpec],
+    retry_counts: &[AtomicU64],
+    phase: &str,
+) {
+    let Some(status) = &opts.status else { return };
+    let (mut fleet, _) = fleet_snapshot(status, specs, retry_counts);
+    fleet.phase = phase.to_string();
+    fleet.eta_secs = None;
+    let _ = write_heartbeat(status, &fleet);
+    if phase == "done" {
+        if let Some(prom) = &opts.prometheus {
+            let _ = write_prometheus(prom, &fleet.metrics.clone().unwrap_or_default());
+        }
+    }
 }
 
 /// Why a shard merge could not produce the full grid.
@@ -768,8 +951,13 @@ where
         };
         let slice_len = slice.len();
         let shard_file = shard_path(&base, spec);
+        // Telemetry files shard alongside the checkpoint: the supervisor
+        // reads each child's heartbeat at the shard path of the base
+        // status path, and per-shard Prometheus files never collide.
         let run_opts = SweepOptions {
             checkpoint: Some(shard_file.clone()),
+            status: opts.status.as_ref().map(|p| shard_path(p, spec)),
+            prometheus: opts.prometheus.as_ref().map(|p| shard_path(p, spec)),
             ..opts
         };
         let results = sweep_map_checkpointed(slice, run_opts, f);
@@ -814,16 +1002,53 @@ where
                 }
             }
         }
-        let outcomes = supervise(count, make_child, &SupervisorOptions::default())
-            .map_err(ShardError::Supervisor)?;
+        // Stale heartbeats from an earlier fleet (possibly with a
+        // different shard count) must not leak into this fleet's view.
+        if let Some(status) = &opts.status {
+            for spec in &specs {
+                let _ = std::fs::remove_file(shard_path(status, *spec));
+            }
+        }
+        let retry_counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..count).map(|_| AtomicU64::new(0)).collect());
+        let monitor = FleetMonitor::spawn(opts.status.clone(), &specs, &retry_counts);
+        let sup_opts = SupervisorOptions {
+            retry_counts: Some(Arc::clone(&retry_counts)),
+            ..SupervisorOptions::default()
+        };
+        let supervision = supervise(count, make_child, &sup_opts);
+        drop(monitor);
+        let total_retries: u64 = retry_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        opts.metrics.add(Counter::ShardRetries, total_retries);
+        let outcomes = match supervision {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                finalize_fleet(&opts, &specs, &retry_counts, "failed");
+                return Err(ShardError::Supervisor(e));
+            }
+        };
         let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
         let expected = expected_of(&items);
         let shard_files: Vec<PathBuf> = specs.iter().map(|s| shard_path(&base, *s)).collect();
-        let entries = merge_shards::<T>(&expected, &shard_files).map_err(ShardError::Merge)?;
+        let entries = match merge_shards::<T>(&expected, &shard_files) {
+            Ok(entries) => entries,
+            Err(e) => {
+                finalize_fleet(&opts, &specs, &retry_counts, "failed");
+                return Err(ShardError::Merge(e));
+            }
+        };
         write_entries(&base, &entries).map_err(|e| ShardError::Io {
             path: base.clone(),
             message: e.to_string(),
         })?;
+        finalize_fleet(&opts, &specs, &retry_counts, "done");
+        if opts.status.is_none() {
+            if let (Some(prom), Some(snapshot)) = (&opts.prometheus, opts.metrics.snapshot()) {
+                // Without heartbeats there is no fleet snapshot to merge;
+                // expose at least the supervisor's own registry.
+                let _ = write_prometheus(prom, &snapshot);
+            }
+        }
         eprintln!(
             "supervisor: {count} shard(s) complete ({retried} retried); merged {} point(s) into {}",
             entries.len(),
@@ -1100,9 +1325,12 @@ mod tests {
     fn supervisor_retries_a_crashed_shard() {
         let marker = temp_path("retry_marker");
         let _ = std::fs::remove_file(&marker);
+        let retry_counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..2).map(|_| AtomicU64::new(0)).collect());
         let opts = SupervisorOptions {
             max_attempts: 3,
             backoff: Duration::from_millis(1),
+            retry_counts: Some(Arc::clone(&retry_counts)),
         };
         let marker_str = marker.display().to_string();
         let outcomes = supervise(
@@ -1127,7 +1355,70 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0].attempts, 2, "shard 0 needed one retry");
         assert_eq!(outcomes[1].attempts, 1);
+        assert_eq!(retry_counts[0].load(Ordering::Relaxed), 1);
+        assert_eq!(retry_counts[1].load(Ordering::Relaxed), 0);
         let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn supervisor_exhaustion_counts_every_retry() {
+        let retry_counts: Arc<Vec<AtomicU64>> = Arc::new(vec![AtomicU64::new(0)]);
+        let opts = SupervisorOptions {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            retry_counts: Some(Arc::clone(&retry_counts)),
+        };
+        let err = supervise(
+            1,
+            |_| {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg("exit 9");
+                cmd
+            },
+            &opts,
+        )
+        .expect_err("always-crashing shard exhausts");
+        assert!(matches!(
+            err,
+            SupervisorError::Exhausted { attempts: 3, .. }
+        ));
+        // The final crash exhausts rather than retries: 2 retries, not 3.
+        assert_eq!(retry_counts[0].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fleet_snapshot_absorbs_child_heartbeats() {
+        let base = temp_path("fleet_status.json");
+        let specs = [
+            ShardSpec { index: 0, count: 2 },
+            ShardSpec { index: 1, count: 2 },
+        ];
+        // Only shard 1 has reported so far.
+        let mut child = Heartbeat::starting(16);
+        child.done = 6;
+        child.cached = 2;
+        child.rate_pts_per_sec = 1.5;
+        child.eta_secs = Some(40.0);
+        child.point_wall.record(2_000);
+        write_heartbeat(&shard_path(&base, specs[1]), &child).unwrap();
+        let retry_counts = [AtomicU64::new(1), AtomicU64::new(0)];
+
+        let (fleet, children) = fleet_snapshot(&base, &specs, &retry_counts);
+        assert!(children[0].is_none(), "shard 0 has not started");
+        assert_eq!(children[1].as_ref().unwrap().done, 6);
+        assert_eq!(fleet.done, 6);
+        assert_eq!(fleet.total, 16);
+        assert_eq!(fleet.cached, 2);
+        assert_eq!(fleet.retries, 1, "supervisor retries stamp the aggregate");
+        assert_eq!(fleet.point_wall.count, 1);
+
+        let line = fleet_line(&specs, &children, &retry_counts, &fleet);
+        assert!(line.starts_with("fleet: "), "line: {line}");
+        assert!(line.contains("[0 starting r1]"), "line: {line}");
+        assert!(line.contains("[1 run 6/16"), "line: {line}");
+        assert!(line.contains("6/16 pts"), "line: {line}");
+        assert!(line.contains("1 retry"), "line: {line}");
+        std::fs::remove_file(shard_path(&base, specs[1])).unwrap();
     }
 
     #[test]
@@ -1135,6 +1426,7 @@ mod tests {
         let opts = SupervisorOptions {
             max_attempts: 2,
             backoff: Duration::from_millis(1),
+            ..SupervisorOptions::default()
         };
         let err = supervise(
             1,

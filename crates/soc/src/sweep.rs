@@ -20,7 +20,11 @@
 //!   points still complete.
 //! * **Observability**: each completion emits one progress line to
 //!   stderr (`[12/32] private=16 shared=256 4.1s | 53.2s elapsed,
-//!   0.23 pts/s`) so long sweeps show liveness and throughput. Per-point
+//!   0.23 pts/s, eta 1m27s` — the ETA comes from the p50 of a live
+//!   per-point wall histogram) so long sweeps show liveness, throughput
+//!   and time remaining. With `opts.status`/`opts.prometheus` set the
+//!   executor also maintains a JSON heartbeat file and a Prometheus
+//!   exposition (see [`crate::telemetry`]). Per-point
 //!   cycle attribution rides along in every [`SocReport`] (and therefore
 //!   in each checkpoint line), and `GEMMINI_TRACE` exports a Chrome
 //!   trace from any individual run.
@@ -31,8 +35,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use std::collections::HashMap;
@@ -41,8 +45,13 @@ use crate::checkpoint::{
     compact, debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
 };
 use crate::prune::{Attributed, PruneDecision, PruneEvidence, PrunePolicy};
-use crate::run::{run_networks, RunOptions, SocReport};
+use crate::run::{run_networks_metered, RunOptions, SocReport};
 use crate::soc::SocConfig;
+use crate::telemetry::{
+    eta_secs, format_eta, wall_micros, write_heartbeat, write_prometheus, Heartbeat,
+    HEARTBEAT_VERSION,
+};
+use gemmini_core::metrics::{Counter, Gauge, HistKind, Log2Histogram, Metrics};
 use gemmini_core::AccelError;
 use gemmini_dnn::graph::Network;
 use gemmini_mem::json::{FromJson, ToJson};
@@ -212,6 +221,19 @@ pub struct SweepOptions {
     /// Of `progress_done`, how many points were pruned — rendered as a
     /// `M pruned` segment in progress lines.
     pub progress_pruned: usize,
+    /// Live-metrics handle: shared with every executed point's
+    /// simulation (engine, DMA, scratchpad, TLB, DRAM counters) and with
+    /// the executor's own point counters and wall histogram.
+    /// [`Metrics::disabled`] (the default) records nothing. Pure
+    /// observation — results are bit-identical either way.
+    pub metrics: Metrics,
+    /// Where to write the live JSON heartbeat ([`Heartbeat`], atomic
+    /// temp-file + rename, refreshed on every point completion and every
+    /// ~2 s); `None` disables it.
+    pub status: Option<PathBuf>,
+    /// Where to write the final registry snapshot as Prometheus text
+    /// exposition when the sweep ends; `None` disables it.
+    pub prometheus: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -226,6 +248,9 @@ impl Default for SweepOptions {
             prune: None,
             progress_cached: 0,
             progress_pruned: 0,
+            metrics: Metrics::disabled(),
+            status: None,
+            prometheus: None,
         }
     }
 }
@@ -261,6 +286,202 @@ pub fn worker_count(threads: usize, n_points: usize) -> usize {
     configured.clamp(1, n_points.max(1))
 }
 
+/// Shared live-telemetry state for one sweep call, spanning every
+/// execution phase: the per-point wall histogram behind the progress
+/// lines' ETA column (always on — it is cheap and local), the executor's
+/// point counters, and heartbeat bookkeeping when `opts.status` names a
+/// file.
+struct Pulse {
+    status: Option<PathBuf>,
+    prometheus: Option<PathBuf>,
+    metrics: Metrics,
+    grid_total: usize,
+    start: Instant,
+    workers: AtomicUsize,
+    /// Completions that did not execute in this call: cached + pruned.
+    baseline: AtomicUsize,
+    cached: AtomicUsize,
+    pruned: AtomicUsize,
+    /// Points actually simulated here (successes and failures).
+    executed: AtomicUsize,
+    failed: AtomicUsize,
+    wall_hist: Mutex<Log2Histogram>,
+    last_beat: Mutex<Instant>,
+    stop: AtomicBool,
+}
+
+impl Pulse {
+    fn start(
+        opts: &SweepOptions,
+        grid_total: usize,
+        baseline: usize,
+        cached: usize,
+        pruned: usize,
+    ) -> Arc<Self> {
+        let pulse = Arc::new(Self {
+            status: opts.status.clone(),
+            prometheus: opts.prometheus.clone(),
+            metrics: opts.metrics.clone(),
+            grid_total,
+            start: Instant::now(),
+            workers: AtomicUsize::new(1),
+            baseline: AtomicUsize::new(baseline),
+            cached: AtomicUsize::new(cached),
+            pruned: AtomicUsize::new(pruned),
+            executed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            wall_hist: Mutex::new(Log2Histogram::new()),
+            last_beat: Mutex::new(Instant::now()),
+            stop: AtomicBool::new(false),
+        });
+        pulse.beat("run");
+        pulse
+    }
+
+    fn done_total(&self) -> usize {
+        self.baseline.load(Ordering::Relaxed) + self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Folds one executed point in: wall histogram (local + registry),
+    /// point counters, and a heartbeat refresh.
+    fn record_point(&self, wall: Duration, ok: bool) {
+        let micros = wall_micros(wall);
+        self.wall_hist
+            .lock()
+            .expect("wall histogram lock")
+            .record(micros);
+        self.metrics.observe(HistKind::PointWallMicros, micros);
+        if ok {
+            self.metrics.inc(Counter::PointsCompleted);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc(Counter::PointsFailed);
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.beat("run");
+    }
+
+    /// Newly pruned points count as completions that never execute.
+    fn add_pruned(&self, n: usize) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+        self.baseline.fetch_add(n, Ordering::Relaxed);
+        self.beat("run");
+    }
+
+    /// Current p50-based ETA over the remaining grid, if any point has
+    /// been timed yet.
+    fn eta(&self) -> Option<f64> {
+        let hist = self.wall_hist.lock().expect("wall histogram lock");
+        eta_secs(
+            &hist,
+            self.grid_total.saturating_sub(self.done_total()),
+            self.workers.load(Ordering::Relaxed),
+        )
+    }
+
+    fn heartbeat(&self, phase: &str) -> Heartbeat {
+        let executed = self.executed.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let point_wall = self.wall_hist.lock().expect("wall histogram lock").clone();
+        let done = self.done_total();
+        let eta = if phase == "done" {
+            None
+        } else {
+            eta_secs(
+                &point_wall,
+                self.grid_total.saturating_sub(done),
+                self.workers.load(Ordering::Relaxed),
+            )
+        };
+        Heartbeat {
+            version: HEARTBEAT_VERSION,
+            phase: phase.to_string(),
+            done,
+            total: self.grid_total,
+            cached: self.cached.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            elapsed_secs: elapsed,
+            rate_pts_per_sec: executed as f64 / elapsed.max(1e-9),
+            eta_secs: eta,
+            retries: 0,
+            point_wall,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    /// Rewrites the heartbeat file (no-op without a status path).
+    fn beat(&self, phase: &str) {
+        let Some(path) = &self.status else { return };
+        let hb = self.heartbeat(phase);
+        if let Err(e) = write_heartbeat(path, &hb) {
+            eprintln!("sweep: heartbeat write failed for {}: {e}", path.display());
+        }
+        *self.last_beat.lock().expect("last beat lock") = Instant::now();
+    }
+
+    /// Monitor-thread tick: refresh the heartbeat when the last write is
+    /// older than ~2 s (long points and idle phases stay visible).
+    fn beat_if_stale(&self) {
+        if self.status.is_none() {
+            return;
+        }
+        let stale =
+            self.last_beat.lock().expect("last beat lock").elapsed() >= Duration::from_secs(2);
+        if stale {
+            self.beat("run");
+        }
+    }
+
+    /// Final exports: the `done` heartbeat and — when requested — the
+    /// Prometheus exposition of the registry snapshot.
+    fn finalize(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.beat("done");
+        if let Some(path) = &self.prometheus {
+            let snap = self.metrics.snapshot().unwrap_or_default();
+            if let Err(e) = write_prometheus(path, &snap) {
+                eprintln!("sweep: metrics write failed for {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Owns the background heartbeat thread for one sweep call; dropping it
+/// stops and joins the thread. No thread is spawned without a status
+/// path.
+struct PulseMonitor {
+    pulse: Arc<Pulse>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PulseMonitor {
+    fn spawn(pulse: &Arc<Pulse>) -> Self {
+        let handle = pulse.status.as_ref().map(|_| {
+            let p = Arc::clone(pulse);
+            std::thread::spawn(move || {
+                while !p.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(250));
+                    p.beat_if_stale();
+                }
+            })
+        });
+        Self {
+            pulse: Arc::clone(pulse),
+            handle,
+        }
+    }
+}
+
+impl Drop for PulseMonitor {
+    fn drop(&mut self) {
+        self.pulse.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -282,7 +503,20 @@ where
     T: Send,
     F: Fn(I) -> Result<T, AccelError> + Sync,
 {
-    sweep_map_walled(items, opts, |item| {
+    let grid_total = if opts.progress_total > 0 {
+        opts.progress_total
+    } else {
+        items.len()
+    };
+    let pulse = Pulse::start(
+        &opts,
+        grid_total,
+        opts.progress_done,
+        opts.progress_cached,
+        opts.progress_pruned,
+    );
+    let monitor = PulseMonitor::spawn(&pulse);
+    let results = sweep_map_walled(items, opts, &pulse, |item| {
         let start = Instant::now();
         match f(item) {
             Ok(t) => {
@@ -291,7 +525,10 @@ where
             }
             Err(e) => Err(SweepError::Accel(e)),
         }
-    })
+    });
+    drop(monitor);
+    pulse.finalize();
+    results
 }
 
 /// The executor core: like [`sweep_map`], but the closure reports its own
@@ -302,6 +539,7 @@ where
 fn sweep_map_walled<I, T, G>(
     items: Vec<(String, I)>,
     opts: SweepOptions,
+    pulse: &Pulse,
     g: G,
 ) -> Vec<SweepResult<T>>
 where
@@ -314,6 +552,8 @@ where
         return Vec::new();
     }
     let workers = worker_count(opts.threads, total);
+    pulse.workers.store(workers, Ordering::Relaxed);
+    pulse.metrics.set_gauge(Gauge::SweepWorkers, workers as u64);
     // Progress lines report true grid position: a resumed sweep passes
     // the whole-grid total and the already-cached count so the first
     // fresh point of a 27-cached/32-point resume prints `[28/32]`. The
@@ -340,6 +580,7 @@ where
 
     let run_one = |label: &str, item: I, done: &AtomicUsize| -> SweepResult<T> {
         let attempt_start = Instant::now();
+        pulse.metrics.gauge_add(Gauge::PointsInFlight, 1);
         let (outcome, wall) = match catch_unwind(AssertUnwindSafe(|| g(item))) {
             Ok(Ok((t, wall))) => (Ok(t), wall),
             Ok(Err(e)) => (Err(e), attempt_start.elapsed()),
@@ -348,13 +589,21 @@ where
                 attempt_start.elapsed(),
             ),
         };
+        pulse.metrics.gauge_sub(Gauge::PointsInFlight, 1);
+        pulse.record_point(wall, outcome.is_ok());
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if opts.progress {
             let status = if outcome.is_ok() { "" } else { "FAILED " };
             let elapsed = sweep_start.elapsed().as_secs_f64();
             let rate = finished as f64 / elapsed.max(1e-9);
+            // The ETA column comes from the shared per-point wall
+            // histogram: p50 bucket bound × remaining waves, clamped.
+            let eta = pulse
+                .eta()
+                .map(|s| format!(", eta {}", format_eta(s)))
+                .unwrap_or_default();
             eprintln!(
-                "[{}/{grid_total}{provenance}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s",
+                "[{}/{grid_total}{provenance}] {label} {status}{:.1}s | {elapsed:.1}s elapsed, {rate:.2} pts/s{eta}",
                 finished + done_offset,
                 wall.as_secs_f64()
             );
@@ -528,6 +777,12 @@ where
         }
     }
     let skipped = total - to_run.len();
+    // One telemetry pulse spans both execution phases, so the heartbeat
+    // and ETA see whole-grid progress rather than per-phase slices.
+    let pulse = Pulse::start(&opts, total, skipped, cached_run, cached_pruned);
+    let monitor = PulseMonitor::spawn(&pulse);
+    opts.metrics
+        .add(Counter::PointsCached, (cached_run + cached_pruned) as u64);
     if opts.resume {
         if let Some(path) = &path {
             let stale = checkpoint.stale_lines;
@@ -651,7 +906,7 @@ where
         .into_iter()
         .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
         .collect();
-    let ran = sweep_map_walled(work, run_opts, &run_point);
+    let ran = sweep_map_walled(work, run_opts, &pulse, &run_point);
     for (idx, result) in order.into_iter().zip(ran) {
         slots[idx] = Some(result);
     }
@@ -708,6 +963,10 @@ where
             PruneDecision::Run(_) => phase2.push((idx, label, fingerprint, item)),
         }
     }
+    if newly_pruned > 0 {
+        pulse.add_pruned(newly_pruned);
+        opts.metrics.add(Counter::PointsPruned, newly_pruned as u64);
+    }
 
     // Phase 2: members the evidence could not excuse.
     if !phase2.is_empty() {
@@ -721,11 +980,13 @@ where
             .into_iter()
             .map(|(_, label, fingerprint, item)| (label.clone(), (label, fingerprint, item)))
             .collect();
-        let ran = sweep_map_walled(work, run_opts, &run_point);
+        let ran = sweep_map_walled(work, run_opts, &pulse, &run_point);
         for (idx, result) in order.into_iter().zip(ran) {
             slots[idx] = Some(result);
         }
     }
+    drop(monitor);
+    pulse.finalize();
 
     if policy.is_some() && opts.progress {
         let pruned_total = cached_pruned + newly_pruned;
@@ -774,12 +1035,13 @@ pub fn run_sweep(points: Vec<DesignPoint>) -> Vec<SweepResult<SocReport>> {
 /// `opts.checkpoint` set, completed reports persist as JSON lines; with
 /// `opts.resume` as well, points already in the file are skipped.
 pub fn run_sweep_with(points: Vec<DesignPoint>, opts: SweepOptions) -> Vec<SweepResult<SocReport>> {
+    let metrics = opts.metrics.clone();
     let items = points
         .into_iter()
         .map(|p| (p.label.clone(), p.fingerprint(), p))
         .collect::<Vec<_>>();
-    sweep_map_checkpointed(items, opts, |p| {
-        run_networks(&p.config, &p.networks, &p.options)
+    sweep_map_checkpointed(items, opts, move |p| {
+        run_networks_metered(&p.config, &p.networks, &p.options, &metrics)
     })
 }
 

@@ -12,6 +12,7 @@ use crate::page_table::AddressSpace;
 use crate::ptw::{PageTableWalker, PtwConfig};
 use crate::tlb::{Tlb, TlbConfig};
 use gemmini_mem::addr::{PhysAddr, VirtAddr};
+use gemmini_mem::metrics::{Counter, HistKind, Metrics};
 use gemmini_mem::stats::WindowedRate;
 use gemmini_mem::trace::{Component, StallCause, Tracer};
 use gemmini_mem::{Cycle, MemorySystem};
@@ -180,6 +181,7 @@ pub struct TranslationSystem {
     filter_hits: u64,
     walks_taken: u64,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl TranslationSystem {
@@ -197,6 +199,7 @@ impl TranslationSystem {
             filter_hits: 0,
             walks_taken: 0,
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
             config,
         }
     }
@@ -205,6 +208,12 @@ impl TranslationSystem {
     /// into it. Disabled by default (a single branch per walk).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a live-metrics handle; translations count TLB hits and
+    /// misses and walks record their latency. Disabled by default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The configuration this system was built with.
@@ -255,6 +264,7 @@ impl TranslationSystem {
             };
             if let Some(frame) = reg.lookup(vpn) {
                 self.filter_hits += 1;
+                self.metrics.inc(Counter::TlbHits);
                 self.window.record(now, true);
                 return Ok(Translation {
                     paddr: frame.base().add(va.offset_in_page()),
@@ -266,6 +276,7 @@ impl TranslationSystem {
 
         // 2. Private TLB.
         if let Some(frame) = self.private.lookup(vpn) {
+            self.metrics.inc(Counter::TlbHits);
             self.window.record(now, true);
             self.update_filter(access, vpn, frame);
             return Ok(Translation {
@@ -280,6 +291,7 @@ impl TranslationSystem {
         // 3. Shared L2 TLB (if present).
         if self.config.shared.entries > 0 {
             if let Some(frame) = self.shared.lookup(vpn) {
+                self.metrics.inc(Counter::TlbHits);
                 latency += self.config.shared.hit_latency;
                 self.private.insert(vpn, frame);
                 self.update_filter(access, vpn, frame);
@@ -294,6 +306,7 @@ impl TranslationSystem {
 
         // 4. Full walk.
         self.walks_taken += 1;
+        self.metrics.inc(Counter::TlbMisses);
         let outcome = self.ptw.walk(space, mem, now + latency, vpn);
         self.tracer.span(
             Component::Ptw,
@@ -301,6 +314,10 @@ impl TranslationSystem {
             now + latency,
             outcome.done,
             StallCause::TlbMiss,
+        );
+        self.metrics.observe(
+            HistKind::PtwWalkCycles,
+            outcome.done.saturating_sub(now + latency),
         );
         let total_latency = outcome.done.saturating_sub(now);
         if !outcome.mapped {
