@@ -15,6 +15,14 @@
 //! simulate). `--trace <path>` re-runs one representative shape per
 //! dataflow with a buffered tracer (WS on pid lane 0, OS on lane 1) and
 //! exports the combined Chrome `trace_event` JSON.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::{section, sharded_sweep_map, trace_path};
 use gemmini_soc::checkpoint::debug_fingerprint;

@@ -9,6 +9,14 @@
 //! (no axis-insensitivity rule covers a network sweep). `--trace <path>`
 //! exports a Chrome `trace_event` JSON of the ResNet-style workload on
 //! the edge configuration.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::{
     export_trace_run, quick_mode, quick_resnet, resnet_workload, section, sharded_sweep, trace_path,

@@ -18,6 +18,14 @@
 //! accelerator variants, for which no axis-insensitivity rule exists, so
 //! every point always runs. `tests/golden_figures.rs` guards the
 //! quick-mode numbers.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::figures::{fig7_points, FIG7_VARIANTS};
 use gemmini_bench::{

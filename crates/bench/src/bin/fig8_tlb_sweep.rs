@@ -24,6 +24,14 @@
 //! whose `shared=0` basis is provably insensitive to the axis are skipped
 //! and their reports predicted from the basis, with the evidence recorded
 //! in the checkpoint.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::figures::{
     fig8_grid, fig8_points, fig8_prune_policy, FIG8_PRIVATES, FIG8_SHAREDS,

@@ -17,6 +17,14 @@
 //! whole point of this figure is that repartitioning moves DRAM and L2
 //! behaviour, the rule should (correctly) refuse to prune anything — the
 //! flag here demonstrates the soundness gate, not a speedup.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::{export_trace_run, resnet_workload, section, sharded_sweep_with, trace_path};
 use gemmini_dnn::graph::LayerClass;

@@ -7,6 +7,14 @@
 //! The shard end-to-end tests (`tests/shard_e2e.rs`) and anyone smoke
 //! testing the supervisor by hand use this: a full 2-shard supervised
 //! run with a crash and retry finishes in well under a second.
+//!
+//! Robustness flags (shared by every sweep binary): `--watchdog <secs>`
+//! has the `--shards` supervisor kill and retry a worker whose heartbeat
+//! stops advancing; `--point-timeout <secs>` records a wedged point as a
+//! first-class `failed:timeout` checkpoint entry and finishes the sweep
+//! with a failure summary and exit 3 instead of hanging; `--faults
+//! <schedule>` arms the deterministic fault-injection registry
+//! ([`gemmini_soc::fault`]) for chaos testing.
 
 use gemmini_bench::{section, sharded_sweep_map};
 use gemmini_soc::checkpoint::debug_fingerprint;

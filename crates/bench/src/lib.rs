@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use gemmini_core::metrics::Metrics;
 use gemmini_core::trace::{export_chrome_trace, Tracer};
@@ -19,7 +20,8 @@ use gemmini_soc::prune::{summarize, Attributed, PrunePolicy};
 use gemmini_soc::run::{
     run_networks, run_networks_metered, run_networks_traced, RunOptions, SocReport,
 };
-use gemmini_soc::shard::{run_sharded, ShardCli, ShardSpec};
+use gemmini_soc::shard::{run_sharded, ShardCli, ShardError, ShardSpec};
+use gemmini_soc::sweep::EXIT_RECORDED_FAILURES;
 use gemmini_soc::SocConfig;
 
 pub mod figures;
@@ -118,6 +120,45 @@ pub fn metrics_path() -> Option<PathBuf> {
     arg_value("--metrics").map(PathBuf::from)
 }
 
+/// Parses a `--flag <secs>` duration argument (fractional seconds
+/// allowed). Exits with status `2` on a non-positive or unparseable
+/// value — a mistyped budget must not silently disable the feature.
+fn duration_flag(flag: &str) -> Option<Duration> {
+    let v = arg_value(flag)?;
+    match v.trim().parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+        _ => {
+            eprintln!("error: {flag} requires a positive number of seconds (got '{v}')");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `--point-timeout <secs>` argument: per-point wall-clock budget.
+/// A point exceeding it is recorded as a first-class `failed:timeout`
+/// checkpoint entry and the sweep finishes with a failure summary and a
+/// non-zero exit (see [`gemmini_soc::sweep::SweepOptions`]).
+pub fn point_timeout_flag() -> Option<Duration> {
+    duration_flag("--point-timeout")
+}
+
+/// The `--watchdog <secs>` argument: the `--shards` supervisor kills and
+/// retries any worker whose heartbeat `done` count does not advance for
+/// this long (see [`gemmini_soc::shard::SupervisorOptions`]).
+pub fn watchdog_flag() -> Option<Duration> {
+    duration_flag("--watchdog")
+}
+
+/// The status base the watchdog falls back to when `--watchdog` is given
+/// without `--status`: `sweep.jsonl` → `sweep.status.json` next to the
+/// checkpoint. Workers and the supervisor both derive this from the
+/// forwarded `--json`/`--watchdog` flags, so they agree on where the
+/// heartbeats live without any extra plumbing.
+fn derived_status_path(json: &Path) -> PathBuf {
+    let stem = json.file_stem().and_then(|s| s.to_str()).unwrap_or("sweep");
+    json.with_file_name(format!("{stem}.status.json"))
+}
+
 /// The process-wide live-metrics handle: one shared registry, enabled
 /// iff `--status` or `--metrics` was passed; otherwise the disabled
 /// (free) handle. Shared so the sweep executor's point counters and
@@ -184,13 +225,40 @@ pub fn sweep_cli_options_with(policy: Option<PrunePolicy>) -> SweepOptions {
     } else {
         None
     };
+    if let Some(schedule) = arg_value("--faults") {
+        // Set the schedule in our environment so shard worker children
+        // inherit it, and arm eagerly so a typo'd schedule is reported
+        // before the sweep starts rather than silently ignored mid-run.
+        std::env::set_var(gemmini_soc::fault::FAULTS_ENV, &schedule);
+        gemmini_soc::fault::arm();
+    }
+    let watchdog = watchdog_flag();
+    let mut status = status_path();
+    if watchdog.is_some() && status.is_none() {
+        // The watchdog reads worker heartbeats; without --status it
+        // derives a status base from the checkpoint path. Workers derive
+        // the same base from their forwarded flags, so supervisor and
+        // children agree without extra plumbing.
+        status = checkpoint.as_deref().map(derived_status_path);
+        match &status {
+            Some(path) => eprintln!(
+                "watchdog: no --status given; deriving heartbeat base {}",
+                path.display()
+            ),
+            None => eprintln!(
+                "warning: --watchdog without --json or --status has no heartbeats to watch"
+            ),
+        }
+    }
     SweepOptions {
         checkpoint,
         resume,
         prune,
         metrics: cli_metrics(),
-        status: status_path(),
+        status,
         prometheus: metrics_path(),
+        point_timeout: point_timeout_flag(),
+        watchdog,
         ..SweepOptions::default()
     }
 }
@@ -249,10 +317,13 @@ pub fn shard_child_command(spec: ShardSpec) -> Command {
 /// render, and `main` should simply return. In every other mode the
 /// full-grid results come back in submission order.
 ///
-/// Exits the process with status `2` on a malformed sharding CLI and `1`
+/// Exits the process with status `2` on a malformed sharding CLI, `1`
 /// on an execution error (supervisor exhaustion, incomplete merge, or
 /// failed shard points — the non-zero exit is what tells a supervisor to
-/// retry this worker).
+/// retry this worker), and [`EXIT_RECORDED_FAILURES`] when the grid
+/// finished but carries recorded point failures (e.g. `--point-timeout`
+/// entries): the checkpoint is complete, a terminal failure summary is
+/// printed, and retrying would not improve the result.
 pub fn sharded_sweep_map<I, T, F>(items: Vec<(String, u64, I)>, f: F) -> Option<Vec<SweepResult<T>>>
 where
     I: Send,
@@ -297,11 +368,44 @@ where
                     s.ran
                 );
             }
+            // The grid may carry recorded failures (e.g. point timeouts
+            // served from a checkpoint on resume, or stitched in by a
+            // merge): the sweep *finished* — every point is on the books
+            // — but the figure cannot be rendered from an incomplete
+            // grid. Print the terminal failure summary and exit with the
+            // recorded-failures status instead of handing `Err` outcomes
+            // to a renderer that expects successes.
+            if let Some(results) = &results {
+                let recorded: Vec<&SweepResult<T>> =
+                    results.iter().filter(|r| r.outcome.is_err()).collect();
+                if !recorded.is_empty() {
+                    eprintln!(
+                        "sweep: finished with {} recorded point failure(s):",
+                        recorded.len()
+                    );
+                    for r in &recorded {
+                        if let Err(e) = &r.outcome {
+                            eprintln!("  {}: {e}", r.label);
+                        }
+                    }
+                    eprintln!(
+                        "sweep: grid is fully accounted for but incomplete; \
+                         exiting {EXIT_RECORDED_FAILURES}"
+                    );
+                    std::process::exit(EXIT_RECORDED_FAILURES);
+                }
+            }
             results
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            let code = match &e {
+                // A complete slice with recorded failures is terminal:
+                // the supervisor must accept it rather than retry it.
+                ShardError::RecordedFailures { .. } => EXIT_RECORDED_FAILURES,
+                _ => 1,
+            };
+            std::process::exit(code);
         }
     }
 }

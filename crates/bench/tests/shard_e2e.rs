@@ -4,14 +4,15 @@
 //! shard-then-merge flows, and resume progress accounting.
 //!
 //! The load-bearing property throughout: every multi-process path —
-//! supervised, crashed-and-retried, manually sharded and merged — must
-//! produce results bit-identical to the single-process sweep.
+//! supervised, crashed-and-retried, hung-and-watchdog-killed, manually
+//! sharded and merged, or fault-injected mid-checkpoint — must produce
+//! results bit-identical to the single-process sweep.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 use gemmini_mem::json::ToJson;
-use gemmini_soc::checkpoint::Checkpoint;
+use gemmini_soc::checkpoint::{debug_fingerprint, Checkpoint};
 use gemmini_soc::run::SocReport;
 use gemmini_soc::sweep::merge_memory_stats;
 
@@ -274,6 +275,197 @@ fn fig8_supervised_shards_bit_identical_to_single_process() {
         stdout(&golden),
         stdout(&supervised),
         "fig8 tables must be bit-identical between single-process and sharded runs"
+    );
+    assert_checkpoints_equal_modulo_wall(&single, &sharded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hung-shard watchdog end to end: shard 0 wedges forever after
+/// persisting two points (`GEMMINI_TEST_HANG_AFTER`, scoped to one shard
+/// exactly like the crash hook). The supervisor's `--watchdog` budget
+/// must notice the frozen heartbeat `done` count, kill the worker, and
+/// retry it; the retry resumes from the shard checkpoint (cached points
+/// disarm the hang hook) and the merged output matches the
+/// single-process golden bit for bit.
+#[test]
+fn supervised_watchdog_kills_hung_shard_and_recovers() {
+    let dir = scratch_dir("smoke_watchdog");
+    let single = dir.join("single.jsonl");
+    let sharded = dir.join("sharded.jsonl");
+
+    let golden = run(SMOKE, &["--json", single.to_str().unwrap()], &[]);
+    assert!(golden.status.success());
+
+    let supervised = run(
+        SMOKE,
+        &[
+            "--json",
+            sharded.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--watchdog",
+            "1",
+        ],
+        &[
+            ("GEMMINI_TEST_HANG_AFTER", "2"),
+            ("GEMMINI_TEST_CRASH_SHARD", "0"),
+        ],
+    );
+    let err = stderr(&supervised);
+    assert!(
+        supervised.status.success(),
+        "supervisor recovers from the hang: {err}"
+    );
+    assert!(err.contains("hook: hanging in"), "{err}");
+    assert!(err.contains("hung (no heartbeat progress"), "{err}");
+    assert!(err.contains("killed by watchdog"), "{err}");
+    assert!(err.contains("recovered on attempt 2"), "{err}");
+
+    assert_eq!(
+        stdout(&golden),
+        stdout(&supervised),
+        "rendered tables must be identical"
+    );
+    let ca = Checkpoint::<u64>::load(&single).unwrap();
+    let cb = Checkpoint::<u64>::load(&sharded).unwrap();
+    assert_eq!(ca.len(), 8);
+    assert_eq!(cb.len(), 8);
+    for (ea, eb) in ca.entries().iter().zip(cb.entries()) {
+        assert_eq!(
+            (&ea.label, ea.fingerprint, ea.payload),
+            (&eb.label, eb.fingerprint, eb.payload)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--point-timeout` end to end: a fresh run wedges in its third point,
+/// the timeout monitor records a first-class `failed:timeout` entry and
+/// exits 1 (the grid is incomplete — retryable); the resume *serves* the
+/// recorded failure instead of re-running the hang, finishes every other
+/// point, prints the terminal failure summary, and exits 3.
+#[test]
+fn point_timeout_records_failure_and_resume_serves_it() {
+    let dir = scratch_dir("smoke_timeout");
+    let ckpt = dir.join("sweep.jsonl");
+
+    let wedged = run(
+        SMOKE,
+        &["--json", ckpt.to_str().unwrap(), "--point-timeout", "1"],
+        &[("GEMMINI_TEST_HANG_AFTER", "2")],
+    );
+    let err = stderr(&wedged);
+    assert_eq!(
+        wedged.status.code(),
+        Some(1),
+        "an incomplete grid is retryable: {err}"
+    );
+    assert!(err.contains("exceeded --point-timeout"), "{err}");
+    assert!(err.contains("recording failed:timeout"), "{err}");
+    let ck = Checkpoint::<u64>::load(&ckpt).unwrap();
+    assert_eq!(ck.len(), 2, "two points persisted before the hang");
+    let failed = ck
+        .lookup_failed("point2", debug_fingerprint(&2u64))
+        .expect("the timeout must be on the books");
+    assert_eq!(failed.reason, "timeout");
+
+    // No hang hook this time: the recorded failure alone must keep the
+    // point from being re-attempted.
+    let resumed = run(
+        SMOKE,
+        &[
+            "--json",
+            ckpt.to_str().unwrap(),
+            "--point-timeout",
+            "1",
+            "--resume",
+        ],
+        &[],
+    );
+    let err = stderr(&resumed);
+    assert_eq!(
+        resumed.status.code(),
+        Some(3),
+        "a complete grid with recorded failures is terminal: {err}"
+    );
+    assert!(
+        err.contains("sweep: finished with 1 recorded point failure(s):"),
+        "{err}"
+    );
+    assert!(err.contains("point2: recorded failure: timeout"), "{err}");
+    assert!(err.contains("exiting 3"), "{err}");
+    let ck = Checkpoint::<u64>::load(&ckpt).unwrap();
+    assert_eq!(ck.len(), 7, "every point but the timed-out one completed");
+    assert!(
+        ck.lookup("point2", debug_fingerprint(&2u64)).is_none(),
+        "the hung point must not be re-run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chaos acceptance run: a supervised 2-shard quick fig8 sweep with
+/// one injected hang (shard 1, killed and retried by the watchdog) *and*
+/// one injected checkpoint corruption (shard 0's fifth append torn
+/// mid-line by the fault registry). The torn line is caught by the
+/// worker's post-flight verification, quarantined to the `.bad` sidecar
+/// on retry, and exactly that point is re-run — the merged report must
+/// come out bit-identical to the clean single-process golden.
+#[test]
+fn fig8_chaos_hang_and_corruption_heal_bit_identical() {
+    let dir = scratch_dir("fig8_chaos");
+    let single = dir.join("single.jsonl");
+    let sharded = dir.join("sharded.jsonl");
+
+    let golden = run(FIG8, &["--quick", "--json", single.to_str().unwrap()], &[]);
+    assert!(golden.status.success(), "{}", stderr(&golden));
+
+    let supervised = run(
+        FIG8,
+        &[
+            "--quick",
+            "--json",
+            sharded.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--watchdog",
+            "2",
+            "--faults",
+            "checkpoint.corrupt=corrupt@5",
+        ],
+        &[
+            ("GEMMINI_TEST_HANG_AFTER", "3"),
+            ("GEMMINI_TEST_CRASH_SHARD", "1"),
+            ("GEMMINI_FAULTS_SHARD", "0"),
+        ],
+    );
+    let err = stderr(&supervised);
+    assert!(
+        supervised.status.success(),
+        "supervisor heals both injected faults: {err}"
+    );
+    assert!(err.contains("hook: hanging in"), "{err}");
+    assert!(err.contains("hung (no heartbeat progress"), "{err}");
+    assert!(
+        err.contains("quarantined 1 damaged line(s)"),
+        "the torn line must be quarantined exactly once: {err}"
+    );
+
+    // The sidecar holds exactly the one torn line.
+    let sidecar = dir.join("sharded.shard0of2.jsonl.bad");
+    let bad = std::fs::read_to_string(&sidecar).expect("quarantine sidecar exists");
+    assert_eq!(
+        bad.lines().count(),
+        1,
+        "exactly one line quarantined: {bad}"
+    );
+
+    assert_eq!(
+        stdout(&golden),
+        stdout(&supervised),
+        "fig8 tables must be bit-identical despite the injected faults"
     );
     assert_checkpoints_equal_modulo_wall(&single, &sharded);
 

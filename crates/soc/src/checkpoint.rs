@@ -15,19 +15,31 @@
 //! the shard inputs for multi-host sweeps: merging N shards is "load N
 //! checkpoint files, fold reports through `merge_memory_stats`".
 //!
-//! File format (version 1), one object per line:
+//! File format (version 2), one object per line:
 //!
 //! ```json
-//! {"v":1,"label":"private=4 shared=0","fingerprint":1234,"wall_nanos":512000,"payload":{...}}
+//! {"v":2,"label":"private=4 shared=0","fingerprint":1234,"wall_nanos":512000,"payload":{...},"crc32":987654}
 //! ```
+//!
+//! The trailing `crc32` field is an IEEE CRC-32 of the line's own text
+//! with the crc field removed (everything up to the `,"crc32":` suffix,
+//! re-closed with `}`), so any byte-level damage — a torn write, a bad
+//! sector, a flipped digit that would otherwise still parse — is
+//! detected on load. Version-1 lines (no crc) still decode, so files
+//! written before the bump resume unchanged; a damaged line is
+//! *quarantined* by [`Checkpoint::load_quarantining`] into a `.bad`
+//! sidecar next to the file instead of aborting the resume, and the
+//! point it named simply re-runs.
 //!
 //! A point skipped by attribution-guided pruning ([`crate::prune`])
 //! persists the same shape plus a `"pruned"` object naming its evidence
 //! (basis label + fingerprint, the swept axis, the basis's dominant
 //! bucket and movable-cycle fraction, and the tolerance); its payload is
 //! the basis's payload served as a prediction and its `wall_nanos` is 0.
-//! The field is optional, so version-1 files from before pruning decode
-//! unchanged.
+//! A point that timed out under `--point-timeout` persists as a
+//! [`FailedEntry`]: the same envelope with a `"failed"` reason string
+//! and no payload — a first-class record that the point was attempted
+//! and must not wedge the sweep again on resume.
 //!
 //! [`SweepResult`]: crate::sweep::SweepResult
 
@@ -42,11 +54,71 @@ use gemmini_mem::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::prune::PruneEvidence;
 
-/// Current checkpoint line format version.
-pub const FORMAT_VERSION: u64 = 1;
+/// Current checkpoint line format version. Version 2 added the trailing
+/// per-line `crc32` field and the payload-less failed-entry shape;
+/// version-1 lines (no crc) still decode.
+pub const FORMAT_VERSION: u64 = 2;
 
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// IEEE CRC-32 lookup table (polynomial `0xEDB88320`, reflected),
+/// generated at compile time — no dependency, no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/zip polynomial) over a byte string — the
+/// per-line integrity check behind checkpoint self-healing. Unlike the
+/// FNV fingerprint (which hashes a design point's *configuration*), this
+/// guards the persisted *bytes*: any single-bit flip in a line changes
+/// the CRC.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Closes `body` (a serialized JSON object) with its own CRC appended as
+/// the trailing `crc32` field — the inverse of [`strip_crc`].
+fn seal_with_crc(body: String) -> String {
+    let crc = crc32(body.as_bytes());
+    let mut line = body;
+    line.pop(); // the closing '}'
+    line.push_str(&format!(",\"crc32\":{crc}}}"));
+    line
+}
+
+/// Recovers the CRC-less body of a sealed line and the recorded CRC.
+/// Returns `None` when the line does not end in a `crc32` field.
+fn strip_crc(line: &str) -> Option<(String, u32)> {
+    const MARKER: &str = ",\"crc32\":";
+    let pos = line.rfind(MARKER)?;
+    let tail = &line[pos + MARKER.len()..];
+    let digits = tail.strip_suffix('}')?;
+    let recorded = digits.trim().parse::<u32>().ok()?;
+    let mut body = line[..pos].to_string();
+    body.push('}');
+    Some((body, recorded))
+}
 
 /// FNV-1a over a byte string: a small, stable, dependency-free hash for
 /// design-point fingerprints (not cryptographic; collision odds over a
@@ -107,8 +179,129 @@ pub struct CheckpointEntry<T> {
     pub pruned: Option<PruneEvidence>,
 }
 
-impl<T: ToJson> CheckpointEntry<T> {
+/// A point that was *attempted* and failed in a way that must not be
+/// silently retried forever — today only `--point-timeout` expirations,
+/// persisted with reason `"timeout"`. A failed entry is first-class: it
+/// satisfies resume (the point is served as a recorded failure instead
+/// of wedging the sweep again) and shard-merge coverage (the grid is
+/// complete, just not fully successful). Deleting the line — or running
+/// without `--resume` — re-runs the point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedEntry {
+    /// The design point's label.
+    pub label: String,
+    /// Fingerprint of the point's full configuration.
+    pub fingerprint: u64,
+    /// Wall-clock spent before the failure was recorded.
+    pub wall: Duration,
+    /// Why the point failed (`"timeout"`).
+    pub reason: String,
+}
+
+impl FailedEntry {
     /// Encodes the entry as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        seal_with_crc(
+            Json::obj([
+                ("v", Json::from(FORMAT_VERSION)),
+                ("label", Json::from(self.label.clone())),
+                ("fingerprint", Json::from(self.fingerprint)),
+                ("wall_nanos", Json::from(self.wall.as_nanos() as u64)),
+                ("failed", Json::from(self.reason.clone())),
+            ])
+            .encode(),
+        )
+    }
+}
+
+/// One decoded checkpoint line: a completed (or pruned-predicted) point,
+/// or a recorded failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line<T> {
+    /// A point with a persisted payload.
+    Completed(CheckpointEntry<T>),
+    /// A recorded failure (no payload).
+    Failed(FailedEntry),
+}
+
+impl<T> Line<T> {
+    /// The entry's label, whichever kind it is.
+    pub fn label(&self) -> &str {
+        match self {
+            Self::Completed(e) => &e.label,
+            Self::Failed(e) => &e.label,
+        }
+    }
+
+    /// Encodes the line back to its JSON text.
+    pub fn encode(&self) -> String
+    where
+        T: ToJson,
+    {
+        match self {
+            Self::Completed(e) => e.encode(),
+            Self::Failed(e) => e.encode(),
+        }
+    }
+}
+
+/// Decodes one checkpoint line of either kind, verifying the CRC on
+/// version-2 lines (version-1 lines have none and are accepted as-is).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON, an unknown format version,
+/// a CRC mismatch (byte-level damage), or a payload that no longer
+/// matches `T`'s schema.
+pub fn decode_line<T: FromJson>(line: &str) -> Result<Line<T>, JsonError> {
+    let line = line.trim();
+    let value = Json::parse(line)?;
+    let version = value.field("v")?.as_u64()?;
+    match version {
+        1 => {}
+        2 => {
+            let recorded_field = value.field("crc32")?.as_u64()?;
+            let (body, recorded) = strip_crc(line)
+                .ok_or_else(|| JsonError::new("version-2 line does not end in a crc32 field"))?;
+            let computed = crc32(body.as_bytes());
+            if u64::from(recorded) != recorded_field || recorded != computed {
+                return Err(JsonError::new(format!(
+                    "crc mismatch: line records {recorded}, bytes hash to {computed}"
+                )));
+            }
+        }
+        _ => {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint version {version} (expected 1..={FORMAT_VERSION})"
+            )));
+        }
+    }
+    let label = value.field("label")?.as_str()?.to_string();
+    let fingerprint = value.field("fingerprint")?.as_u64()?;
+    let wall = Duration::from_nanos(value.field("wall_nanos")?.as_u64()?);
+    if let Some(reason) = value.get("failed") {
+        return Ok(Line::Failed(FailedEntry {
+            label,
+            fingerprint,
+            wall,
+            reason: reason.as_str()?.to_string(),
+        }));
+    }
+    Ok(Line::Completed(CheckpointEntry {
+        label,
+        fingerprint,
+        wall,
+        payload: T::from_json(value.field("payload")?)?,
+        pruned: value
+            .get("pruned")
+            .map(PruneEvidence::from_json)
+            .transpose()?,
+    }))
+}
+
+impl<T: ToJson> CheckpointEntry<T> {
+    /// Encodes the entry as one JSON line (no trailing newline), sealed
+    /// with its CRC as the trailing field.
     pub fn encode(&self) -> String {
         let mut fields = vec![
             ("v", Json::from(FORMAT_VERSION)),
@@ -120,35 +313,27 @@ impl<T: ToJson> CheckpointEntry<T> {
         if let Some(evidence) = &self.pruned {
             fields.push(("pruned", evidence.to_json()));
         }
-        Json::obj(fields).encode()
+        seal_with_crc(Json::obj(fields).encode())
     }
 }
 
 impl<T: FromJson> CheckpointEntry<T> {
-    /// Decodes one checkpoint line.
+    /// Decodes one *completed* checkpoint line (see [`decode_line`] for
+    /// the kind-aware decoder).
     ///
     /// # Errors
     ///
     /// Returns a [`JsonError`] on malformed JSON, an unknown format
-    /// version, or a payload that no longer matches `T`'s schema.
+    /// version, a CRC mismatch, a failed-entry line, or a payload that
+    /// no longer matches `T`'s schema.
     pub fn decode(line: &str) -> Result<Self, JsonError> {
-        let value = Json::parse(line)?;
-        let version = value.field("v")?.as_u64()?;
-        if version != FORMAT_VERSION {
-            return Err(JsonError::new(format!(
-                "unsupported checkpoint version {version} (expected {FORMAT_VERSION})"
-            )));
+        match decode_line(line)? {
+            Line::Completed(entry) => Ok(entry),
+            Line::Failed(e) => Err(JsonError::new(format!(
+                "line records a failure ({}) and has no payload",
+                e.reason
+            ))),
         }
-        Ok(Self {
-            label: value.field("label")?.as_str()?.to_string(),
-            fingerprint: value.field("fingerprint")?.as_u64()?,
-            wall: Duration::from_nanos(value.field("wall_nanos")?.as_u64()?),
-            payload: T::from_json(value.field("payload")?)?,
-            pruned: value
-                .get("pruned")
-                .map(PruneEvidence::from_json)
-                .transpose()?,
-        })
     }
 }
 
@@ -156,8 +341,10 @@ impl<T: FromJson> CheckpointEntry<T> {
 #[derive(Debug, Clone)]
 pub struct Checkpoint<T> {
     entries: Vec<CheckpointEntry<T>>,
+    failed: Vec<FailedEntry>,
     /// Lines that failed to decode (truncated in-flight write at kill
-    /// time, or a schema change); the points they named simply re-run.
+    /// time, byte-level damage caught by the CRC, or a schema change);
+    /// the points they named simply re-run.
     pub stale_lines: usize,
 }
 
@@ -165,9 +352,20 @@ impl<T> Default for Checkpoint<T> {
     fn default() -> Self {
         Self {
             entries: Vec::new(),
+            failed: Vec::new(),
             stale_lines: 0,
         }
     }
+}
+
+/// What [`Checkpoint::load_quarantining`] removed from a damaged file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Number of undecodable lines moved to the sidecar.
+    pub lines: usize,
+    /// The `.bad` sidecar the damaged lines were appended to; `None`
+    /// when the file was clean.
+    pub sidecar: Option<PathBuf>,
 }
 
 impl<T: FromJson> Checkpoint<T> {
@@ -182,26 +380,121 @@ impl<T: FromJson> Checkpoint<T> {
     /// Returns the underlying I/O error for anything other than a
     /// missing file.
     pub fn load(path: &Path) -> io::Result<Self> {
-        let text = match std::fs::read_to_string(path) {
+        let text = match read_lossy(path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
-        let mut checkpoint = Self {
-            entries: Vec::new(),
-            stale_lines: 0,
-        };
+        let mut checkpoint = Self::default();
         for line in text.lines() {
             if line.trim().is_empty() {
                 continue;
             }
-            match CheckpointEntry::decode(line) {
-                Ok(entry) => checkpoint.entries.push(entry),
+            match decode_line(line) {
+                Ok(Line::Completed(entry)) => checkpoint.entries.push(entry),
+                Ok(Line::Failed(entry)) => checkpoint.failed.push(entry),
                 Err(_) => checkpoint.stale_lines += 1,
             }
         }
         Ok(checkpoint)
     }
+
+    /// Loads a checkpoint file, *quarantining* undecodable lines instead
+    /// of merely skipping them: every damaged line is appended to a
+    /// `<file>.bad` sidecar next to the checkpoint and the checkpoint is
+    /// atomically rewritten without them, so a damaged line is reported
+    /// exactly once across resume cycles and the file converges back to
+    /// fully valid. The returned checkpoint has `stale_lines == 0`; the
+    /// damage is reported through [`Quarantine`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error from reading the file, writing
+    /// the sidecar, or rewriting the checkpoint.
+    pub fn load_quarantining(path: &Path) -> io::Result<(Self, Quarantine)> {
+        let text = match read_lossy(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((Self::default(), Quarantine::default()))
+            }
+            Err(e) => return Err(e),
+        };
+        let mut checkpoint = Self::default();
+        let mut good: Vec<&str> = Vec::new();
+        let mut bad: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match decode_line(line) {
+                Ok(Line::Completed(entry)) => {
+                    checkpoint.entries.push(entry);
+                    good.push(line);
+                }
+                Ok(Line::Failed(entry)) => {
+                    checkpoint.failed.push(entry);
+                    good.push(line);
+                }
+                Err(_) => bad.push(line),
+            }
+        }
+        if bad.is_empty() {
+            return Ok((checkpoint, Quarantine::default()));
+        }
+
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("checkpoint.jsonl");
+        let sidecar = path.with_file_name(format!("{file_name}.bad"));
+        {
+            let mut out = BufWriter::new(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&sidecar)?,
+            );
+            for line in &bad {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+        }
+        // Rewrite the checkpoint without the damaged lines (temp file +
+        // atomic rename, same discipline as `compact`), so the next load
+        // does not quarantine them again.
+        let tmp: PathBuf =
+            path.with_file_name(format!(".{file_name}.quarantine-{}", std::process::id()));
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            for line in &good {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        eprintln!(
+            "checkpoint: quarantined {} damaged line(s) from {} to {}",
+            bad.len(),
+            path.display(),
+            sidecar.display()
+        );
+        Ok((
+            checkpoint,
+            Quarantine {
+                lines: bad.len(),
+                sidecar: Some(sidecar),
+            },
+        ))
+    }
+}
+
+/// Reads a checkpoint file as text, substituting U+FFFD for any invalid
+/// UTF-8 byte sequence. Byte-level corruption must surface as
+/// undecodable *lines* (skippable or quarantinable) rather than an I/O
+/// error that aborts the whole load — a CRC-sealed line never contains a
+/// replacement character, so intact lines are unaffected.
+fn read_lossy(path: &Path) -> io::Result<String> {
+    std::fs::read(path).map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
 }
 
 impl<T> Checkpoint<T> {
@@ -241,12 +534,44 @@ impl<T> Checkpoint<T> {
         &self.entries
     }
 
+    /// The recorded failure for `label`, if present with a matching
+    /// fingerprint (later entries shadow earlier ones).
+    pub fn lookup_failed(&self, label: &str, fingerprint: u64) -> Option<&FailedEntry> {
+        self.failed
+            .iter()
+            .rev()
+            .find(|e| e.label == label)
+            .filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Removes and returns the failure
+    /// [`lookup_failed`](Self::lookup_failed) would have found.
+    ///
+    /// A point that both failed *and* later completed (a successful
+    /// retry appended after a recorded timeout) is served from
+    /// [`take`](Self::take) — callers must try that first, which is why
+    /// this lookup ignores the completed entries.
+    pub fn take_failed(&mut self, label: &str, fingerprint: u64) -> Option<FailedEntry> {
+        let idx = self.failed.iter().rposition(|e| e.label == label)?;
+        if self.failed[idx].fingerprint == fingerprint {
+            Some(self.failed.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// All recorded failures, in file order.
+    pub fn failed(&self) -> &[FailedEntry] {
+        &self.failed
+    }
+
     /// Appends another checkpoint's entries after this one's — the
     /// multi-shard combine: the result behaves as if `other`'s file had
     /// been concatenated onto ours, so on label conflicts the absorbed
     /// entries win (they are later).
     pub fn absorb(&mut self, other: Checkpoint<T>) {
         self.entries.extend(other.entries);
+        self.failed.extend(other.failed);
         self.stale_lines += other.stale_lines;
     }
 }
@@ -254,17 +579,24 @@ impl<T> Checkpoint<T> {
 /// Outcome of a [`compact`] pass over a checkpoint file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Compaction {
-    /// Lines kept: the last occurrence of every label.
+    /// Lines kept: the last occurrence of every label, plus any
+    /// undecodable lines left for the quarantining loader.
     pub kept: usize,
-    /// Lines reclaimed: shadowed re-runs and undecodable fragments.
+    /// Lines reclaimed: shadowed re-runs.
     pub dropped: usize,
 }
 
 /// Rewrites a checkpoint file keeping only the last line per label,
-/// dropping shadowed re-run entries and undecodable fragments. Repeated
-/// resume cycles append re-run entries over stale ones, so without this
-/// the file grows without bound; the sweep executor compacts on every
-/// successful resumed completion.
+/// dropping shadowed re-run entries. Repeated resume cycles append
+/// re-run entries over stale ones, so without this the file grows
+/// without bound; the sweep executor compacts on every successful
+/// resumed completion.
+///
+/// Lines with no parseable `label` — torn or corrupted fragments — are
+/// *kept*, not reclaimed: damage must surface exactly once through
+/// [`Checkpoint::load_quarantining`] (message, `.bad` sidecar, and a
+/// re-run of the lost point), never be silently swallowed by a
+/// maintenance pass.
 ///
 /// Works at the JSON-line level (only the `label` field is inspected, so
 /// the payload schema is irrelevant), writes survivors to a temporary
@@ -278,7 +610,7 @@ pub struct Compaction {
 /// Returns the underlying I/O error from reading, writing the temporary
 /// file, or the rename.
 pub fn compact(path: &Path) -> io::Result<Compaction> {
-    let text = match std::fs::read_to_string(path) {
+    let text = match read_lossy(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Compaction::default()),
         Err(e) => return Err(e),
@@ -286,17 +618,22 @@ pub fn compact(path: &Path) -> io::Result<Compaction> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let mut last_for_label: std::collections::HashMap<String, usize> =
         std::collections::HashMap::new();
+    let mut unlabeled: Vec<usize> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         let label = Json::parse(line).ok().and_then(|v| {
             v.field("label")
                 .ok()
                 .and_then(|l| l.as_str().ok().map(String::from))
         });
-        if let Some(label) = label {
-            last_for_label.insert(label, idx);
+        match label {
+            Some(label) => {
+                last_for_label.insert(label, idx);
+            }
+            None => unlabeled.push(idx),
         }
     }
-    let keep: std::collections::HashSet<usize> = last_for_label.into_values().collect();
+    let mut keep: std::collections::HashSet<usize> = last_for_label.into_values().collect();
+    keep.extend(unlabeled);
     let kept = keep.len();
     let dropped = lines.len() - kept;
     if dropped == 0 {
@@ -379,8 +716,31 @@ impl CheckpointWriter {
     /// file lock (the sweep executor catches per-point panics before
     /// they can reach the writer, so this is unreachable in practice).
     pub fn append<T: ToJson>(&self, entry: &CheckpointEntry<T>) -> io::Result<()> {
+        self.append_line(entry.encode())
+    }
+
+    /// Appends one recorded failure as a flushed JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append_failed(&self, entry: &FailedEntry) -> io::Result<()> {
+        self.append_line(entry.encode())
+    }
+
+    /// The shared append path, carrying the two checkpoint failpoints:
+    /// `checkpoint.flush` (fail the write with an injected I/O error)
+    /// and `checkpoint.corrupt` (truncate the encoded line to two thirds
+    /// before writing — a torn write the CRC must catch on load).
+    fn append_line(&self, mut line: String) -> io::Result<()> {
+        if let Some(e) = crate::fault::fail_io("checkpoint.flush") {
+            return Err(e);
+        }
+        if crate::fault::fire("checkpoint.corrupt") == Some(crate::fault::FaultAction::Corrupt) {
+            line.truncate(line.len() * 2 / 3);
+        }
         let mut file = self.file.lock().expect("checkpoint writer lock");
-        writeln!(file, "{}", entry.encode())?;
+        writeln!(file, "{line}")?;
         file.flush()
     }
 }
@@ -439,6 +799,123 @@ mod tests {
     fn unknown_version_is_rejected() {
         let line = r#"{"v":99,"label":"x","fingerprint":1,"wall_nanos":0,"payload":0}"#;
         assert!(CheckpointEntry::<u64>::decode(line).is_err());
+    }
+
+    #[test]
+    fn version_1_lines_without_crc_still_decode() {
+        let line = r#"{"v":1,"label":"legacy","fingerprint":7,"wall_nanos":100,"payload":9}"#;
+        let e = CheckpointEntry::<u64>::decode(line).unwrap();
+        assert_eq!(e.label, "legacy");
+        assert_eq!(e.payload, 9);
+    }
+
+    #[test]
+    fn crc_detects_a_flipped_byte() {
+        let line = entry("x", 1, 42).encode();
+        assert!(line.contains("\"crc32\":"), "v2 lines carry a crc field");
+        // Flip one payload digit: still syntactically valid JSON, but
+        // the recorded CRC no longer matches the bytes.
+        let damaged = line.replace("\"payload\":42", "\"payload\":43");
+        assert_ne!(line, damaged);
+        assert!(Json::parse(&damaged).is_ok(), "damage is JSON-invisible");
+        assert!(CheckpointEntry::<u64>::decode(&damaged).is_err());
+        // The undamaged line still decodes.
+        assert!(CheckpointEntry::<u64>::decode(&line).is_ok());
+    }
+
+    #[test]
+    fn failed_entry_round_trips() {
+        let f = FailedEntry {
+            label: "slow point".to_string(),
+            fingerprint: 0xABCD,
+            wall: Duration::from_secs(30),
+            reason: "timeout".to_string(),
+        };
+        let line = f.encode();
+        match decode_line::<u64>(&line).unwrap() {
+            Line::Failed(back) => assert_eq!(back, f),
+            Line::Completed(_) => panic!("failed entry decoded as completed"),
+        }
+        // The strict completed-only decoder rejects it.
+        assert!(CheckpointEntry::<u64>::decode(&line).is_err());
+    }
+
+    #[test]
+    fn load_collects_failed_entries_separately() {
+        let path = temp_path("load_failed");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("ok", 1, 10)).unwrap();
+        writer
+            .append_failed(&FailedEntry {
+                label: "bad".to_string(),
+                fingerprint: 2,
+                wall: Duration::from_secs(5),
+                reason: "timeout".to_string(),
+            })
+            .unwrap();
+        drop(writer);
+        let mut ckpt = Checkpoint::<u64>::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(ckpt.failed().len(), 1);
+        assert!(ckpt.lookup_failed("bad", 2).is_some());
+        assert!(ckpt.lookup_failed("bad", 999).is_none(), "fingerprint gate");
+        assert_eq!(ckpt.take_failed("bad", 2).unwrap().reason, "timeout");
+        assert!(ckpt.take_failed("bad", 2).is_none(), "taken exactly once");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantine_moves_damaged_lines_to_sidecar_exactly_once() {
+        let path = temp_path("quarantine");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer.append(&entry("a", 1, 10)).unwrap();
+        writer.append(&entry("b", 2, 20)).unwrap();
+        writer.append(&entry("c", 3, 30)).unwrap();
+        drop(writer);
+        // Damage the middle line: flip a digit under the CRC.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let damaged = lines[1].replace("\"payload\":20", "\"payload\":21");
+        std::fs::write(&path, format!("{}\n{damaged}\n{}\n", lines[0], lines[2])).unwrap();
+
+        let (ckpt, q) = Checkpoint::<u64>::load_quarantining(&path).unwrap();
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(ckpt.stale_lines, 0);
+        assert!(ckpt.lookup("b", 2).is_none(), "damaged point re-runs");
+        assert_eq!(q.lines, 1);
+        let sidecar = q.sidecar.unwrap();
+        let bad = std::fs::read_to_string(&sidecar).unwrap();
+        assert_eq!(bad.lines().count(), 1);
+        assert_eq!(bad.lines().next().unwrap(), damaged);
+
+        // Second load: the file was rewritten clean, nothing new to
+        // quarantine, the sidecar is untouched.
+        let (ckpt2, q2) = Checkpoint::<u64>::load_quarantining(&path).unwrap();
+        assert_eq!(ckpt2.len(), 2);
+        assert_eq!(q2, Quarantine::default());
+        assert_eq!(std::fs::read_to_string(&sidecar).unwrap(), bad);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&sidecar).unwrap();
+    }
+
+    #[test]
+    fn quarantine_of_missing_or_clean_file_is_a_noop() {
+        let (ckpt, q) =
+            Checkpoint::<u64>::load_quarantining(&temp_path("quarantine_missing")).unwrap();
+        assert!(ckpt.is_empty());
+        assert_eq!(q, Quarantine::default());
+
+        let path = temp_path("quarantine_clean");
+        CheckpointWriter::create(&path)
+            .unwrap()
+            .append(&entry("a", 1, 10))
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let (ckpt, q) = Checkpoint::<u64>::load_quarantining(&path).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(q, Quarantine::default());
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "clean file untouched");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -540,7 +1017,7 @@ mod tests {
     }
 
     #[test]
-    fn compact_keeps_last_entry_per_label_and_drops_stale_lines() {
+    fn compact_keeps_last_entry_per_label_and_preserves_damage() {
         let path = temp_path("compact");
         let stale = entry("b", 1, 11).encode();
         let writer = CheckpointWriter::create(&path).unwrap();
@@ -549,7 +1026,9 @@ mod tests {
         writer.append(&entry("a", 2, 12)).unwrap(); // re-run shadows a@1
         writer.append(&entry("c", 1, 13)).unwrap();
         drop(writer);
-        // Simulate a kill mid-append: a trailing partial line.
+        // Simulate a kill mid-append: a trailing partial line. Compaction
+        // must reclaim only the shadowed entry — the torn fragment is the
+        // quarantining loader's to report, never compaction's to swallow.
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str(&stale[..stale.len() / 2]);
         std::fs::write(&path, text).unwrap();
@@ -558,18 +1037,24 @@ mod tests {
         assert_eq!(
             result,
             Compaction {
-                kept: 3,
-                dropped: 2
+                kept: 4,
+                dropped: 1
             }
         );
 
         let ckpt = Checkpoint::<u64>::load(&path).unwrap();
         assert_eq!(ckpt.len(), 3);
-        assert_eq!(ckpt.stale_lines, 0);
+        assert_eq!(ckpt.stale_lines, 1, "the fragment survives compaction");
         assert_eq!(ckpt.lookup("a", 2).unwrap().payload, 12);
         assert!(ckpt.lookup("a", 1).is_none(), "shadowed entry reclaimed");
         assert_eq!(ckpt.lookup("b", 1).unwrap().payload, 11);
         assert_eq!(ckpt.lookup("c", 1).unwrap().payload, 13);
+
+        // The quarantining load then moves the fragment to the sidecar.
+        let (_, quarantine) = Checkpoint::<u64>::load_quarantining(&path).unwrap();
+        assert_eq!(quarantine.lines, 1);
+        let sidecar = quarantine.sidecar.expect("sidecar written");
+        std::fs::remove_file(&sidecar).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

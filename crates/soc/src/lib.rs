@@ -44,9 +44,14 @@
 //!   supervisor's fleet view.
 //! * [`shard`] — sharded multi-process sweeps on top of [`sweep`]:
 //!   deterministic `--shard i/N` strided planning, a crash-resilient
-//!   supervisor that retries killed worker processes from their
-//!   checkpoints, and an exact `--merge` that stitches shard checkpoint
-//!   files back into the single-process result.
+//!   supervisor that retries killed *and hung* worker processes from
+//!   their checkpoints (heartbeat-staleness watchdog, jittered
+//!   exponential backoff), and an exact `--merge` that stitches shard
+//!   checkpoint files back into the single-process result.
+//! * [`fault`] — deterministic fault injection: a `GEMMINI_FAULTS`-armed
+//!   failpoint registry threaded through the checkpoint writer, shard
+//!   supervisor, heartbeat writer and sweep executor, so every recovery
+//!   path above is testable on demand (and free when disarmed).
 //!
 //! # Example
 //!
@@ -64,6 +69,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod fault;
 pub mod kernel;
 pub mod os;
 pub mod prune;

@@ -18,21 +18,32 @@
 //!   (normally the current binary re-invoked with `--shard i/N
 //!   --resume`), streams each child's output tagged `[shard i/N]`, and
 //!   on a *crashed* child (non-zero exit or death by signal) retries
-//!   that shard with bounded exponential backoff. Because the child
-//!   resumes from its shard checkpoint, completed points are never
-//!   re-simulated: a crash loses at most the in-flight points of one
-//!   shard. With `--status`, the supervisor also reads each child's
-//!   heartbeat file (at the [`shard_path`] of the status base) every
-//!   ~2 s, renders a one-line `fleet:` view — per-shard phase,
-//!   progress, throughput, ETA and retry count — and rewrites the
-//!   absorbed aggregate [`Heartbeat`] at the base status path, so one
-//!   `watch cat` covers the whole fleet.
-//! * **Merge** — [`merge_shards`] loads the shard checkpoints, validates
-//!   every expected `(label, fingerprint)` pair against them (reporting
-//!   points that are missing or stale), and stitches the entries back in
-//!   grid submission order. Downstream totals fold through
-//!   `merge_memory_stats`, whose stat types are exact merge monoids, so
-//!   the merged output is bit-identical to a single-process run.
+//!   that shard with bounded exponential backoff, deterministically
+//!   jittered per shard so a fleet that died together does not retry in
+//!   lock-step. With a `--watchdog` budget, the supervisor also detects
+//!   *hung* children: a worker whose heartbeat `done` count has not
+//!   advanced for the budget is killed and retried exactly like a
+//!   crash. A child exiting with [`EXIT_RECORDED_FAILURES`] finished
+//!   its slice with recorded point failures on the books (e.g. point
+//!   timeouts); that is terminal — retrying would only re-serve the
+//!   same recorded failures. Because the child resumes from its shard
+//!   checkpoint, completed points are never re-simulated: a crash loses
+//!   at most the in-flight points of one shard. With `--status`, the
+//!   supervisor also reads each child's heartbeat file (at the
+//!   [`shard_path`] of the status base) every ~2 s, renders a one-line
+//!   `fleet:` view — per-shard phase, progress, throughput, ETA and
+//!   retry count, with dead workers' frozen heartbeats rendered
+//!   `stale` — and rewrites the absorbed aggregate [`Heartbeat`] at
+//!   the base status path, so one `watch cat` covers the whole fleet.
+//! * **Merge** — [`merge_shards`] loads the shard checkpoints
+//!   (quarantining any damaged lines to `.bad` sidecars, see
+//!   [`Checkpoint::load_quarantining`]), validates every expected
+//!   `(label, fingerprint)` pair against them (reporting points that
+//!   are missing or stale; recorded failures satisfy coverage), and
+//!   stitches the lines back in grid submission order. Downstream
+//!   totals fold through `merge_memory_stats`, whose stat types are
+//!   exact merge monoids, so the merged output is bit-identical to a
+//!   single-process run.
 //!
 //! [`run_sharded`] ties the three together behind the sweep binaries'
 //! shared CLI (`--shard` / `--shards` / `--merge`, parsed by
@@ -44,12 +55,17 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointWriter};
+use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointWriter, Line};
 use crate::prune::{Attributed, PrunePolicy};
-use crate::sweep::{sweep_map_checkpointed, SweepOptions, SweepResult, CRASH_AFTER_ENV};
-use crate::telemetry::{format_eta, read_heartbeat, write_heartbeat, write_prometheus, Heartbeat};
+use crate::sweep::{
+    sweep_map_checkpointed, SweepError, SweepOptions, SweepResult, CRASH_AFTER_ENV,
+    EXIT_RECORDED_FAILURES, HANG_AFTER_ENV,
+};
+use crate::telemetry::{
+    format_eta, heartbeat_age, read_heartbeat, write_heartbeat, write_prometheus, Heartbeat,
+};
 use gemmini_core::metrics::Counter;
 use gemmini_core::AccelError;
 use gemmini_mem::json::{FromJson, ToJson};
@@ -181,18 +197,37 @@ pub fn shard_path(base: &Path, spec: ShardSpec) -> PathBuf {
     base.with_file_name(name)
 }
 
+/// The `.bad` quarantine sidecar next to a checkpoint file (see
+/// [`Checkpoint::load_quarantining`]).
+fn sidecar_of(path: &Path) -> PathBuf {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint.jsonl");
+    path.with_file_name(format!("{file_name}.bad"))
+}
+
 /// Supervisor retry policy.
 #[derive(Debug, Clone)]
 pub struct SupervisorOptions {
     /// Total attempts per shard, including the first run.
     pub max_attempts: usize,
-    /// Backoff before the first retry; doubles per subsequent retry.
+    /// Backoff before the first retry; doubles per subsequent retry,
+    /// plus a deterministic per-shard jitter (see [`backoff_delay`]).
     pub backoff: Duration,
     /// Per-shard crash-retry counters, indexed by shard index and bumped
     /// the moment a retry is scheduled (not when it recovers), so the
     /// fleet monitor can render live retry counts. `None` skips the
     /// bookkeeping.
     pub retry_counts: Option<Arc<Vec<AtomicU64>>>,
+    /// Hung-shard watchdog budget: a child whose heartbeat `done` count
+    /// has not advanced for this long is killed and retried like a
+    /// crash. Requires `status_base` (the watchdog reads the child
+    /// heartbeat at its [`shard_path`]); `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// The base `--status` path whose [`shard_path`] locates each
+    /// child's heartbeat file for the watchdog.
+    pub status_base: Option<PathBuf>,
 }
 
 impl Default for SupervisorOptions {
@@ -201,6 +236,8 @@ impl Default for SupervisorOptions {
             max_attempts: 3,
             backoff: Duration::from_millis(250),
             retry_counts: None,
+            watchdog: None,
+            status_base: None,
         }
     }
 }
@@ -212,6 +249,11 @@ pub struct ShardOutcome {
     pub spec: ShardSpec,
     /// Attempts it took, `1` meaning no crash.
     pub attempts: usize,
+    /// The final attempt exited with [`EXIT_RECORDED_FAILURES`]: the
+    /// slice is fully covered, but some points carry recorded failures
+    /// (e.g. point timeouts). Terminal — a retry would only re-serve
+    /// the same recorded failures from the checkpoint.
+    pub completed_with_failures: bool,
 }
 
 /// Why supervision failed. Every shard still runs to completion or
@@ -283,9 +325,33 @@ fn forward_lines<R: Read + Send + 'static>(
     })
 }
 
-fn backoff_delay(base: Duration, completed_attempts: usize) -> Duration {
+/// Deterministic per-shard jitter in `[0, 1)`: a splitmix64-style bit
+/// mix of the shard index and the attempt number. Desynchronises the
+/// retry stampede of a fleet that crashed together (e.g. a shared
+/// filesystem blip taking every worker down at once) without
+/// introducing real randomness — the same `(shard, attempt)` always
+/// backs off for exactly the same duration, so supervised runs stay
+/// reproducible.
+fn jitter_fraction(shard_index: usize, completed_attempts: usize) -> f64 {
+    let mut z = (shard_index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(completed_attempts as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Top 53 bits map exactly onto the double mantissa: uniform [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The supervisor's retry delay: exponential in the number of completed
+/// attempts, plus up to +50% deterministic per-shard jitter, capped at
+/// 10 s overall.
+fn backoff_delay(base: Duration, completed_attempts: usize, shard_index: usize) -> Duration {
+    const CAP: Duration = Duration::from_secs(10);
     let factor = 1u32 << completed_attempts.saturating_sub(1).min(8);
-    (base * factor).min(Duration::from_secs(10))
+    let exponential = (base * factor).min(CAP);
+    let jitter = exponential.mul_f64(0.5 * jitter_fraction(shard_index, completed_attempts));
+    (exponential + jitter).min(CAP)
 }
 
 fn run_one_shard<C>(
@@ -297,6 +363,11 @@ where
     C: Fn(ShardSpec) -> Command,
 {
     let max_attempts = opts.max_attempts.max(1);
+    // The watchdog needs both a budget and a heartbeat to read.
+    let heartbeat_path = match (&opts.watchdog, &opts.status_base) {
+        (Some(_), Some(base)) => Some(shard_path(base, spec)),
+        _ => None,
+    };
     let mut last_status = String::new();
     for attempt in 1..=max_attempts {
         let mut cmd = make_child(spec);
@@ -318,30 +389,79 @@ where
         .into_iter()
         .flatten()
         .collect();
-        let status = child.wait().map_err(|e| SupervisorError::Wait {
-            spec,
-            message: e.to_string(),
-        })?;
+        // Poll rather than block so the watchdog can act while the child
+        // lives. Progress is the heartbeat's `done` count advancing, not
+        // the file's freshness: a worker wedged inside one point keeps
+        // rewriting its heartbeat (its monitor thread is alive) while
+        // `done` stays frozen.
+        let mut watchdog_fired = false;
+        let mut last_done: Option<usize> = None;
+        let mut last_progress = Instant::now();
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(SupervisorError::Wait {
+                        spec,
+                        message: e.to_string(),
+                    })
+                }
+            }
+            if let (Some(budget), Some(path)) = (opts.watchdog, &heartbeat_path) {
+                if let Some(hb) = read_heartbeat(path) {
+                    if last_done != Some(hb.done) {
+                        last_done = Some(hb.done);
+                        last_progress = Instant::now();
+                    }
+                }
+                if last_progress.elapsed() >= budget {
+                    eprintln!(
+                        "supervisor: shard {spec} hung (no heartbeat progress for {:.0}s); killing it",
+                        last_progress.elapsed().as_secs_f64()
+                    );
+                    watchdog_fired = true;
+                    let _ = child.kill();
+                    break child.wait().map_err(|e| SupervisorError::Wait {
+                        spec,
+                        message: e.to_string(),
+                    })?;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        };
         for handle in forwarders {
             let _ = handle.join();
         }
-        if status.success() {
+        let completed_with_failures = status.code() == Some(EXIT_RECORDED_FAILURES);
+        if status.success() || completed_with_failures {
             if attempt > 1 {
                 eprintln!("supervisor: shard {spec} recovered on attempt {attempt}");
+            }
+            if completed_with_failures {
+                eprintln!(
+                    "supervisor: shard {spec} completed with recorded point failures \
+                     (exit {EXIT_RECORDED_FAILURES}); not retrying — the failures are on the books"
+                );
             }
             return Ok(ShardOutcome {
                 spec,
                 attempts: attempt,
+                completed_with_failures,
             });
         }
-        last_status = status.to_string();
+        last_status = if watchdog_fired {
+            format!("killed by watchdog: {status}")
+        } else {
+            status.to_string()
+        };
         if attempt < max_attempts {
             if let Some(counts) = &opts.retry_counts {
                 if let Some(slot) = counts.get(spec.index) {
                     slot.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let delay = backoff_delay(opts.backoff, attempt);
+            let delay = backoff_delay(opts.backoff, attempt, spec.index);
             eprintln!(
                 "supervisor: shard {spec} crashed ({last_status}); retrying from its checkpoint in {:.2}s (attempt {}/{max_attempts})",
                 delay.as_secs_f64(),
@@ -359,11 +479,17 @@ where
 
 /// Runs `count` shard worker processes to completion, retrying crashed
 /// shards (non-zero exit or death by signal) with bounded exponential
-/// backoff. `make_child` builds the command for one shard — normally the
-/// current binary re-invoked with `--shard i/N --resume`, so a retried
-/// shard resumes from its checkpoint and never re-simulates completed
-/// points. All shards run concurrently; each child's stdout and stderr
-/// stream to our stderr tagged `[shard i/N]`.
+/// backoff, deterministically jittered per shard. With a watchdog
+/// budget and a status base in `opts`, a child whose heartbeat `done`
+/// count does not advance for the budget is killed and retried like a
+/// crash. A child exiting with [`EXIT_RECORDED_FAILURES`] is accepted
+/// as terminal (`completed_with_failures` in its outcome) — its slice
+/// is fully covered, and a retry would only re-serve the recorded
+/// failures. `make_child` builds the command for one shard — normally
+/// the current binary re-invoked with `--shard i/N --resume`, so a
+/// retried shard resumes from its checkpoint and never re-simulates
+/// completed points. All shards run concurrently; each child's stdout
+/// and stderr stream to our stderr tagged `[shard i/N]`.
 ///
 /// Every shard runs to completion or retry-exhaustion even when another
 /// shard fails permanently (their checkpoints remain valid for a later
@@ -402,23 +528,37 @@ where
     results.into_iter().collect()
 }
 
+/// How old a child heartbeat may grow before the fleet view renders the
+/// shard `stale` (used when no `--watchdog` budget overrides it). A
+/// live worker rewrites its heartbeat every ~2 s even when wedged, so a
+/// file this old means the writer is gone.
+const DEFAULT_STALENESS: Duration = Duration::from_secs(10);
+
+/// One child heartbeat read for the fleet view: `None` until the shard
+/// writes its first heartbeat, then the heartbeat plus its file age
+/// (`None` when the filesystem withholds an mtime).
+type ChildRead = Option<(Heartbeat, Option<Duration>)>;
+
 /// Reads every child heartbeat (at the [`shard_path`] of the status
 /// base) and folds them into one fleet [`Heartbeat`], stamping in the
 /// supervisor's retry counters. Children that have not written yet read
 /// as `None` and contribute nothing — the aggregate grows as the fleet
-/// comes up. Returns the aggregate plus the per-child reads for
-/// rendering.
+/// comes up. Returns the aggregate plus the per-child reads (each with
+/// its heartbeat file's age) for rendering.
 fn fleet_snapshot(
     status_base: &Path,
     specs: &[ShardSpec],
     retry_counts: &[AtomicU64],
-) -> (Heartbeat, Vec<Option<Heartbeat>>) {
-    let children: Vec<Option<Heartbeat>> = specs
+) -> (Heartbeat, Vec<ChildRead>) {
+    let children: Vec<ChildRead> = specs
         .iter()
-        .map(|spec| read_heartbeat(&shard_path(status_base, *spec)))
+        .map(|spec| {
+            let path = shard_path(status_base, *spec);
+            read_heartbeat(&path).map(|hb| (hb, heartbeat_age(&path)))
+        })
         .collect();
     let mut fleet = Heartbeat::starting(0);
-    for child in children.iter().flatten() {
+    for (child, _) in children.iter().flatten() {
         fleet.absorb(child);
     }
     fleet.retries = retry_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
@@ -426,19 +566,26 @@ fn fleet_snapshot(
 }
 
 /// One `fleet:` progress line: a bracketed segment per shard (phase,
-/// position, throughput, ETA, retries) followed by the aggregate.
+/// position, throughput, ETA, retries) followed by the aggregate. A
+/// shard whose heartbeat says `run` but whose file has not been
+/// rewritten within the staleness budget is rendered `stale`: its
+/// writer is gone (killed or crashed mid-run), so the frozen rate and
+/// ETA would be lies and are suppressed.
 fn fleet_line(
     specs: &[ShardSpec],
-    children: &[Option<Heartbeat>],
+    children: &[ChildRead],
     retry_counts: &[AtomicU64],
     fleet: &Heartbeat,
+    staleness: Duration,
 ) -> String {
     let mut segments = Vec::with_capacity(specs.len());
     for (spec, child) in specs.iter().zip(children) {
         let mut seg = match child {
-            Some(hb) => {
-                let mut s = format!("{} {} {}/{}", spec.index, hb.phase, hb.done, hb.total);
-                if hb.phase == "run" {
+            Some((hb, age)) => {
+                let stale = hb.phase == "run" && age.is_some_and(|a| a > staleness);
+                let phase = if stale { "stale" } else { hb.phase.as_str() };
+                let mut s = format!("{} {phase} {}/{}", spec.index, hb.done, hb.total);
+                if hb.phase == "run" && !stale {
                     s.push_str(&format!(" {:.2}pts/s", hb.rate_pts_per_sec));
                     if let Some(eta) = hb.eta_secs {
                         s.push_str(&format!(" eta {}", format_eta(eta)));
@@ -495,6 +642,7 @@ impl FleetMonitor {
         status_base: Option<PathBuf>,
         specs: &[ShardSpec],
         retry_counts: &Arc<Vec<AtomicU64>>,
+        staleness: Duration,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let Some(base) = status_base else {
@@ -513,7 +661,10 @@ impl FleetMonitor {
                 let (fleet, children) = fleet_snapshot(&base, &specs, &retry_counts);
                 let _ = write_heartbeat(&base, &fleet);
                 if children.iter().any(Option::is_some) {
-                    eprintln!("{}", fleet_line(&specs, &children, &retry_counts, &fleet));
+                    eprintln!(
+                        "{}",
+                        fleet_line(&specs, &children, &retry_counts, &fleet, staleness)
+                    );
                 }
                 if stopping {
                     break;
@@ -645,13 +796,49 @@ impl fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
-/// Loads shard checkpoint files and stitches one entry per expected
+/// The product of a successful shard merge: one [`Line`] per expected
+/// grid point in submission order — completed entries plus any recorded
+/// failures (which satisfy coverage: the grid *finished*, just with
+/// those failures on the books) — and the per-shard quarantine tallies
+/// from loading the checkpoint files.
+#[derive(Debug)]
+pub struct MergedGrid<T> {
+    /// One line per grid point, in submission order.
+    pub lines: Vec<Line<T>>,
+    /// For each shard checkpoint loaded (in the order given), how many
+    /// damaged lines were quarantined to its `.bad` sidecar.
+    pub quarantined: Vec<(PathBuf, usize)>,
+}
+
+impl<T> MergedGrid<T> {
+    /// Labels of the grid points carried as recorded failures, in
+    /// submission order.
+    pub fn failed_labels(&self) -> Vec<String> {
+        self.lines
+            .iter()
+            .filter_map(|line| match line {
+                Line::Failed(f) => Some(f.label.clone()),
+                Line::Completed(_) => None,
+            })
+            .collect()
+    }
+
+    /// Total damaged lines quarantined across all shard files.
+    pub fn total_quarantined(&self) -> usize {
+        self.quarantined.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Loads shard checkpoint files and stitches one line per expected
 /// `(label, fingerprint)` pair, in the order given — grid submission
 /// order — regardless of which shard ran which point or in what order
-/// points completed. Validation is exact: a grid point with no entry is
-/// reported missing, and one whose entry's fingerprint no longer matches
-/// is reported stale (either means the shards must run again before the
-/// merge can succeed).
+/// points completed. Damaged lines are quarantined to each file's
+/// `.bad` sidecar while loading (see [`Checkpoint::load_quarantining`])
+/// and tallied per shard in the result. Validation is exact: a grid
+/// point with no entry is reported missing, and one whose entry's
+/// fingerprint no longer matches is reported stale (either means the
+/// shards must run again before the merge can succeed). A recorded
+/// failure with a current fingerprint covers its point.
 ///
 /// # Errors
 ///
@@ -661,25 +848,32 @@ impl std::error::Error for MergeError {}
 pub fn merge_shards<T: FromJson>(
     expected: &[(String, u64)],
     paths: &[PathBuf],
-) -> Result<Vec<CheckpointEntry<T>>, MergeError> {
+) -> Result<MergedGrid<T>, MergeError> {
     let mut combined = Checkpoint::<T>::default();
+    let mut quarantined = Vec::with_capacity(paths.len());
     for path in paths {
-        let loaded = Checkpoint::load(path).map_err(|e| MergeError::Io {
-            path: path.clone(),
-            message: e.to_string(),
-        })?;
+        let (loaded, quarantine) =
+            Checkpoint::load_quarantining(path).map_err(|e| MergeError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+        quarantined.push((path.clone(), quarantine.lines));
         combined.absorb(loaded);
     }
-    let mut entries = Vec::with_capacity(expected.len());
+    let mut lines = Vec::with_capacity(expected.len());
     let mut missing = Vec::new();
     let mut stale = Vec::new();
     for (label, fingerprint) in expected {
-        match combined.take(label, *fingerprint) {
-            Some(entry) => entries.push(entry),
-            None if combined.entries().iter().any(|e| &e.label == label) => {
-                stale.push(label.clone());
-            }
-            None => missing.push(label.clone()),
+        if let Some(entry) = combined.take(label, *fingerprint) {
+            lines.push(Line::Completed(entry));
+        } else if let Some(failed) = combined.take_failed(label, *fingerprint) {
+            lines.push(Line::Failed(failed));
+        } else if combined.entries().iter().any(|e| &e.label == label)
+            || combined.failed().iter().any(|e| &e.label == label)
+        {
+            stale.push(label.clone());
+        } else {
+            missing.push(label.clone());
         }
     }
     if !missing.is_empty() || !stale.is_empty() {
@@ -688,12 +882,20 @@ pub fn merge_shards<T: FromJson>(
     // Every pruned entry must be backed by the stitched set itself: its
     // basis present, really simulated, and carrying the fingerprint the
     // evidence recorded. Anything else means the shards pruned against a
-    // different grid than the one being merged.
-    let by_label: std::collections::HashMap<&str, (&u64, bool)> = entries
+    // different grid than the one being merged. Recorded failures carry
+    // no payload and can neither back nor hold evidence.
+    let completed: Vec<&CheckpointEntry<T>> = lines
+        .iter()
+        .filter_map(|line| match line {
+            Line::Completed(entry) => Some(entry),
+            Line::Failed(_) => None,
+        })
+        .collect();
+    let by_label: std::collections::HashMap<&str, (&u64, bool)> = completed
         .iter()
         .map(|e| (e.label.as_str(), (&e.fingerprint, e.pruned.is_some())))
         .collect();
-    let disagreeing: Vec<String> = entries
+    let disagreeing: Vec<String> = completed
         .iter()
         .filter(|e| {
             e.pruned.as_ref().is_some_and(|ev| {
@@ -706,13 +908,13 @@ pub fn merge_shards<T: FromJson>(
         .map(|e| e.label.clone())
         .collect();
     if disagreeing.is_empty() {
-        Ok(entries)
+        Ok(MergedGrid { lines, quarantined })
     } else {
         Err(MergeError::PruneMismatch { disagreeing })
     }
 }
 
-/// Writes merged entries to `path` as a fresh checkpoint file — the
+/// Writes merged lines to `path` as a fresh checkpoint file — the
 /// supervisor's final step, leaving the base `--json` path holding the
 /// same submission-ordered lines a single-process serial run would have
 /// produced (modulo each point's recorded wall-clock).
@@ -720,10 +922,13 @@ pub fn merge_shards<T: FromJson>(
 /// # Errors
 ///
 /// Returns the underlying I/O error.
-pub fn write_entries<T: ToJson>(path: &Path, entries: &[CheckpointEntry<T>]) -> io::Result<()> {
+pub fn write_entries<T: ToJson>(path: &Path, lines: &[Line<T>]) -> io::Result<()> {
     let writer = CheckpointWriter::create(path)?;
-    for entry in entries {
-        writer.append(entry)?;
+    for line in lines {
+        match line {
+            Line::Completed(entry) => writer.append(entry)?,
+            Line::Failed(entry) => writer.append_failed(entry)?,
+        }
     }
     Ok(())
 }
@@ -738,6 +943,22 @@ pub fn entry_result<T>(entry: CheckpointEntry<T>) -> SweepResult<T> {
         wall: entry.wall,
         cached: true,
         pruned: entry.pruned,
+    }
+}
+
+/// Converts one merged checkpoint line into the sweep result shape the
+/// figure binaries consume: a completed entry as a cached success, a
+/// recorded failure as a cached [`SweepError::Recorded`].
+pub fn line_result<T>(line: Line<T>) -> SweepResult<T> {
+    match line {
+        Line::Completed(entry) => entry_result(entry),
+        Line::Failed(failed) => SweepResult {
+            label: failed.label,
+            outcome: Err(SweepError::Recorded(failed.reason)),
+            wall: failed.wall,
+            cached: true,
+            pruned: None,
+        },
     }
 }
 
@@ -849,6 +1070,28 @@ pub enum ShardError {
         /// Labels of the failed points.
         labels: Vec<String>,
     },
+    /// This shard worker finished its slice, but some points carry
+    /// *recorded* failures (e.g. `failed:timeout` checkpoint entries,
+    /// written now or served from a resume). The slice will not improve
+    /// by retrying — the worker should exit [`EXIT_RECORDED_FAILURES`]
+    /// so the supervisor accepts the shard as terminal.
+    RecordedFailures {
+        /// The shard that ran.
+        spec: ShardSpec,
+        /// Labels of the points with recorded failures.
+        labels: Vec<String>,
+    },
+    /// Post-flight verification failed: points this worker completed are
+    /// missing from (or damaged in) its own checkpoint file — a torn
+    /// write or an injected I/O fault swallowed them. Exiting non-zero
+    /// lets a supervisor retry resume, quarantine any damaged lines, and
+    /// re-run exactly these points.
+    Unpersisted {
+        /// The shard that ran.
+        spec: ShardSpec,
+        /// Labels of the unpersisted points.
+        labels: Vec<String>,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -866,19 +1109,34 @@ impl fmt::Display for ShardError {
                 labels.len(),
                 preview(labels)
             ),
+            Self::RecordedFailures { spec, labels } => write!(
+                f,
+                "shard {spec}: {} point(s) carry recorded failures ({}); the slice is complete \
+                 and a retry would not improve it",
+                labels.len(),
+                preview(labels)
+            ),
+            Self::Unpersisted { spec, labels } => write!(
+                f,
+                "shard {spec}: {} completed point(s) missing or damaged in its checkpoint ({}); \
+                 a resume will quarantine any damaged lines and re-run exactly them",
+                labels.len(),
+                preview(labels)
+            ),
         }
     }
 }
 
 impl std::error::Error for ShardError {}
 
-/// Disarms the crash-test hook unless this worker is the shard the test
-/// singled out via [`CRASH_SHARD_ENV`]. Mutates only this process's
-/// environment, before the sweep spawns any threads.
+/// Disarms the crash- and hang-test hooks unless this worker is the
+/// shard the test singled out via [`CRASH_SHARD_ENV`]. Mutates only
+/// this process's environment, before the sweep spawns any threads.
 fn disarm_crash_hook_for_other_shards(spec: ShardSpec) {
     if let Ok(v) = std::env::var(CRASH_SHARD_ENV) {
         if v.trim().parse::<usize>().ok() != Some(spec.index) {
             std::env::remove_var(CRASH_AFTER_ENV);
+            std::env::remove_var(HANG_AFTER_ENV);
         }
     }
 }
@@ -927,13 +1185,31 @@ where
 {
     if !cli.merge.is_empty() {
         let expected = expected_of(&items);
-        let entries = merge_shards::<T>(&expected, &cli.merge).map_err(ShardError::Merge)?;
+        let merged = merge_shards::<T>(&expected, &cli.merge).map_err(ShardError::Merge)?;
+        for (path, count) in &merged.quarantined {
+            if *count > 0 {
+                eprintln!(
+                    "merge: quarantined {count} damaged line(s) from {} (kept in its .bad sidecar)",
+                    path.display()
+                );
+            }
+        }
+        let failed = merged.failed_labels();
+        let note = if failed.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({} recorded failure(s): {})",
+                failed.len(),
+                preview(&failed)
+            )
+        };
         eprintln!(
-            "merge: stitched {} point(s) from {} shard checkpoint(s)",
-            entries.len(),
+            "merge: stitched {} point(s) from {} shard checkpoint(s){note}",
+            merged.lines.len(),
             cli.merge.len()
         );
-        return Ok(Some(entries.into_iter().map(entry_result).collect()));
+        return Ok(Some(merged.lines.into_iter().map(line_result).collect()));
     }
 
     if let Some(spec) = cli.shard {
@@ -942,6 +1218,9 @@ where
             .clone()
             .ok_or(ShardError::NeedsCheckpoint("--shard"))?;
         disarm_crash_hook_for_other_shards(spec);
+        // A fleet-wide fault schedule scoped with GEMMINI_FAULTS_SHARD
+        // arms in exactly one worker; everyone else disarms here.
+        crate::fault::scope_to_shard(Some(spec.index));
         let grid_total = items.len();
         // With pruning on, partition whole groups so every member's
         // basis runs (and its attribution is decided) in this process.
@@ -950,6 +1229,7 @@ where
             None => shard_items(items, spec),
         };
         let slice_len = slice.len();
+        let slice_expected = expected_of(&slice);
         let shard_file = shard_path(&base, spec);
         // Telemetry files shard alongside the checkpoint: the supervisor
         // reads each child's heartbeat at the shard path of the base
@@ -961,23 +1241,57 @@ where
             ..opts
         };
         let results = sweep_map_checkpointed(slice, run_opts, f);
-        let failed: Vec<String> = results
-            .iter()
-            .filter(|r| r.outcome.is_err())
-            .map(|r| r.label.clone())
-            .collect();
+        let mut exec_failed = Vec::new();
+        let mut recorded = Vec::new();
+        for result in &results {
+            match &result.outcome {
+                Ok(_) => {}
+                Err(SweepError::Recorded(_)) => recorded.push(result.label.clone()),
+                Err(_) => exec_failed.push(result.label.clone()),
+            }
+        }
         eprintln!(
             "shard {spec}: {}/{slice_len} point(s) complete (slice of grid {grid_total}) -> {}",
-            slice_len - failed.len(),
+            slice_len - exec_failed.len() - recorded.len(),
             shard_file.display()
         );
-        if failed.is_empty() {
-            return Ok(None);
+        if !exec_failed.is_empty() {
+            return Err(ShardError::PointsFailed {
+                spec,
+                labels: exec_failed,
+            });
         }
-        return Err(ShardError::PointsFailed {
-            spec,
-            labels: failed,
-        });
+        // Post-flight verification: re-load our own checkpoint and
+        // require every slice point to be covered by a decodable line.
+        // A line damaged on the way to disk (torn write, injected I/O
+        // fault) surfaces here as missing; exiting non-zero lets the
+        // supervisor retry resume, quarantine the damage, and re-run
+        // exactly the affected points.
+        let written = Checkpoint::<T>::load(&shard_file).map_err(|e| ShardError::Io {
+            path: shard_file.clone(),
+            message: e.to_string(),
+        })?;
+        let unpersisted: Vec<String> = slice_expected
+            .iter()
+            .filter(|(label, fingerprint)| {
+                written.lookup(label, *fingerprint).is_none()
+                    && written.lookup_failed(label, *fingerprint).is_none()
+            })
+            .map(|(label, _)| label.clone())
+            .collect();
+        if !unpersisted.is_empty() {
+            return Err(ShardError::Unpersisted {
+                spec,
+                labels: unpersisted,
+            });
+        }
+        if !recorded.is_empty() {
+            return Err(ShardError::RecordedFailures {
+                spec,
+                labels: recorded,
+            });
+        }
+        return Ok(None);
     }
 
     if let Some(count) = cli.supervise {
@@ -985,13 +1299,20 @@ where
             .checkpoint
             .clone()
             .ok_or(ShardError::NeedsCheckpoint("--shards"))?;
+        // The supervisor never takes faults itself when the schedule is
+        // scoped to a worker; children inherit the environment and make
+        // their own scoping decision.
+        crate::fault::scope_to_shard(None);
         let specs: Vec<ShardSpec> = (0..count).map(|index| ShardSpec { index, count }).collect();
         if !opts.resume {
             // A fresh supervised sweep must not resurrect earlier shard
             // runs; workers are always spawned with --resume so that
-            // crash *retries* pick up mid-shard.
+            // crash *retries* pick up mid-shard. Quarantine sidecars from
+            // earlier fleets go too, so `.bad` files always describe the
+            // current run.
             for spec in &specs {
                 let path = shard_path(&base, *spec);
+                let sidecar = sidecar_of(&path);
                 if let Err(e) = std::fs::remove_file(&path) {
                     if e.kind() != io::ErrorKind::NotFound {
                         return Err(ShardError::Io {
@@ -1000,6 +1321,7 @@ where
                         });
                     }
                 }
+                let _ = std::fs::remove_file(sidecar);
             }
         }
         // Stale heartbeats from an earlier fleet (possibly with a
@@ -1011,9 +1333,12 @@ where
         }
         let retry_counts: Arc<Vec<AtomicU64>> =
             Arc::new((0..count).map(|_| AtomicU64::new(0)).collect());
-        let monitor = FleetMonitor::spawn(opts.status.clone(), &specs, &retry_counts);
+        let staleness = opts.watchdog.unwrap_or(DEFAULT_STALENESS);
+        let monitor = FleetMonitor::spawn(opts.status.clone(), &specs, &retry_counts, staleness);
         let sup_opts = SupervisorOptions {
             retry_counts: Some(Arc::clone(&retry_counts)),
+            watchdog: opts.watchdog,
+            status_base: opts.status.clone(),
             ..SupervisorOptions::default()
         };
         let supervision = supervise(count, make_child, &sup_opts);
@@ -1028,16 +1353,29 @@ where
             }
         };
         let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+        let with_failures = outcomes
+            .iter()
+            .filter(|o| o.completed_with_failures)
+            .count();
         let expected = expected_of(&items);
         let shard_files: Vec<PathBuf> = specs.iter().map(|s| shard_path(&base, *s)).collect();
-        let entries = match merge_shards::<T>(&expected, &shard_files) {
-            Ok(entries) => entries,
+        let merged = match merge_shards::<T>(&expected, &shard_files) {
+            Ok(merged) => merged,
             Err(e) => {
                 finalize_fleet(&opts, &specs, &retry_counts, "failed");
                 return Err(ShardError::Merge(e));
             }
         };
-        write_entries(&base, &entries).map_err(|e| ShardError::Io {
+        for (path, quarantined) in &merged.quarantined {
+            if *quarantined > 0 {
+                eprintln!(
+                    "supervisor: quarantined {quarantined} damaged line(s) from {} \
+                     (kept in its .bad sidecar)",
+                    path.display()
+                );
+            }
+        }
+        write_entries(&base, &merged.lines).map_err(|e| ShardError::Io {
             path: base.clone(),
             message: e.to_string(),
         })?;
@@ -1049,12 +1387,18 @@ where
                 let _ = write_prometheus(prom, &snapshot);
             }
         }
+        let failure_note = if with_failures > 0 {
+            format!(", {with_failures} with recorded failures")
+        } else {
+            String::new()
+        };
         eprintln!(
-            "supervisor: {count} shard(s) complete ({retried} retried); merged {} point(s) into {}",
-            entries.len(),
+            "supervisor: {count} shard(s) complete ({retried} retried{failure_note}); \
+             merged {} point(s) into {}",
+            merged.lines.len(),
             base.display()
         );
-        return Ok(Some(entries.into_iter().map(entry_result).collect()));
+        return Ok(Some(merged.lines.into_iter().map(line_result).collect()));
     }
 
     Ok(Some(sweep_map_checkpointed(items, opts, f)))
@@ -1310,7 +1654,16 @@ mod tests {
         drop((w0, w1));
 
         let expected: Vec<(String, u64)> = (0..8).map(|i| (format!("p{i}"), i)).collect();
-        let entries = merge_shards::<u64>(&expected, &[p0.clone(), p1.clone()]).unwrap();
+        let merged = merge_shards::<u64>(&expected, &[p0.clone(), p1.clone()]).unwrap();
+        assert_eq!(merged.total_quarantined(), 0);
+        let entries: Vec<CheckpointEntry<u64>> = merged
+            .lines
+            .into_iter()
+            .map(|line| match line {
+                Line::Completed(entry) => entry,
+                Line::Failed(f) => panic!("unexpected recorded failure for {}", f.label),
+            })
+            .collect();
         let labels: Vec<&str> = entries.iter().map(|e| e.label.as_str()).collect();
         assert_eq!(labels, vec!["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"]);
         assert!(entries
@@ -1319,6 +1672,65 @@ mod tests {
             .all(|(i, e)| e.payload == i as u64 * 100));
         std::fs::remove_file(&p0).unwrap();
         std::fs::remove_file(&p1).unwrap();
+    }
+
+    #[test]
+    fn merge_serves_recorded_failures_and_quarantines_damage() {
+        use crate::checkpoint::{CheckpointWriter, FailedEntry};
+        let path = temp_path("merge_failed_quarantine.jsonl");
+        let _ = std::fs::remove_file(sidecar_of(&path));
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer
+            .append(&CheckpointEntry {
+                label: "a".to_string(),
+                fingerprint: 1,
+                wall: Duration::ZERO,
+                payload: 10u64,
+                pruned: None,
+            })
+            .unwrap();
+        writer
+            .append_failed(&FailedEntry {
+                label: "b".to_string(),
+                fingerprint: 2,
+                wall: Duration::from_secs(5),
+                reason: "timeout".to_string(),
+            })
+            .unwrap();
+        drop(writer);
+        // Damage the file the way a torn write would: a truncated line.
+        {
+            use std::io::Write as _;
+            let mut fh = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(fh, "{{\"version\":2,\"label\":\"torn").unwrap();
+        }
+
+        let expected = vec![("a".to_string(), 1u64), ("b".to_string(), 2u64)];
+        let merged = merge_shards::<u64>(&expected, std::slice::from_ref(&path)).unwrap();
+        assert_eq!(merged.total_quarantined(), 1);
+        assert_eq!(merged.quarantined[0].1, 1);
+        assert_eq!(merged.failed_labels(), vec!["b".to_string()]);
+        match &merged.lines[1] {
+            Line::Failed(f) => {
+                assert_eq!(f.reason, "timeout");
+                assert_eq!(f.wall, Duration::from_secs(5));
+            }
+            other => panic!("expected a recorded failure, got {other:?}"),
+        }
+        // The recorded failure round-trips through the result shape.
+        let results: Vec<SweepResult<u64>> = merged.lines.into_iter().map(line_result).collect();
+        assert!(matches!(&results[1].outcome, Err(SweepError::Recorded(r)) if r == "timeout"));
+        assert!(results[1].cached);
+
+        // A second merge finds a clean file: the damage was quarantined
+        // exactly once.
+        let again = merge_shards::<u64>(&expected, std::slice::from_ref(&path)).unwrap();
+        assert_eq!(again.total_quarantined(), 0);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(sidecar_of(&path)).unwrap();
     }
 
     #[test]
@@ -1331,6 +1743,7 @@ mod tests {
             max_attempts: 3,
             backoff: Duration::from_millis(1),
             retry_counts: Some(Arc::clone(&retry_counts)),
+            ..SupervisorOptions::default()
         };
         let marker_str = marker.display().to_string();
         let outcomes = supervise(
@@ -1367,6 +1780,7 @@ mod tests {
             max_attempts: 3,
             backoff: Duration::from_millis(1),
             retry_counts: Some(Arc::clone(&retry_counts)),
+            ..SupervisorOptions::default()
         };
         let err = supervise(
             1,
@@ -1405,20 +1819,121 @@ mod tests {
 
         let (fleet, children) = fleet_snapshot(&base, &specs, &retry_counts);
         assert!(children[0].is_none(), "shard 0 has not started");
-        assert_eq!(children[1].as_ref().unwrap().done, 6);
+        assert_eq!(children[1].as_ref().unwrap().0.done, 6);
+        assert!(
+            children[1].as_ref().unwrap().1.is_some(),
+            "a freshly written heartbeat has an age"
+        );
         assert_eq!(fleet.done, 6);
         assert_eq!(fleet.total, 16);
         assert_eq!(fleet.cached, 2);
         assert_eq!(fleet.retries, 1, "supervisor retries stamp the aggregate");
         assert_eq!(fleet.point_wall.count, 1);
 
-        let line = fleet_line(&specs, &children, &retry_counts, &fleet);
+        let line = fleet_line(&specs, &children, &retry_counts, &fleet, DEFAULT_STALENESS);
         assert!(line.starts_with("fleet: "), "line: {line}");
         assert!(line.contains("[0 starting r1]"), "line: {line}");
         assert!(line.contains("[1 run 6/16"), "line: {line}");
         assert!(line.contains("6/16 pts"), "line: {line}");
         assert!(line.contains("1 retry"), "line: {line}");
         std::fs::remove_file(shard_path(&base, specs[1])).unwrap();
+    }
+
+    #[test]
+    fn fleet_line_marks_dead_workers_stale() {
+        let specs = [
+            ShardSpec { index: 0, count: 2 },
+            ShardSpec { index: 1, count: 2 },
+        ];
+        let mut dead = Heartbeat::starting(8);
+        dead.phase = "run".to_string();
+        dead.done = 3;
+        dead.rate_pts_per_sec = 2.0;
+        dead.eta_secs = Some(10.0);
+        let mut live = Heartbeat::starting(8);
+        live.phase = "run".to_string();
+        live.done = 5;
+        live.rate_pts_per_sec = 2.0;
+        // Shard 0's heartbeat file is two minutes old — its writer is
+        // gone; shard 1's was just rewritten.
+        let children = vec![
+            Some((dead.clone(), Some(Duration::from_secs(120)))),
+            Some((live.clone(), Some(Duration::from_secs(1)))),
+        ];
+        let mut fleet = Heartbeat::starting(0);
+        fleet.absorb(&dead);
+        fleet.absorb(&live);
+        let retry_counts = [AtomicU64::new(0), AtomicU64::new(0)];
+        let line = fleet_line(&specs, &children, &retry_counts, &fleet, DEFAULT_STALENESS);
+        assert!(line.contains("[0 stale 3/8]"), "line: {line}");
+        assert!(
+            !line.contains("eta") || !line.contains("[0 stale 3/8 "),
+            "a stale shard's frozen rate and ETA must be suppressed: {line}"
+        );
+        assert!(line.contains("[1 run 5/8 2.00pts/s"), "line: {line}");
+        // A terminal phase never reads as stale, however old the file.
+        let mut done = dead.clone();
+        done.phase = "done".to_string();
+        let children = vec![
+            Some((done, Some(Duration::from_secs(3600)))),
+            Some((live, Some(Duration::from_secs(1)))),
+        ];
+        let line = fleet_line(&specs, &children, &retry_counts, &fleet, DEFAULT_STALENESS);
+        assert!(line.contains("[0 done 3/8]"), "line: {line}");
+    }
+
+    #[test]
+    fn watchdog_kills_and_retries_a_hung_shard() {
+        let marker = temp_path("hang_marker");
+        let _ = std::fs::remove_file(&marker);
+        let status_base = temp_path("hang_status.json");
+        let opts = SupervisorOptions {
+            max_attempts: 2,
+            backoff: Duration::from_millis(1),
+            watchdog: Some(Duration::from_millis(400)),
+            status_base: Some(status_base),
+            ..SupervisorOptions::default()
+        };
+        let marker_str = marker.display().to_string();
+        let outcomes = supervise(
+            1,
+            |_| {
+                // First attempt wedges (no heartbeat ever advances);
+                // the watchdog kills it and the retry completes.
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg(format!(
+                    "if [ -e '{marker_str}' ]; then echo resumed; \
+                     else touch '{marker_str}'; sleep 30; fi"
+                ));
+                cmd
+            },
+            &opts,
+        )
+        .expect("watchdog recovers the hung shard");
+        assert_eq!(outcomes[0].attempts, 2, "one watchdog kill, one retry");
+        assert!(!outcomes[0].completed_with_failures);
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn exit_code_three_is_terminal_success_with_failures() {
+        let opts = SupervisorOptions {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            ..SupervisorOptions::default()
+        };
+        let outcomes = supervise(
+            1,
+            |_| {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg(format!("exit {EXIT_RECORDED_FAILURES}"));
+                cmd
+            },
+            &opts,
+        )
+        .expect("recorded-failure exits are terminal, not retried");
+        assert_eq!(outcomes[0].attempts, 1, "no retry");
+        assert!(outcomes[0].completed_with_failures);
     }
 
     #[test]
@@ -1455,9 +1970,41 @@ mod tests {
     #[test]
     fn backoff_is_bounded() {
         let base = Duration::from_millis(250);
-        assert_eq!(backoff_delay(base, 1), Duration::from_millis(250));
-        assert_eq!(backoff_delay(base, 2), Duration::from_millis(500));
-        assert_eq!(backoff_delay(base, 3), Duration::from_secs(1));
-        assert!(backoff_delay(base, 64) <= Duration::from_secs(10));
+        for shard in 0..8 {
+            // Exponential floor, at most +50% jitter, 10 s hard cap.
+            assert!(backoff_delay(base, 1, shard) >= Duration::from_millis(250));
+            assert!(backoff_delay(base, 1, shard) <= Duration::from_millis(375));
+            assert!(backoff_delay(base, 2, shard) >= Duration::from_millis(500));
+            assert!(backoff_delay(base, 2, shard) <= Duration::from_millis(750));
+            assert!(backoff_delay(base, 3, shard) >= Duration::from_secs(1));
+            assert!(backoff_delay(base, 3, shard) <= Duration::from_millis(1500));
+            assert!(backoff_delay(base, 64, shard) <= Duration::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_per_shard() {
+        let base = Duration::from_millis(250);
+        // Same (shard, attempt) → exactly the same delay, every time.
+        for shard in 0..8 {
+            for attempt in 1..6 {
+                assert_eq!(
+                    backoff_delay(base, attempt, shard),
+                    backoff_delay(base, attempt, shard)
+                );
+            }
+        }
+        // Different shards desynchronise: for the same attempt, the 8
+        // delays are not all identical (the whole point of the jitter).
+        let delays: std::collections::HashSet<Duration> =
+            (0..8).map(|shard| backoff_delay(base, 2, shard)).collect();
+        assert!(delays.len() > 1, "jitter must separate shard delays");
+        // The fraction itself is well-formed for a broad range of seeds.
+        for shard in 0..64 {
+            for attempt in 1..8 {
+                let f = jitter_fraction(shard, attempt);
+                assert!((0.0..1.0).contains(&f), "fraction {f} out of range");
+            }
+        }
     }
 }

@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 use std::collections::HashMap;
 
 use crate::checkpoint::{
-    compact, debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
+    compact, debug_fingerprint, Checkpoint, CheckpointEntry, CheckpointWriter, FailedEntry,
 };
 use crate::prune::{Attributed, PruneDecision, PruneEvidence, PrunePolicy};
 use crate::run::{run_networks_metered, RunOptions, SocReport};
@@ -70,6 +70,21 @@ pub const THREADS_ENV: &str = "GEMMINI_THREADS";
 /// [`crate::shard::CRASH_SHARD_ENV`] for restricting the hook to one
 /// shard.
 pub const CRASH_AFTER_ENV: &str = "GEMMINI_TEST_CRASH_AFTER";
+
+/// Test-only hang hook: like [`CRASH_AFTER_ENV`], but instead of
+/// aborting, the worker thread that begins the `k+1`-th point sleeps
+/// forever — a wedged simulation the supervisor's heartbeat-staleness
+/// watchdog must detect and kill. Resumed runs (any cached point) never
+/// hang, so the post-kill retry completes. Restricted to one shard by
+/// [`crate::shard::CRASH_SHARD_ENV`] exactly like the crash hook.
+pub const HANG_AFTER_ENV: &str = "GEMMINI_TEST_HANG_AFTER";
+
+/// Process exit code for a sweep that *completed* but recorded one or
+/// more first-class point failures (today: `--point-timeout`
+/// expirations). Distinct from `1` (retryable error: the sweep did not
+/// finish) so supervisors and scripts can tell "done, with casualties"
+/// from "try again".
+pub const EXIT_RECORDED_FAILURES: i32 = 3;
 
 /// One named point of a design-space sweep: an SoC configuration, the
 /// networks to run on it (one per core), and the run options.
@@ -124,6 +139,10 @@ pub enum SweepError {
     Accel(AccelError),
     /// The point panicked; the payload's message is preserved.
     Panicked(String),
+    /// The point's failure was *recorded* in the checkpoint — today only
+    /// `--point-timeout` expirations (reason `"timeout"`) — and is being
+    /// served from there on resume instead of wedging the sweep again.
+    Recorded(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -131,6 +150,7 @@ impl std::fmt::Display for SweepError {
         match self {
             Self::Accel(e) => write!(f, "accelerator error: {e}"),
             Self::Panicked(msg) => write!(f, "panicked: {msg}"),
+            Self::Recorded(reason) => write!(f, "recorded failure: {reason}"),
         }
     }
 }
@@ -234,6 +254,22 @@ pub struct SweepOptions {
     /// Where to write the final registry snapshot as Prometheus text
     /// exposition when the sweep ends; `None` disables it.
     pub prometheus: Option<PathBuf>,
+    /// Per-point wall-clock budget (`--point-timeout`). When a point
+    /// exceeds it, the executor records a first-class `failed:timeout`
+    /// checkpoint entry for it, abandons the wedged worker, lets every
+    /// other point drain, and exits the process non-zero —
+    /// [`EXIT_RECORDED_FAILURES`] when everything else completed, `1`
+    /// when it could not — with a terminal failure summary. On resume
+    /// the recorded failure is *served* (the point is not re-attempted),
+    /// so a deterministic hang cannot wedge the sweep twice. `None` (the
+    /// default) never times a point out.
+    pub point_timeout: Option<Duration>,
+    /// Hung-shard watchdog budget (`--watchdog`), consumed by the
+    /// `--shards` supervisor (see [`crate::shard`]): a worker whose
+    /// heartbeat `done` count does not advance for this long is killed
+    /// and retried from its shard checkpoint. Ignored outside supervise
+    /// mode; `None` (the default) disables the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for SweepOptions {
@@ -251,6 +287,8 @@ impl Default for SweepOptions {
             metrics: Metrics::disabled(),
             status: None,
             prometheus: None,
+            point_timeout: None,
+            watchdog: None,
         }
     }
 }
@@ -308,6 +346,43 @@ struct Pulse {
     wall_hist: Mutex<Log2Histogram>,
     last_beat: Mutex<Instant>,
     stop: AtomicBool,
+    /// Per-point wall-clock budget; `None` disables the timeout scan.
+    point_timeout: Option<Duration>,
+    /// Points currently executing, keyed by ticket — the timeout scan's
+    /// prey. Only populated when `point_timeout` is set.
+    inflight: Mutex<HashMap<u64, InFlightPoint>>,
+    next_ticket: std::sync::atomic::AtomicU64,
+    /// Where the timeout monitor records `failed:timeout` entries;
+    /// installed by the checkpointing executor once its writer exists.
+    writer: Mutex<Option<Arc<CheckpointWriter>>>,
+    /// Consecutive monitor ticks during which every in-flight point was
+    /// timed out (no worker can make progress) — the exit trigger, held
+    /// for two ticks so a worker between claims is not mistaken for a
+    /// drained pool.
+    hung_stable: AtomicUsize,
+}
+
+/// One executing point as seen by the timeout monitor.
+struct InFlightPoint {
+    label: String,
+    fingerprint: u64,
+    start: Instant,
+    /// Whether the monitor already recorded this point's timeout (the
+    /// worker is abandoned, but its entry stays until the process ends).
+    recorded: bool,
+}
+
+/// Deregisters an in-flight point on drop — panic-safe bracketing for
+/// the timeout monitor's table.
+struct InFlightGuard<'a> {
+    pulse: &'a Pulse,
+    ticket: Option<u64>,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.pulse.exit_point(self.ticket.take());
+    }
 }
 
 impl Pulse {
@@ -333,9 +408,103 @@ impl Pulse {
             wall_hist: Mutex::new(Log2Histogram::new()),
             last_beat: Mutex::new(Instant::now()),
             stop: AtomicBool::new(false),
+            point_timeout: opts.point_timeout,
+            inflight: Mutex::new(HashMap::new()),
+            next_ticket: std::sync::atomic::AtomicU64::new(0),
+            writer: Mutex::new(None),
+            hung_stable: AtomicUsize::new(0),
         });
         pulse.beat("run");
         pulse
+    }
+
+    /// Registers an executing point with the timeout monitor. A no-op
+    /// (and `None`) without a `point_timeout`.
+    fn enter_point(&self, label: &str, fingerprint: u64) -> Option<u64> {
+        self.point_timeout?;
+        let ticket = self
+            .next_ticket
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inflight.lock().expect("inflight lock").insert(
+            ticket,
+            InFlightPoint {
+                label: label.to_string(),
+                fingerprint,
+                start: Instant::now(),
+                recorded: false,
+            },
+        );
+        Some(ticket)
+    }
+
+    /// Deregisters a point that finished (however it finished).
+    fn exit_point(&self, ticket: Option<u64>) {
+        if let Some(ticket) = ticket {
+            self.inflight.lock().expect("inflight lock").remove(&ticket);
+        }
+    }
+
+    /// Monitor-thread tick: record a `failed:timeout` checkpoint entry
+    /// for every in-flight point past its budget, and — once the only
+    /// in-flight points left are timed-out ones, so no worker can make
+    /// progress — end the process with a terminal failure summary.
+    /// Exits [`EXIT_RECORDED_FAILURES`] when everything else in the grid
+    /// completed, `1` (retryable) when it could not.
+    fn check_timeouts(&self) {
+        let Some(budget) = self.point_timeout else {
+            return;
+        };
+        let (hung, active) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            for p in inflight.values_mut() {
+                if !p.recorded && p.start.elapsed() > budget {
+                    p.recorded = true;
+                    eprintln!(
+                        "sweep: point '{}' exceeded --point-timeout ({:.1}s): recording failed:timeout and abandoning its worker",
+                        p.label,
+                        budget.as_secs_f64()
+                    );
+                    let entry = FailedEntry {
+                        label: p.label.clone(),
+                        fingerprint: p.fingerprint,
+                        wall: p.start.elapsed(),
+                        reason: "timeout".to_string(),
+                    };
+                    if let Some(w) = self.writer.lock().expect("writer lock").as_ref() {
+                        if let Err(e) = w.append_failed(&entry) {
+                            eprintln!("sweep: failed to record timeout for '{}': {e}", p.label);
+                        }
+                    }
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.inc(Counter::PointsFailed);
+                }
+            }
+            let hung = inflight.values().filter(|p| p.recorded).count();
+            (hung, inflight.len())
+        };
+        if hung == 0 || hung < active {
+            self.hung_stable.store(0, Ordering::Relaxed);
+            return;
+        }
+        // Every in-flight point is hung. Hold for two consecutive ticks
+        // before concluding the pool is drained (a worker may be between
+        // claims), then finish loudly.
+        if self.hung_stable.fetch_add(1, Ordering::Relaxed) + 1 < 2 {
+            return;
+        }
+        let done = self.done_total();
+        let complete = done + hung >= self.grid_total;
+        eprintln!(
+            "sweep: {hung} point(s) timed out; {done}/{} other points complete; exiting {}",
+            self.grid_total,
+            if complete {
+                format!("{EXIT_RECORDED_FAILURES} (completed with recorded failures)")
+            } else {
+                "1 (incomplete; resume to finish)".to_string()
+            }
+        );
+        self.beat("done");
+        std::process::exit(if complete { EXIT_RECORDED_FAILURES } else { 1 });
     }
 
     fn done_total(&self) -> usize {
@@ -457,12 +626,16 @@ struct PulseMonitor {
 
 impl PulseMonitor {
     fn spawn(pulse: &Arc<Pulse>) -> Self {
-        let handle = pulse.status.as_ref().map(|_| {
+        // The monitor thread also runs the per-point timeout scan, so it
+        // exists whenever either job has work to do.
+        let wanted = pulse.status.is_some() || pulse.point_timeout.is_some();
+        let handle = wanted.then(|| {
             let p = Arc::clone(pulse);
             std::thread::spawn(move || {
                 while !p.stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(250));
                     p.beat_if_stale();
+                    p.check_timeouts();
                 }
             })
         });
@@ -696,7 +869,7 @@ where
     F: Fn(I) -> Result<T, AccelError> + Sync,
 {
     let path = opts.checkpoint.clone();
-    if path.is_none() && opts.prune.is_none() {
+    if path.is_none() && opts.prune.is_none() && opts.point_timeout.is_none() {
         let plain = items
             .into_iter()
             .map(|(label, _, item)| (label, item))
@@ -714,9 +887,13 @@ where
         .map(|(idx, (label, fingerprint, _))| (label.clone(), (*fingerprint, idx)))
         .collect();
 
+    // Resume loads *quarantine*: an undecodable line (torn write, CRC
+    // mismatch) is moved to the `.bad` sidecar and the file rewritten
+    // without it, so damage is reported exactly once and the named point
+    // simply re-runs.
     let mut checkpoint = match (&path, opts.resume) {
-        (Some(path), true) => match Checkpoint::<T>::load(path) {
-            Ok(c) => c,
+        (Some(path), true) => match Checkpoint::<T>::load_quarantining(path) {
+            Ok((c, _quarantine)) => c,
             Err(e) => {
                 eprintln!(
                     "sweep: cannot read checkpoint {}: {e}; running every point",
@@ -737,6 +914,7 @@ where
     let mut to_run: Vec<(usize, String, u64, I)> = Vec::new();
     let mut cached_run = 0usize;
     let mut cached_pruned = 0usize;
+    let mut cached_failed = 0usize;
     for (idx, (label, fingerprint, item)) in items.into_iter().enumerate() {
         let served = match checkpoint.take(&label, fingerprint) {
             Some(entry) => match entry.pruned {
@@ -770,7 +948,24 @@ where
                     }
                 }
             },
-            None => false,
+            // A recorded failure (timeout) is served as a first-class
+            // `Err` result rather than re-attempted: a deterministic
+            // hang must not wedge every resume cycle. Deleting the line
+            // (or running without --resume) re-runs the point.
+            None => match checkpoint.take_failed(&label, fingerprint) {
+                Some(failure) => {
+                    cached_failed += 1;
+                    slots[idx] = Some(SweepResult {
+                        label: label.clone(),
+                        outcome: Err(SweepError::Recorded(failure.reason)),
+                        wall: failure.wall,
+                        cached: true,
+                        pruned: None,
+                    });
+                    true
+                }
+                None => false,
+            },
         };
         if !served {
             to_run.push((idx, label, fingerprint, item));
@@ -780,6 +975,7 @@ where
     // One telemetry pulse spans both execution phases, so the heartbeat
     // and ETA see whole-grid progress rather than per-phase slices.
     let pulse = Pulse::start(&opts, total, skipped, cached_run, cached_pruned);
+    pulse.failed.fetch_add(cached_failed, Ordering::Relaxed);
     let monitor = PulseMonitor::spawn(&pulse);
     opts.metrics
         .add(Counter::PointsCached, (cached_run + cached_pruned) as u64);
@@ -787,10 +983,15 @@ where
         if let Some(path) = &path {
             let stale = checkpoint.stale_lines;
             eprintln!(
-                "sweep: resume from {}: skipped {skipped}/{total} completed points{}{}",
+                "sweep: resume from {}: skipped {skipped}/{total} completed points{}{}{}",
                 path.display(),
                 if cached_pruned > 0 {
                     format!(" ({cached_pruned} pruned replayed)")
+                } else {
+                    String::new()
+                },
+                if cached_failed > 0 {
+                    format!(" ({cached_failed} recorded failures served)")
                 } else {
                     String::new()
                 },
@@ -814,7 +1015,7 @@ where
                 CheckpointWriter::create(path)
             };
             match writer {
-                Ok(w) => Some(w),
+                Ok(w) => Some(Arc::new(w)),
                 Err(e) => {
                     eprintln!(
                         "sweep: cannot write checkpoint {}: {e}; results will not be persisted",
@@ -826,6 +1027,9 @@ where
         }
         None => None,
     };
+    // Hand the writer to the timeout monitor so an expired point can be
+    // recorded as failed:timeout from outside its (wedged) worker.
+    *pulse.writer.lock().expect("writer lock") = writer.clone();
 
     // Split what's left into phase 1 — group bases and ungrouped points,
     // which must really run — and the group members whose fate phase 1's
@@ -859,15 +1063,45 @@ where
     } else {
         None
     };
+    // Same shape as the crash hook, but the worker wedges instead of
+    // aborting — the supervisor watchdog's test prey.
+    let hang_hook = if skipped == 0 {
+        std::env::var(HANG_AFTER_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|k| (k, AtomicUsize::new(0)))
+    } else {
+        None
+    };
 
     let writer_ref = &writer;
     let crash_hook = &crash_hook;
+    let hang_hook = &hang_hook;
+    let pulse_ref = &pulse;
     let run_point = move |(label, fingerprint, item): (String, u64, I)| {
         if let Some((k, started)) = crash_hook {
             if started.fetch_add(1, Ordering::SeqCst) >= *k {
                 eprintln!("sweep: {CRASH_AFTER_ENV} hook: aborting before '{label}'");
                 std::process::abort();
             }
+        }
+        // Deregisters on every exit path, including a panic inside `f`
+        // (unwinding must not leave a ghost in-flight entry for the
+        // timeout monitor to "time out" later).
+        let _guard = InFlightGuard {
+            pulse: pulse_ref,
+            ticket: pulse_ref.enter_point(&label, fingerprint),
+        };
+        if let Some((k, started)) = hang_hook {
+            if started.fetch_add(1, Ordering::SeqCst) >= *k {
+                eprintln!("sweep: {HANG_AFTER_ENV} hook: hanging in '{label}'");
+                crate::fault::hang_forever("test.hang_after");
+            }
+        }
+        match crate::fault::fire("sweep.point") {
+            Some(crate::fault::FaultAction::Hang) => crate::fault::hang_forever("sweep.point"),
+            Some(crate::fault::FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
         }
         let start = Instant::now();
         let payload = f(item).map_err(SweepError::Accel)?;
@@ -1006,7 +1240,7 @@ where
         let path = path.as_ref().expect("a writer implies a path");
         match compact(path) {
             Ok(c) if c.dropped > 0 && opts.progress => eprintln!(
-                "sweep: compacted checkpoint {}: kept {}, reclaimed {} shadowed/stale lines",
+                "sweep: compacted checkpoint {}: kept {}, reclaimed {} shadowed lines",
                 path.display(),
                 c.kept,
                 c.dropped
@@ -1194,5 +1428,71 @@ mod tests {
     fn empty_sweep_is_empty() {
         let results = sweep_map(Vec::<(String, ())>::new(), quiet(), |_| Ok(0u8));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn resume_serves_recorded_failures_without_rerunning() {
+        let path =
+            std::env::temp_dir().join(format!("gemmini_sweep_failed_{}.jsonl", std::process::id()));
+        let fp = |i: u64| debug_fingerprint(&i);
+        // Seed the checkpoint: "a" completed, "b" recorded as timed out.
+        let writer = CheckpointWriter::create(&path).unwrap();
+        writer
+            .append(&CheckpointEntry {
+                label: "a".to_string(),
+                fingerprint: fp(1),
+                wall: Duration::from_micros(5),
+                payload: 10u64,
+                pruned: None,
+            })
+            .unwrap();
+        writer
+            .append_failed(&FailedEntry {
+                label: "b".to_string(),
+                fingerprint: fp(2),
+                wall: Duration::from_secs(9),
+                reason: "timeout".to_string(),
+            })
+            .unwrap();
+        drop(writer);
+
+        let items: Vec<(String, u64, u64)> = vec![
+            ("a".to_string(), fp(1), 1),
+            ("b".to_string(), fp(2), 2),
+            ("c".to_string(), fp(3), 3),
+        ];
+        let ran = AtomicUsize::new(0);
+        let opts = SweepOptions {
+            progress: false,
+            threads: 1,
+            ..SweepOptions::checkpointed(&path, true)
+        };
+        let results = sweep_map_checkpointed(items, opts, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            assert_ne!(i, 2, "the recorded failure must be served, not re-run");
+            Ok(i * 10)
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "only 'c' executes");
+        assert_eq!(*results[0].expect_ok(), 10);
+        assert!(results[0].cached);
+        match &results[1].outcome {
+            Err(SweepError::Recorded(reason)) => assert_eq!(reason, "timeout"),
+            other => panic!("expected served failure, got {other:?}"),
+        }
+        assert!(results[1].cached);
+        assert_eq!(results[1].wall, Duration::from_secs(9));
+        assert_eq!(*results[2].expect_ok(), 30);
+
+        // A fresh (non-resume) run ignores the recorded failure and
+        // re-attempts everything.
+        let opts = SweepOptions {
+            progress: false,
+            threads: 1,
+            ..SweepOptions::checkpointed(&path, false)
+        };
+        let items: Vec<(String, u64, u64)> = vec![("b".to_string(), fp(2), 2)];
+        let results = sweep_map_checkpointed(items, opts, |i| Ok(i * 10));
+        assert_eq!(*results[0].expect_ok(), 20);
+        std::fs::remove_file(&path).unwrap();
     }
 }

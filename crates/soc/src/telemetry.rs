@@ -180,6 +180,18 @@ impl FromJson for Heartbeat {
 ///
 /// Returns the first I/O error from creating, writing, or renaming.
 pub fn write_heartbeat(path: &Path, heartbeat: &Heartbeat) -> std::io::Result<()> {
+    // Failpoints (`heartbeat.write`): `skip` silently suppresses the
+    // write — a frozen heartbeat the watchdog and staleness marking must
+    // tolerate — and `fail` injects the I/O error path.
+    match crate::fault::fire("heartbeat.write") {
+        Some(crate::fault::FaultAction::Skip) => return Ok(()),
+        Some(crate::fault::FaultAction::Fail) => {
+            return Err(std::io::Error::other(
+                "injected fault at failpoint 'heartbeat.write'",
+            ))
+        }
+        _ => {}
+    }
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -217,6 +229,17 @@ pub fn write_prometheus(path: &Path, snapshot: &MetricsSnapshot) -> std::io::Res
     let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
     std::fs::write(&tmp, prometheus_text(snapshot))?;
     std::fs::rename(&tmp, path)
+}
+
+/// Age of a heartbeat file: how long ago it was last rewritten, from
+/// filesystem mtime. `None` when the file does not exist (the worker
+/// has not started) or the clock arithmetic fails. The fleet view uses
+/// this to mark shards whose *writer is gone* — a killed worker leaves
+/// its last heartbeat behind forever, and without an age check the
+/// fleet line would report its stale progress as live.
+pub fn heartbeat_age(path: &Path) -> Option<Duration> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    std::time::SystemTime::now().duration_since(modified).ok()
 }
 
 /// Estimated seconds until `remaining` points finish on `workers`
@@ -306,6 +329,19 @@ mod tests {
             .count();
         assert_eq!(litter, 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_age_tracks_rewrites() {
+        assert!(heartbeat_age(Path::new("/nonexistent/definitely/not.json")).is_none());
+        let path = std::env::temp_dir().join(format!("gemmini-hb-age-{}.json", std::process::id()));
+        write_heartbeat(&path, &Heartbeat::starting(1)).unwrap();
+        let age = heartbeat_age(&path).unwrap();
+        assert!(
+            age < Duration::from_secs(60),
+            "fresh file, small age: {age:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
